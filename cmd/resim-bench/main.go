@@ -1,0 +1,113 @@
+// Command resim-bench regenerates the paper's evaluation artifacts: every
+// table (1-4) and figure (2-4), plus the §IV serial-vs-parallel ablation.
+// EXPERIMENTS.md is produced from this tool's -all output.
+//
+// Usage:
+//
+//	resim-bench -all
+//	resim-bench -table 1 -n 500000
+//	resim-bench -figure 4
+//	resim-bench -ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tables"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		table    = flag.Int("table", 0, "regenerate one table (1-4)")
+		figure   = flag.Int("figure", 0, "render one figure (2-4)")
+		ablation = flag.Bool("ablation", false, "run the serial-vs-parallel ablation")
+		compress = flag.Bool("compression", false, "run the trace-compression extension")
+		bpSweep  = flag.String("bpred-sweep", "", "run the predictor sweep on this workload")
+		wpSweep  = flag.String("wrongpath-sweep", "", "run the wrong-path sizing sweep on this workload")
+		n        = flag.Uint64("n", 200_000, "instructions per benchmark point")
+		width    = flag.Int("width", 4, "figure/ablation processor width")
+	)
+	flag.Parse()
+	opts := tables.Options{Instructions: *n}
+
+	if !*all && *table == 0 && *figure == 0 && !*ablation && !*compress &&
+		*bpSweep == "" && *wpSweep == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(t int) {
+		switch t {
+		case 1:
+			rows, err := tables.Table1(opts)
+			check(err)
+			fmt.Println(tables.RenderTable1(rows))
+		case 2:
+			rows, err := tables.Table2(opts)
+			check(err)
+			fmt.Println(tables.RenderTable2(rows))
+		case 3:
+			rows, err := tables.Table3(opts)
+			check(err)
+			fmt.Println(tables.RenderTable3(rows))
+		case 4:
+			b, err := tables.Table4()
+			check(err)
+			fmt.Println(tables.RenderTable4(b))
+		default:
+			check(fmt.Errorf("no table %d (have 1-4)", t))
+		}
+	}
+
+	if *all {
+		for t := 1; t <= 4; t++ {
+			run(t)
+		}
+		for f := 2; f <= 4; f++ {
+			out, err := tables.RenderFigure(f, *width)
+			check(err)
+			fmt.Println(out)
+		}
+		fmt.Println(tables.Ablation(*width))
+		rows, err := tables.TraceCompression(opts)
+		check(err)
+		fmt.Println(tables.RenderCompression(rows))
+		return
+	}
+	if *table != 0 {
+		run(*table)
+	}
+	if *figure != 0 {
+		out, err := tables.RenderFigure(*figure, *width)
+		check(err)
+		fmt.Println(out)
+	}
+	if *ablation {
+		fmt.Println(tables.Ablation(*width))
+	}
+	if *compress {
+		rows, err := tables.TraceCompression(opts)
+		check(err)
+		fmt.Println(tables.RenderCompression(rows))
+	}
+	if *bpSweep != "" {
+		rows, err := tables.PredictorSweep(opts, *bpSweep)
+		check(err)
+		fmt.Println(tables.RenderPredictorSweep(rows, *bpSweep))
+	}
+	if *wpSweep != "" {
+		rows, err := tables.WrongPathSweep(opts, *wpSweep)
+		check(err)
+		fmt.Println(tables.RenderWrongPathSweep(rows, *wpSweep, 20))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resim-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,90 @@
+// Command resim-gen produces a custom ReSim version description from user
+// parameters — the configuration tool the paper's conclusions propose. The
+// output is a VHDL-like structural document plus the modeled resource
+// budget and device fit report, derived from the exact configuration the
+// timing engine simulates.
+//
+// Usage:
+//
+//	resim-gen -width 4 -rb 32 -lsq 16
+//	resim-gen -width 2 -perfect-bp -caches -device virtex5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	resim "repro"
+	"repro/internal/core"
+	"repro/internal/fpga"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		width     = flag.Int("width", 4, "processor width N")
+		rb        = flag.Int("rb", 16, "reorder buffer entries")
+		lsq       = flag.Int("lsq", 8, "load/store queue entries")
+		ifq       = flag.Int("ifq", 4, "instruction fetch queue entries")
+		perfectBP = flag.Bool("perfect-bp", false, "perfect branch prediction")
+		caches    = flag.Bool("caches", false, "32K 8-way L1 I/D caches")
+		orgName   = flag.String("org", "optimized", "internal pipeline: simple, improved, optimized")
+		device    = flag.String("device", "virtex4", "target device: virtex4, virtex5")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Width = *width
+	cfg.RBSize = *rb
+	cfg.LSQSize = *lsq
+	cfg.IFQSize = *ifq
+	cfg.PerfectBP = *perfectBP
+	switch *orgName {
+	case "simple":
+		cfg.Organization = resim.OrgSimple
+	case "improved":
+		cfg.Organization = resim.OrgImproved
+	case "optimized":
+		cfg.Organization = resim.OrgOptimized
+	default:
+		fatal(fmt.Errorf("unknown organization %q", *orgName))
+	}
+	if max := cfg.Organization.MaxMemPorts(cfg.Width); cfg.MemReadPorts > max {
+		cfg.MemReadPorts = max
+	}
+	if *caches {
+		il1, err := resim.NewL1Cache(resim.CacheConfig{Name: "il1", SizeBytes: 32 << 10,
+			Assoc: 8, BlockBytes: 64, HitLatency: 1, MissLatency: 20})
+		if err != nil {
+			fatal(err)
+		}
+		dl1, err := resim.NewL1Cache(resim.CacheConfig{Name: "dl1", SizeBytes: 32 << 10,
+			Assoc: 8, BlockBytes: 64, HitLatency: 1, MissLatency: 20})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.ICache, cfg.DCache = il1, dl1
+	}
+
+	var dev fpga.Device
+	switch *device {
+	case "virtex4":
+		dev = fpga.Virtex4
+	case "virtex5":
+		dev = fpga.Virtex5
+	default:
+		fatal(fmt.Errorf("unknown device %q", *device))
+	}
+
+	out, err := gen.Generate(cfg, dev)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "resim-gen:", err)
+	os.Exit(1)
+}

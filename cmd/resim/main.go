@@ -1,0 +1,150 @@
+// Command resim runs the ReSim timing engine over a trace — either a file
+// produced by tracegen or one generated on the fly from a synthetic
+// workload — and prints the sim-outorder-style statistics report plus the
+// modeled FPGA simulation throughput.
+//
+// Usage:
+//
+//	resim -workload bzip2 -n 500000
+//	resim -trace gzip.trace -width 2 -perfect-bp -caches
+//	resim -workload parser -org simple -device virtex4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	resim "repro"
+	"repro/internal/configfile"
+	"repro/internal/ptrace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file to simulate (from tracegen)")
+		name      = flag.String("workload", "", "generate and simulate this workload on the fly")
+		n         = flag.Uint64("n", 500_000, "instruction budget for -workload mode")
+		confPath  = flag.String("config", "", "JSON configuration file (overrides the structure flags)")
+		saveConf  = flag.String("save-config", "", "write the effective configuration as JSON and exit")
+		pipeTrace = flag.Int("pipetrace", 0, "render a pipeline diagram of the first N instructions")
+		width     = flag.Int("width", 4, "processor width N")
+		rb        = flag.Int("rb", 16, "reorder buffer entries")
+		lsq       = flag.Int("lsq", 8, "load/store queue entries")
+		ifq       = flag.Int("ifq", 4, "instruction fetch queue entries")
+		perfectBP = flag.Bool("perfect-bp", false, "perfect branch prediction")
+		caches    = flag.Bool("caches", false, "32K 8-way L1 I/D caches (default: perfect memory)")
+		orgName   = flag.String("org", "optimized", "internal pipeline: simple, improved, optimized")
+		device    = flag.String("device", "virtex5", "FPGA model for throughput: virtex4, virtex5")
+		readPorts = flag.Int("read-ports", 0, "memory read ports (0 = auto)")
+		report    = flag.Bool("report", true, "print the full statistics report")
+	)
+	flag.Parse()
+
+	cfg := resim.DefaultConfig()
+	cfg.Width = *width
+	cfg.RBSize = *rb
+	cfg.LSQSize = *lsq
+	cfg.IFQSize = *ifq
+	cfg.PerfectBP = *perfectBP
+	switch *orgName {
+	case "simple":
+		cfg.Organization = resim.OrgSimple
+	case "improved":
+		cfg.Organization = resim.OrgImproved
+	case "optimized":
+		cfg.Organization = resim.OrgOptimized
+	default:
+		fatal(fmt.Errorf("unknown organization %q", *orgName))
+	}
+	if *caches {
+		il1, err := resim.NewL1Cache(resim.CacheConfig{Name: "il1", SizeBytes: 32 << 10,
+			Assoc: 8, BlockBytes: 64, HitLatency: 1, MissLatency: 20})
+		if err != nil {
+			fatal(err)
+		}
+		dl1, err := resim.NewL1Cache(resim.CacheConfig{Name: "dl1", SizeBytes: 32 << 10,
+			Assoc: 8, BlockBytes: 64, HitLatency: 1, MissLatency: 20})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.ICache, cfg.DCache = il1, dl1
+	}
+	if *readPorts > 0 {
+		cfg.MemReadPorts = *readPorts
+	} else if max := cfg.Organization.MaxMemPorts(cfg.Width); cfg.MemReadPorts > max {
+		cfg.MemReadPorts = max
+	}
+	if *confPath != "" {
+		loaded, err := configfile.Load(*confPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = loaded
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	if *saveConf != "" {
+		if err := configfile.Save(*saveConf, cfg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *saveConf)
+		return
+	}
+	var collector *ptrace.Collector
+	if *pipeTrace > 0 {
+		collector = ptrace.New(*pipeTrace)
+		cfg.PipeTracer = collector
+	}
+
+	var dev resim.Device
+	switch *device {
+	case "virtex4":
+		dev = resim.Virtex4
+	case "virtex5":
+		dev = resim.Virtex5
+	default:
+		fatal(fmt.Errorf("unknown device %q", *device))
+	}
+
+	var (
+		res resim.Result
+		err error
+	)
+	switch {
+	case *tracePath != "" && *name != "":
+		fatal(fmt.Errorf("use either -trace or -workload, not both"))
+	case *tracePath != "":
+		res, err = resim.SimulateTraceFile(cfg, *tracePath)
+	case *name != "":
+		res, err = resim.SimulateWorkload(cfg, *name, *n)
+	default:
+		fmt.Fprintln(os.Stderr, "resim: one of -trace or -workload is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if collector != nil {
+		fmt.Print(collector.Render())
+	}
+	if *report {
+		if err := res.Registry().Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("\nsimulated %d instructions in %d cycles (IPC %.3f)\n",
+		res.Committed, res.Cycles, res.IPC())
+	fmt.Printf("internal pipeline: %v, K = %d minor cycles per major cycle\n",
+		cfg.Organization, cfg.MinorCyclesPerMajor())
+	fmt.Printf("modeled simulation throughput on %s: %.2f MIPS\n",
+		dev.Name, resim.SimulationMIPS(dev, cfg, res))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "resim:", err)
+	os.Exit(1)
+}

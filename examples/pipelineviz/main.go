@@ -1,0 +1,37 @@
+// Pipelineviz renders the paper's Figures 2-4: the three internal
+// minor-cycle pipeline organizations of §IV, plus the major-cycle latency
+// formulas K(N) for a range of widths.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	resim "repro"
+)
+
+func main() {
+	for _, org := range []resim.Organization{resim.OrgSimple, resim.OrgImproved, resim.OrgOptimized} {
+		out, err := resim.RenderPipeline(org, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+
+	fmt.Println("Major-cycle latency K (minor cycles) by organization and width:")
+	fmt.Printf("%-12s", "N")
+	for n := 1; n <= 8; n++ {
+		fmt.Printf("%5d", n)
+	}
+	fmt.Println()
+	for _, org := range []resim.Organization{resim.OrgSimple, resim.OrgImproved, resim.OrgOptimized} {
+		fmt.Printf("%-12v", org)
+		for n := 1; n <= 8; n++ {
+			fmt.Printf("%5d", org.MinorCyclesPerMajor(n))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nsimple = 2N+3, improved = N+4, optimized = N+3 (<= N-1 memory ports).")
+	fmt.Println("All three simulate identical processor timing; they differ only in ReSim's own clock cycles per simulated cycle.")
+}

@@ -1,0 +1,31 @@
+// Quickstart: simulate one SPECINT-like workload on the paper's 4-wide
+// configuration and report the simulated IPC and the modeled FPGA
+// simulation throughput on both evaluation devices.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	resim "repro"
+)
+
+func main() {
+	cfg := resim.DefaultConfig() // 4-wide, RB 16, LSQ 8, 2-level BP, perfect memory
+
+	res, err := resim.SimulateWorkload(cfg, "gzip", 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("gzip: %d instructions in %d cycles -> IPC %.3f\n",
+		res.Committed, res.Cycles, res.IPC())
+	fmt.Printf("branch mispredictions: %d (%.1f%% of branches), wrong-path overhead %.1f%%\n",
+		res.MispredResolved, 100*res.MispredictRate(), 100*res.WrongPathOverhead())
+	fmt.Printf("internal pipeline: %v, major cycle = %d minor cycles\n",
+		cfg.Organization, cfg.MinorCyclesPerMajor())
+	for _, dev := range []resim.Device{resim.Virtex4, resim.Virtex5} {
+		fmt.Printf("modeled simulation speed on %-10s %6.2f MIPS\n",
+			dev.Name+":", resim.SimulationMIPS(dev, cfg, res))
+	}
+}

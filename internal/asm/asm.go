@@ -1,0 +1,119 @@
+// Package asm is a small two-pass assembler for the internal ISA: it
+// resolves symbolic labels into branch offsets and jump targets. The
+// synthetic SPECINT-like workload generator (internal/workload) uses it to
+// build real programs — loops, calls, jump tables — that the functional
+// simulator executes to produce ReSim traces.
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// fixupKind distinguishes the relocation types.
+type fixupKind uint8
+
+const (
+	fixBranch   fixupKind = iota // 16-bit word offset relative to pc+4
+	fixJump                      // 26-bit absolute word target (j/jal)
+	fixLoadAddr                  // lui/ori pair materializing the label address
+)
+
+type fixup struct {
+	index int // instruction index of the first word to patch
+	label string
+	kind  fixupKind
+}
+
+// Builder accumulates instructions and label references.
+type Builder struct {
+	code   []isa.Inst
+	labels map[string]int
+	fixups []fixup
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int)}
+}
+
+// Len returns the current instruction count.
+func (b *Builder) Len() int { return len(b.code) }
+
+// Label binds name to the next emitted instruction.
+func (b *Builder) Label(name string) {
+	b.labels[name] = len(b.code)
+}
+
+// Emit appends a fully resolved instruction.
+func (b *Builder) Emit(ins ...isa.Inst) {
+	b.code = append(b.code, ins...)
+}
+
+// Branch emits a conditional branch to label (op is one of the B-ops; a and
+// c are the compared registers, c ignored for blez/bgtz).
+func (b *Builder) Branch(op isa.Op, ra, rb isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{len(b.code), label, fixBranch})
+	b.code = append(b.code, isa.Inst{Op: op, A: ra, B: rb})
+}
+
+// Jump emits j label.
+func (b *Builder) Jump(label string) {
+	b.fixups = append(b.fixups, fixup{len(b.code), label, fixJump})
+	b.code = append(b.code, isa.Inst{Op: isa.OpJ})
+}
+
+// Call emits jal label.
+func (b *Builder) Call(label string) {
+	b.fixups = append(b.fixups, fixup{len(b.code), label, fixJump})
+	b.code = append(b.code, isa.Inst{Op: isa.OpJal})
+}
+
+// LoadLabelAddr emits a lui+ori pair that materializes the absolute address
+// of label into dst.
+func (b *Builder) LoadLabelAddr(dst isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{len(b.code), label, fixLoadAddr})
+	b.code = append(b.code,
+		isa.I(isa.OpLui, dst, isa.RegZero, 0),
+		isa.I(isa.OpOri, dst, dst, 0))
+}
+
+// AddrOf returns the absolute address label will have when assembled at
+// base. It is valid only after the label has been bound.
+func (b *Builder) AddrOf(label string, base uint32) (uint32, error) {
+	idx, ok := b.labels[label]
+	if !ok {
+		return 0, fmt.Errorf("asm: undefined label %q", label)
+	}
+	return base + uint32(4*idx), nil
+}
+
+// Assemble resolves all fixups against the given load address and returns
+// the finished instruction slice.
+func (b *Builder) Assemble(base uint32) ([]isa.Inst, error) {
+	out := make([]isa.Inst, len(b.code))
+	copy(out, b.code)
+	for _, f := range b.fixups {
+		idx, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		target := base + uint32(4*idx)
+		switch f.kind {
+		case fixBranch:
+			// Offset in words relative to pc+4.
+			off := idx - (f.index + 1)
+			if off < -(1<<15) || off >= 1<<15 {
+				return nil, fmt.Errorf("asm: branch to %q out of range (%d words)", f.label, off)
+			}
+			out[f.index].Imm = int32(off)
+		case fixJump:
+			out[f.index].Target = target
+		case fixLoadAddr:
+			out[f.index].Imm = int32(target >> 16)      // lui
+			out[f.index+1].Imm = int32(target & 0xFFFF) // ori
+		}
+	}
+	return out, nil
+}

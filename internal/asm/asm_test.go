@@ -1,0 +1,117 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/funcsim"
+	"repro/internal/isa"
+)
+
+func TestBackwardBranchLoop(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(isa.I(isa.OpOri, 2, 0, 5)) // counter
+	b.Label("loop")
+	b.Emit(isa.Add(1, 1, 2))
+	b.Emit(isa.Addi(2, 2, -1))
+	b.Branch(isa.OpBgtz, 2, 0, "loop")
+	b.Emit(isa.Halt())
+	code, err := b.Assemble(funcsim.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := funcsim.NewMachine(&funcsim.Program{
+		Entry:    funcsim.CodeBase,
+		Segments: []funcsim.Segment{funcsim.AssembleAt(funcsim.CodeBase, code)},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Reg(1); got != 15 {
+		t.Errorf("sum = %d, want 15", got)
+	}
+}
+
+func TestForwardBranchSkips(t *testing.T) {
+	b := NewBuilder()
+	b.Emit(isa.I(isa.OpOri, 1, 0, 1))
+	b.Branch(isa.OpBgtz, 1, 0, "skip")
+	b.Emit(isa.I(isa.OpOri, 2, 0, 99)) // skipped
+	b.Label("skip")
+	b.Emit(isa.I(isa.OpOri, 3, 0, 7))
+	b.Emit(isa.Halt())
+	code, err := b.Assemble(funcsim.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustRun(t, code)
+	if m.Reg(2) != 0 || m.Reg(3) != 7 {
+		t.Errorf("r2=%d r3=%d, want 0,7", m.Reg(2), m.Reg(3))
+	}
+}
+
+func TestCallAndLoadLabelAddr(t *testing.T) {
+	b := NewBuilder()
+	b.Call("fn")
+	b.LoadLabelAddr(10, "fn")
+	b.Emit(isa.Halt())
+	b.Label("fn")
+	b.Emit(isa.I(isa.OpOri, 5, 0, 42))
+	b.Emit(isa.Jr(isa.RegRA))
+	code, err := b.Assemble(funcsim.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustRun(t, code)
+	if m.Reg(5) != 42 {
+		t.Errorf("call failed: r5 = %d", m.Reg(5))
+	}
+	wantAddr, err := b.AddrOf("fn", funcsim.CodeBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Reg(10); got != wantAddr {
+		t.Errorf("LoadLabelAddr = %#x, want %#x", got, wantAddr)
+	}
+}
+
+func TestUndefinedLabelRejected(t *testing.T) {
+	b := NewBuilder()
+	b.Jump("nowhere")
+	if _, err := b.Assemble(funcsim.CodeBase); err == nil {
+		t.Error("undefined label accepted")
+	}
+	if _, err := b.AddrOf("nowhere", 0); err == nil {
+		t.Error("AddrOf undefined label accepted")
+	}
+}
+
+func TestLenTracksEmission(t *testing.T) {
+	b := NewBuilder()
+	if b.Len() != 0 {
+		t.Error("fresh builder non-empty")
+	}
+	b.Emit(isa.Nop(), isa.Nop())
+	b.LoadLabelAddr(4, "x")
+	b.Label("x")
+	if b.Len() != 4 {
+		t.Errorf("len = %d, want 4", b.Len())
+	}
+}
+
+func mustRun(t *testing.T, code []isa.Inst) *funcsim.Machine {
+	t.Helper()
+	m, err := funcsim.NewMachine(&funcsim.Program{
+		Entry:    funcsim.CodeBase,
+		Segments: []funcsim.Segment{funcsim.AssembleAt(funcsim.CodeBase, code)},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,89 @@
+package cache
+
+import "testing"
+
+func TestHierarchyHitDoesNotTouchLower(t *testing.T) {
+	l2 := New(Config{Name: "l2", SizeBytes: 4 << 10, Assoc: 4, BlockBytes: 64,
+		HitLatency: 6, MissLatency: 40})
+	h, err := NewHierarchy(small(), l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0x100, false) // cold: L1 miss -> L2 access
+	if l2.Stats().Accesses() != 1 {
+		t.Fatalf("L2 accesses = %d, want 1", l2.Stats().Accesses())
+	}
+	hit, lat := h.Access(0x100, false) // L1 hit
+	if !hit || lat != 1 {
+		t.Errorf("L1 hit = %t/%d", hit, lat)
+	}
+	if l2.Stats().Accesses() != 1 {
+		t.Errorf("L1 hit leaked to L2: %d accesses", l2.Stats().Accesses())
+	}
+}
+
+func TestHierarchyMissLatencies(t *testing.T) {
+	l2 := New(Config{Name: "l2", SizeBytes: 4 << 10, Assoc: 4, BlockBytes: 64,
+		HitLatency: 6, MissLatency: 40})
+	h, err := NewHierarchy(small(), l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold: L1 miss + L2 miss -> 1 + 40.
+	if hit, lat := h.Access(0x200, false); hit || lat != 41 {
+		t.Errorf("cold access = %t/%d, want miss/41", hit, lat)
+	}
+	// Evict from L1 (2-way set in 1 KB cache: 8 sets) but keep in L2.
+	setStride := uint32(8 * 64)
+	h.Access(0x200+setStride, false)
+	h.Access(0x200+2*setStride, false)
+	// L1 miss, L2 hit -> 1 + 6.
+	if hit, lat := h.Access(0x200, false); hit || lat != 7 {
+		t.Errorf("L2-hit access = %t/%d, want miss/7", hit, lat)
+	}
+}
+
+func TestHierarchySharedLower(t *testing.T) {
+	l2 := New(Config{Name: "l2", SizeBytes: 4 << 10, Assoc: 4, BlockBytes: 64,
+		HitLatency: 6, MissLatency: 40})
+	ha, err := NewHierarchy(small(), l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := NewHierarchy(small(), l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha.Access(0x300, false) // fills shared L2
+	// Core B misses its private L1 but hits the shared L2 warmed by A.
+	if hit, lat := hb.Access(0x300, false); hit || lat != 7 {
+		t.Errorf("cross-core access = %t/%d, want miss/7 (shared L2 hit)", hit, lat)
+	}
+	if ha.LowerStats() != hb.LowerStats() {
+		t.Error("LowerStats differ despite shared lower level")
+	}
+}
+
+func TestHierarchyStatsAndReset(t *testing.T) {
+	h, err := NewHierarchy(small(), NewPerfect(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0x40, true)
+	if h.Stats().Writes != 1 {
+		t.Errorf("L1 stats = %+v", h.Stats())
+	}
+	if h.L1().Config().Name != "t" {
+		t.Error("L1 accessor broken")
+	}
+	h.Reset()
+	if h.Stats().Accesses() != 0 || h.LowerStats().Accesses() != 0 {
+		t.Error("Reset did not clear both levels")
+	}
+}
+
+func TestHierarchyRejectsBadL1(t *testing.T) {
+	if _, err := NewHierarchy(Config{Name: "bad", SizeBytes: 7}, NewPerfect(1)); err == nil {
+		t.Error("invalid L1 geometry accepted")
+	}
+}

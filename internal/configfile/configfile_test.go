@@ -1,0 +1,133 @@
+package configfile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+func TestRoundTripDefault(t *testing.T) {
+	want := core.DefaultConfig()
+	got, err := FromConfig(want).ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != want.Width || got.RBSize != want.RBSize ||
+		got.LSQSize != want.LSQSize || got.IFQSize != want.IFQSize {
+		t.Errorf("structure mismatch: %+v", got)
+	}
+	if got.Organization != want.Organization {
+		t.Errorf("organization = %v", got.Organization)
+	}
+	if got.Predictor != want.Predictor {
+		t.Errorf("predictor mismatch:\n%+v\n%+v", got.Predictor, want.Predictor)
+	}
+	if got.ICache != nil || got.DCache != nil {
+		t.Error("perfect memory did not round-trip")
+	}
+}
+
+func TestRoundTripFASTConfig(t *testing.T) {
+	want := core.FASTComparisonConfig()
+	got, err := FromConfig(want).ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.PerfectBP {
+		t.Error("PerfectBP lost")
+	}
+	if got.Organization != sched.OrgImproved {
+		t.Errorf("organization = %v", got.Organization)
+	}
+	dl1, ok := got.DCache.(*cache.Cache)
+	if !ok {
+		t.Fatal("D-cache lost")
+	}
+	if g := dl1.Config(); g.SizeBytes != 32<<10 || g.Assoc != 8 || g.BlockBytes != 64 {
+		t.Errorf("cache geometry = %+v", g)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	want := core.DefaultConfig()
+	want.Width = 2
+	want.RBSize = 32
+	want.Organization = sched.OrgImproved
+	want.Predictor.Dir = bpred.DirCombined
+	want.Predictor.MetaSize = 1024
+	want.MemReadPorts = 1
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 2 || got.RBSize != 32 || got.Organization != sched.OrgImproved {
+		t.Errorf("loaded %+v", got)
+	}
+	if got.Predictor.Dir != bpred.DirCombined || got.Predictor.MetaSize != 1024 {
+		t.Errorf("predictor %+v", got.Predictor)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/nonexistent/cfg.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestToConfigRejectsBadValues(t *testing.T) {
+	f := FromConfig(core.DefaultConfig())
+	f.Organization = "pipelined"
+	if _, err := f.ToConfig(); err == nil {
+		t.Error("unknown organization accepted")
+	}
+	f = FromConfig(core.DefaultConfig())
+	f.Predictor.Kind = "neural"
+	if _, err := f.ToConfig(); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+	f = FromConfig(core.DefaultConfig())
+	f.Width = 0
+	if _, err := f.ToConfig(); err == nil {
+		t.Error("invalid width accepted")
+	}
+	f = FromConfig(core.DefaultConfig())
+	f.ICache = &CacheSpec{SizeBytes: 100, Assoc: 1, BlockBytes: 64, HitLatency: 1, MissLatency: 2}
+	if _, err := f.ToConfig(); err == nil {
+		t.Error("invalid cache geometry accepted")
+	}
+}
+
+func TestDefaultsFillIn(t *testing.T) {
+	// Empty organization and predictor kind default to the paper's.
+	f := FromConfig(core.DefaultConfig())
+	f.Organization = ""
+	f.Predictor.Kind = ""
+	cfg, err := f.ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Organization != sched.OrgOptimized {
+		t.Error("empty organization did not default to optimized")
+	}
+	if cfg.Predictor.Dir != bpred.DirTwoLevel {
+		t.Error("empty predictor kind did not default to 2lev")
+	}
+}

@@ -1,0 +1,861 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/uarch"
+)
+
+// instState tracks an instruction's progress through the simulated pipeline.
+type instState uint8
+
+const (
+	stDispatched instState = iota // in RB, waiting for operands / FU
+	stIssued                      // executing; completes at completeAt
+	stCompleted                   // result broadcast by Writeback
+)
+
+// fetchedInst is an IFQ entry: a trace record plus the fetch-time annotations
+// the engine attaches (instruction PC, wrong-path flag and, for branches the
+// engine mispredicted, the correct-path resume PC).
+type fetchedInst struct {
+	seq        int64
+	rec        trace.Record
+	pc         uint32
+	actualNext uint32
+	wrongPath  bool
+	mispred    bool
+}
+
+// robEntry is a reorder-buffer entry.
+type robEntry struct {
+	seq        int64
+	rec        trace.Record
+	pc         uint32
+	actualNext uint32
+	wrongPath  bool
+	mispred    bool
+	state      instState
+	src1Seq    int64
+	src2Seq    int64
+	src1Rdy    bool
+	src2Rdy    bool
+	completeAt int64
+}
+
+// lsqEntry is a load/store queue entry.
+type lsqEntry struct {
+	seq       int64
+	store     bool
+	addr      uint32 // byte effective address
+	size      uint32 // access width in bytes (1, 2 or 4)
+	eaKnownAt int64  // cycle the effective address becomes known
+	memReady  bool   // loads: cleared by Lsq_refresh to issue this cycle
+	forwarded bool   // loads: value supplied by an older store in the LSQ
+	memIssued bool   // loads: memory access performed
+}
+
+// overlaps reports whether the two accesses touch any common byte.
+func (a *lsqEntry) overlaps(b *lsqEntry) bool {
+	return a.addr < b.addr+b.size && b.addr < a.addr+a.size
+}
+
+// covers reports whether store s fully provides load l's bytes (the
+// store-to-load forwarding condition; partial overlap cannot forward).
+func (s *lsqEntry) covers(l *lsqEntry) bool {
+	return s.addr <= l.addr && l.addr+l.size <= s.addr+s.size
+}
+
+const eaUnknown = math.MaxInt64
+
+// fetchMode tracks which part of the trace fetch is consuming.
+type fetchMode uint8
+
+const (
+	fmNormal    fetchMode = iota // correct-path records
+	fmWrongPath                  // tagged records after a mispredicted branch
+	fmStarved                    // waiting for mis-speculation resolution
+)
+
+// Counters are the engine's 64-bit event counters (paper §V.B).
+type Counters struct {
+	Cycles            uint64
+	Committed         uint64
+	CommittedLoads    uint64
+	CommittedStores   uint64
+	CommittedBranches uint64
+
+	FetchedTotal     uint64 // records fetched, wrong path included
+	WrongPathFetched uint64
+	FetchIdle        uint64 // cycles fetch was serving a penalty or miss
+	FetchStarved     uint64 // cycles fetch waited for resolution with no records
+
+	BPLookups          uint64
+	Misfetches         uint64
+	MispredDetected    uint64 // at fetch
+	MispredResolved    uint64 // at commit (recoveries)
+	MispredStarved     uint64 // mispredicts with no wrong-path block in the trace
+	WPBlocksEntered    uint64
+	WPBlocksSkipped    uint64 // blocks discarded because the engine predicted correctly
+	WPRecordsDiscarded uint64 // tagged records skipped ("discarded" per §V.A)
+
+	RBFullStalls    uint64
+	LSQFullStalls   uint64
+	StorePortStalls uint64
+
+	Issued                uint64
+	LoadsForwarded        uint64
+	LoadFirstSlotDeferred uint64 // optimized organization slot-0 deferrals
+
+	// Per-class branch detail (§V.B: ReSim "collects detailed information
+	// about branches"). Indexed by isa.CtrlKind; [0] is unused.
+	BranchesByKind   [7]uint64 // committed, per control kind
+	MispredictByKind [7]uint64 // fetch-detected mispredictions, per kind
+	TakenBranches    uint64    // committed taken branches
+	RASPops          uint64    // return-address stack pops at fetch
+	RASEmptyPops     uint64    // returns predicted with an empty RAS
+}
+
+// Engine is a ReSim instance: a trace-driven timing simulation of one
+// out-of-order processor.
+type Engine struct {
+	cfg Config
+	src *trace.Buffered
+
+	bp     *bpred.Predictor
+	icache cache.Model
+	dcache cache.Model
+
+	ifq   *uarch.Ring[fetchedInst]
+	rob   *uarch.Ring[robEntry]
+	lsq   *uarch.Ring[lsqEntry]
+	rt    *uarch.RenameTable
+	fus   *uarch.FUPool
+	ports *uarch.MemPorts
+
+	now           int64
+	seq           int64
+	fetchPC       uint32
+	fetchResumeAt int64
+	mode          fetchMode
+	srcDone       bool
+	lastCommitAt  int64
+
+	c      Counters
+	ifqOcc stats.Occupancy
+	rbOcc  stats.Occupancy
+	lsqOcc stats.Occupancy
+}
+
+// ErrNoProgress reports a wedged simulation (an engine bug or a malformed
+// trace), diagnosed by the commit watchdog.
+var ErrNoProgress = errors.New("core: no commit progress (wedged simulation)")
+
+// watchdogCycles is how long the engine tolerates zero commits before
+// declaring the simulation wedged.
+const watchdogCycles = 200_000
+
+// New builds an engine over the given trace source. startPC seeds the fetch
+// PC (trace.Header.StartPC for file traces; the program entry point for
+// on-the-fly sources).
+func New(cfg Config, src trace.Source, startPC uint32) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		src:     trace.NewBuffered(src),
+		icache:  cfg.ICache,
+		dcache:  cfg.DCache,
+		ifq:     uarch.NewRing[fetchedInst](cfg.IFQSize),
+		rob:     uarch.NewRing[robEntry](cfg.RBSize),
+		lsq:     uarch.NewRing[lsqEntry](cfg.LSQSize),
+		rt:      uarch.NewRenameTable(),
+		fus:     uarch.NewFUPool(cfg.FUs),
+		ports:   uarch.NewMemPorts(cfg.MemReadPorts, cfg.MemWritePorts),
+		fetchPC: startPC,
+	}
+	if e.icache == nil {
+		e.icache = cache.NewPerfect(1)
+	}
+	if e.dcache == nil {
+		e.dcache = cache.NewPerfect(1)
+	}
+	if !cfg.PerfectBP {
+		e.bp = bpred.New(cfg.Predictor)
+	}
+	e.ifqOcc = stats.Occupancy{Name: "IFQ_occupancy", Desc: "instruction fetch queue", Cap: cfg.IFQSize}
+	e.rbOcc = stats.Occupancy{Name: "RB_occupancy", Desc: "reorder buffer", Cap: cfg.RBSize}
+	e.lsqOcc = stats.Occupancy{Name: "LSQ_occupancy", Desc: "load/store queue", Cap: cfg.LSQSize}
+	return e, nil
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Predictor returns the simulated branch predictor, or nil under perfect
+// branch prediction. Exposed for inspection and tests.
+func (e *Engine) Predictor() *bpred.Predictor { return e.bp }
+
+// Now returns the current major-cycle number.
+func (e *Engine) Now() int64 { return e.now }
+
+// Done reports whether the simulation has drained: trace exhausted and no
+// in-flight instructions.
+func (e *Engine) Done() bool {
+	return e.srcDone && e.ifq.Empty() && e.rob.Empty()
+}
+
+// Cycle advances one major cycle. The simulated architecture's semantics are
+// enforced between major cycles; stages evaluate in the reference order
+// Commit, Writeback, Lsq_refresh, Issue, Dispatch, Fetch.
+func (e *Engine) Cycle() error {
+	e.ports.NewCycle()
+	if err := e.commit(); err != nil {
+		return err
+	}
+	e.writeback()
+	e.lsqRefresh()
+	e.issue()
+	e.dispatch()
+	e.fetch()
+
+	e.ifqOcc.Sample(e.ifq.Len())
+	e.rbOcc.Sample(e.rob.Len())
+	e.lsqOcc.Sample(e.lsq.Len())
+
+	e.now++
+	e.c.Cycles++
+	if e.now-e.lastCommitAt > watchdogCycles {
+		return fmt.Errorf("%w at cycle %d: rob=%d ifq=%d mode=%d", ErrNoProgress, e.now, e.rob.Len(), e.ifq.Len(), e.mode)
+	}
+	return nil
+}
+
+// Run simulates until the trace drains (or cfg.MaxCycles elapse) and returns
+// the result.
+func (e *Engine) Run() (Result, error) {
+	for !e.Done() {
+		if e.cfg.MaxCycles != 0 && e.c.Cycles >= e.cfg.MaxCycles {
+			break
+		}
+		if err := e.Cycle(); err != nil {
+			return e.result(), err
+		}
+	}
+	return e.result(), nil
+}
+
+// Result snapshots the current statistics; usable mid-run by callers that
+// drive Cycle directly (e.g. the multicore cluster).
+func (e *Engine) Result() Result { return e.result() }
+
+// ---------------------------------------------------------------------------
+// Commit
+
+func (e *Engine) commit() error {
+	for committed := 0; committed < e.cfg.Width && !e.rob.Empty(); committed++ {
+		en := e.rob.At(0)
+		if en.state != stCompleted {
+			break
+		}
+		if en.wrongPath {
+			return fmt.Errorf("core: wrong-path instruction seq %d reached commit (engine bug)", en.seq)
+		}
+		if en.rec.Kind == trace.KindMem && en.rec.Store {
+			// "Commit commits the oldest RB entry releasing Store Operations
+			// to memory, if a memory write port is available" (§III). Store
+			// misses do not stall commit (write-buffer assumption).
+			if !e.ports.TryWrite() {
+				e.c.StorePortStalls++
+				break
+			}
+			e.dcache.Access(en.rec.Addr, true)
+		}
+
+		popped, _ := e.rob.PopFront()
+		if popped.rec.Kind == trace.KindMem {
+			lq, ok := e.lsq.PopFront()
+			if !ok || lq.seq != popped.seq {
+				return fmt.Errorf("core: LSQ head out of sync at commit of seq %d", popped.seq)
+			}
+		}
+
+		e.c.Committed++
+		e.lastCommitAt = e.now
+		if e.cfg.PipeTracer != nil {
+			e.cfg.PipeTracer.Stage(popped.seq, e.now, "commit")
+		}
+		switch popped.rec.Kind {
+		case trace.KindMem:
+			if popped.rec.Store {
+				e.c.CommittedStores++
+			} else {
+				e.c.CommittedLoads++
+			}
+		case trace.KindBranch:
+			e.c.CommittedBranches++
+			if k := int(popped.rec.Ctrl); k < len(e.c.BranchesByKind) {
+				e.c.BranchesByKind[k]++
+			}
+			if popped.rec.Taken {
+				e.c.TakenBranches++
+			}
+			if e.bp != nil {
+				e.trainPredictor(popped)
+			}
+		}
+
+		if popped.mispred {
+			e.recover(popped)
+			break
+		}
+	}
+	return nil
+}
+
+// trainPredictor applies commit-time predictor updates ("Commit ... updates
+// the Branch Predictor in case of branch", §III). RAS push/pop happen at
+// fetch, as in the modeled hardware.
+func (e *Engine) trainPredictor(en robEntry) {
+	r := en.rec
+	switch r.Ctrl {
+	case isa.CtrlCond:
+		e.bp.UpdateDir(en.pc, r.Taken)
+		if r.Taken {
+			e.bp.UpdateBTB(en.pc, r.Target)
+		}
+	case isa.CtrlJump, isa.CtrlCall, isa.CtrlIndirect, isa.CtrlIndCall:
+		e.bp.UpdateBTB(en.pc, r.Target)
+	}
+}
+
+// recover squashes the pipeline after the mispredicted branch en committed:
+// every younger instruction is wrong-path by construction, unfetched tagged
+// records are discarded, and fetch resumes at the correct-path PC after the
+// mis-speculation penalty.
+func (e *Engine) recover(en robEntry) {
+	e.c.MispredResolved++
+	if e.cfg.PipeTracer != nil {
+		for i := 0; i < e.rob.Len(); i++ {
+			e.cfg.PipeTracer.Stage(e.rob.At(i).seq, e.now, "squash")
+		}
+		for i := 0; i < e.ifq.Len(); i++ {
+			e.cfg.PipeTracer.Stage(e.ifq.At(i).seq, e.now, "squash")
+		}
+	}
+	e.ifq.Clear()
+	e.rob.Clear()
+	e.lsq.Clear()
+	e.rt.Reset()
+	e.c.WPRecordsDiscarded += uint64(e.src.SkipTagged())
+	e.mode = fmNormal
+	e.fetchPC = en.actualNext
+	e.fetchResumeAt = e.now + 1 + int64(e.cfg.MispredPenalty)
+}
+
+// ---------------------------------------------------------------------------
+// Writeback
+
+// writeback selects the oldest completed instructions (up to Width),
+// broadcasts their results and wakes dependents (§III).
+func (e *Engine) writeback() {
+	broadcasts := 0
+	for i := 0; i < e.rob.Len() && broadcasts < e.cfg.Width; i++ {
+		en := e.rob.At(i)
+		if en.state != stIssued || en.completeAt > e.now {
+			continue
+		}
+		en.state = stCompleted
+		broadcasts++
+		if e.cfg.PipeTracer != nil {
+			e.cfg.PipeTracer.Stage(en.seq, e.now, "writeback")
+		}
+		if en.rec.Dest != isa.NoReg {
+			e.rt.ClearIfProducer(en.rec.Dest, en.seq)
+			e.wake(en.seq)
+		}
+	}
+}
+
+// wake marks ready every in-flight source operand produced by seq, and
+// starts address generation for loads whose base register just arrived.
+func (e *Engine) wake(seq int64) {
+	for i := 0; i < e.rob.Len(); i++ {
+		en := e.rob.At(i)
+		if en.state != stDispatched {
+			continue
+		}
+		woke := false
+		if !en.src1Rdy && en.src1Seq == seq {
+			en.src1Rdy = true
+			woke = true
+		}
+		if !en.src2Rdy && en.src2Seq == seq {
+			en.src2Rdy = true
+		}
+		if woke && en.rec.Kind == trace.KindMem && !en.rec.Store {
+			// Load base register ready: effective address known next cycle.
+			if lq := e.lsqFind(en.seq); lq != nil && lq.eaKnownAt == eaUnknown {
+				lq.eaKnownAt = e.now + 1
+			}
+		}
+	}
+}
+
+func (e *Engine) lsqFind(seq int64) *lsqEntry {
+	for i := 0; i < e.lsq.Len(); i++ {
+		lq := e.lsq.At(i)
+		if lq.seq == seq {
+			return lq
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Lsq_refresh
+
+// lsqRefresh runs once per major cycle (§IV.A). It marks loads ready to
+// issue: the load's effective address is known, every older store's address
+// is known, and either no older store touches the load's bytes (memory
+// access), or the youngest overlapping store has executed and fully covers
+// the load (its value is forwarded). A partially overlapping store blocks
+// the load until the store commits and leaves the LSQ.
+func (e *Engine) lsqRefresh() {
+	unknownStore := false
+	for i := 0; i < e.lsq.Len(); i++ {
+		lq := e.lsq.At(i)
+		if lq.store {
+			if lq.eaKnownAt > e.now {
+				unknownStore = true
+			}
+			continue
+		}
+		lq.memReady = false
+		lq.forwarded = false
+		if lq.memIssued || lq.eaKnownAt > e.now || unknownStore {
+			continue
+		}
+		// Find the youngest older store touching the load's bytes.
+		var match *lsqEntry
+		for j := i - 1; j >= 0; j-- {
+			prev := e.lsq.At(j)
+			if prev.store && prev.overlaps(lq) {
+				match = prev
+				break
+			}
+		}
+		switch {
+		case match == nil:
+			lq.memReady = true
+		case match.eaKnownAt <= e.now && match.covers(lq):
+			// Store has executed and provides every byte: forward without
+			// a read port (§III).
+			lq.memReady = true
+			lq.forwarded = true
+		default:
+			// Pending or partially overlapping store: wait.
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Issue
+
+// issue schedules ready instructions onto functional units, up to Width per
+// major cycle, oldest first (§III). Under the Optimized organization the
+// first issue slot of the major cycle does not consider loads (§IV.B,
+// Figure 4); slot 0 is filled with the oldest ready non-load instead.
+func (e *Engine) issue() {
+	slotsLeft := e.cfg.Width
+	if e.cfg.Organization.LoadBarredFromFirstSlot() {
+		// Slot 0 may not take a load: fill it with the oldest ready
+		// non-load, or leave it empty. With at most N-1 memory ports this
+		// never reduces the number of instructions issued per cycle, which
+		// is why the paper can claim the N+3 organization does not affect
+		// timing results (§IV.B); tests verify the equivalence empirically.
+		for i := 0; i < e.rob.Len(); i++ {
+			en := e.rob.At(i)
+			if !e.readyToIssue(en) {
+				continue
+			}
+			if en.rec.Kind == trace.KindMem && !en.rec.Store {
+				if lq := e.lsqFind(en.seq); lq != nil && lq.memReady {
+					e.c.LoadFirstSlotDeferred++
+				}
+				continue
+			}
+			if e.issueOne(en) {
+				break
+			}
+		}
+		slotsLeft = e.cfg.Width - 1 // slot 0 filled or forfeited
+	}
+	for i := 0; i < e.rob.Len() && slotsLeft > 0; i++ {
+		en := e.rob.At(i)
+		if !e.readyToIssue(en) {
+			continue
+		}
+		if e.issueOne(en) {
+			slotsLeft--
+		}
+	}
+}
+
+// readyToIssue reports whether en is dispatched with all register operands
+// available.
+func (e *Engine) readyToIssue(en *robEntry) bool {
+	return en.state == stDispatched && en.src1Rdy && en.src2Rdy
+}
+
+// issueOne attempts to start execution of en this cycle.
+func (e *Engine) issueOne(en *robEntry) bool {
+	switch en.rec.Kind {
+	case trace.KindMem:
+		if en.rec.Store {
+			// Store: address generation on an ALU; memory write at commit.
+			lat, ok := e.fus.TryIssue(uarch.FUALU, e.now)
+			if !ok {
+				return false
+			}
+			en.state = stIssued
+			en.completeAt = e.now + int64(lat)
+			if lq := e.lsqFind(en.seq); lq != nil {
+				lq.eaKnownAt = en.completeAt
+			}
+		} else {
+			lq := e.lsqFind(en.seq)
+			if lq == nil || !lq.memReady {
+				return false
+			}
+			if lq.forwarded {
+				en.completeAt = e.now + 1
+				e.c.LoadsForwarded++
+			} else {
+				if !e.ports.TryRead() {
+					return false
+				}
+				_, lat := e.dcache.Access(en.rec.Addr, false)
+				en.completeAt = e.now + int64(lat)
+			}
+			en.state = stIssued
+			lq.memIssued = true
+		}
+	case trace.KindBranch:
+		lat, ok := e.fus.TryIssue(uarch.FUALU, e.now)
+		if !ok {
+			return false
+		}
+		en.state = stIssued
+		en.completeAt = e.now + int64(lat)
+	default: // KindOther
+		cls := uarch.FUALU
+		switch en.rec.Class {
+		case trace.OpMul:
+			cls = uarch.FUMult
+		case trace.OpDiv:
+			cls = uarch.FUDiv
+		}
+		lat, ok := e.fus.TryIssue(cls, e.now)
+		if !ok {
+			return false
+		}
+		en.state = stIssued
+		en.completeAt = e.now + int64(lat)
+	}
+	e.c.Issued++
+	if e.cfg.PipeTracer != nil {
+		e.cfg.PipeTracer.Stage(en.seq, e.now, "issue")
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+
+// dispatch moves up to Width instructions from the IFQ into the reorder
+// buffer (and LSQ for memory operations), reading and updating the rename
+// table (§III).
+func (e *Engine) dispatch() {
+	for n := 0; n < e.cfg.Width && !e.ifq.Empty(); n++ {
+		fi := *e.ifq.At(0)
+		if e.rob.Full() {
+			e.c.RBFullStalls++
+			break
+		}
+		isMem := fi.rec.Kind == trace.KindMem
+		if isMem && e.lsq.Full() {
+			e.c.LSQFullStalls++
+			break
+		}
+		e.ifq.PopFront()
+
+		en := robEntry{
+			seq:        fi.seq,
+			rec:        fi.rec,
+			pc:         fi.pc,
+			actualNext: fi.actualNext,
+			wrongPath:  fi.wrongPath,
+			mispred:    fi.mispred,
+			state:      stDispatched,
+			src1Seq:    e.rt.Producer(fi.rec.Src1),
+			src2Seq:    e.rt.Producer(fi.rec.Src2),
+		}
+		if e.cfg.PipeTracer != nil {
+			e.cfg.PipeTracer.Stage(en.seq, e.now, "dispatch")
+		}
+		en.src1Rdy = en.src1Seq == uarch.NoProducer
+		en.src2Rdy = en.src2Seq == uarch.NoProducer
+		if fi.rec.Dest != isa.NoReg {
+			e.rt.SetProducer(fi.rec.Dest, en.seq)
+		}
+		e.rob.PushBack(en)
+
+		if isMem {
+			lq := lsqEntry{
+				seq:       en.seq,
+				store:     fi.rec.Store,
+				addr:      fi.rec.Addr,
+				size:      fi.rec.MemBytes(),
+				eaKnownAt: eaUnknown,
+			}
+			if !lq.store && en.src1Rdy {
+				// Base register already available: address known next cycle.
+				lq.eaKnownAt = e.now + 1
+			}
+			e.lsq.PushBack(lq)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fetch
+
+// prediction is the engine's fetch-time verdict for a branch record.
+type prediction struct {
+	next     uint32 // next fetch PC down the predicted path
+	mispred  bool
+	misfetch bool
+}
+
+// predict applies the simulated branch predictor to a correct-path branch
+// record at pc. Direct targets resolve during fetch ("target resolution"),
+// so direct branches can only misfetch (BTB supplied a wrong early target);
+// direction and indirect-target errors are full mispredictions resolved at
+// commit.
+func (e *Engine) predict(pc uint32, rec trace.Record) prediction {
+	fall := pc + 4
+	actualNext := fall
+	if rec.Taken {
+		actualNext = rec.Target
+	}
+	if e.bp == nil { // perfect branch prediction
+		return prediction{next: actualNext}
+	}
+	e.c.BPLookups++
+	p := prediction{next: actualNext}
+	switch rec.Ctrl {
+	case isa.CtrlCond:
+		predTaken := e.bp.PredictDir(pc)
+		if predTaken != rec.Taken {
+			p.mispred = true
+			if predTaken {
+				p.next = rec.Target // direct target, resolved at fetch
+			} else {
+				p.next = fall
+			}
+			return p
+		}
+		if predTaken && rec.Taken {
+			if tgt, hit := e.bp.LookupBTB(pc); hit && tgt != rec.Target {
+				p.misfetch = true
+			}
+		}
+	case isa.CtrlJump, isa.CtrlCall:
+		if tgt, hit := e.bp.LookupBTB(pc); hit && tgt != rec.Target {
+			p.misfetch = true
+		}
+		if rec.Ctrl == isa.CtrlCall {
+			e.bp.PushRAS(fall)
+		}
+	case isa.CtrlRet:
+		predTgt, ok := e.bp.PopRAS()
+		e.c.RASPops++
+		if !ok {
+			e.c.RASEmptyPops++
+		}
+		if !ok || predTgt != rec.Target {
+			p.mispred = true
+			if ok {
+				p.next = predTgt
+			} else {
+				p.next = fall
+			}
+		}
+	case isa.CtrlIndirect, isa.CtrlIndCall:
+		predTgt, hit := e.bp.LookupBTB(pc)
+		if !hit || predTgt != rec.Target {
+			p.mispred = true
+			if hit {
+				p.next = predTgt
+			} else {
+				p.next = fall
+			}
+		}
+		if rec.Ctrl == isa.CtrlIndCall {
+			e.bp.PushRAS(fall)
+		}
+	}
+	return p
+}
+
+// fetch brings up to Width records into the IFQ, stopping at a control-flow
+// bubble (a predicted-taken branch), a full IFQ, an I-cache miss, or a
+// fetch redirect (§III).
+func (e *Engine) fetch() {
+	if e.now < e.fetchResumeAt {
+		e.c.FetchIdle++
+		return
+	}
+	if e.mode == fmStarved {
+		e.c.FetchStarved++
+		return
+	}
+	if e.srcDone {
+		return
+	}
+	for fetched := 0; fetched < e.cfg.Width && !e.ifq.Full(); {
+		rec, err := e.src.Peek()
+		if err != nil {
+			if e.mode == fmWrongPath {
+				e.mode = fmStarved
+			} else {
+				e.srcDone = true
+			}
+			return
+		}
+		if e.mode == fmNormal && rec.Tag {
+			// A wrong-path block for a branch this engine predicted
+			// correctly (trace-generator disagreement): discard it.
+			e.c.WPBlocksSkipped++
+			e.c.WPRecordsDiscarded += uint64(e.src.SkipTagged())
+			continue
+		}
+		if e.mode == fmWrongPath && !rec.Tag {
+			// Block exhausted before resolution: fetch starves.
+			e.mode = fmStarved
+			return
+		}
+		if rec.Kind == trace.KindBranch && rec.PC != 0 {
+			// B records carry the branch PC; re-synchronize the implicit
+			// fetch PC with it (the hardware indexes the predictor and the
+			// I-cache with this value).
+			e.fetchPC = rec.PC
+		}
+
+		// Instruction cache access at the current fetch PC.
+		if hit, lat := e.icache.Access(e.fetchPC, false); !hit {
+			e.fetchResumeAt = e.now + int64(lat)
+			return
+		}
+
+		rec, _ = e.src.Next()
+		e.c.FetchedTotal++
+		fi := fetchedInst{seq: e.seq, rec: rec, pc: e.fetchPC, wrongPath: rec.Tag}
+		e.seq++
+		if rec.Tag {
+			e.c.WrongPathFetched++
+		}
+		if e.cfg.PipeTracer != nil {
+			e.cfg.PipeTracer.Fetched(fi.seq, e.now, fi.pc, rec.String(), rec.Tag)
+		}
+
+		if rec.Kind != trace.KindBranch {
+			e.ifq.PushBack(fi)
+			fetched++
+			e.fetchPC += 4
+			continue
+		}
+
+		// Branch record.
+		if e.mode == fmWrongPath {
+			// Wrong-path branches follow the trace generator's assumed
+			// outcome; they are not predicted and never trigger recovery.
+			e.ifq.PushBack(fi)
+			fetched++
+			if rec.Taken {
+				e.fetchPC = rec.Target
+			} else {
+				e.fetchPC += 4
+			}
+			if rec.Taken {
+				return // control-flow bubble
+			}
+			continue
+		}
+
+		p := e.predict(fi.pc, rec)
+		fall := fi.pc + 4
+		fi.actualNext = fall
+		if rec.Taken {
+			fi.actualNext = rec.Target
+		}
+		fi.mispred = p.mispred
+		e.ifq.PushBack(fi)
+		fetched++
+
+		switch {
+		case p.misfetch:
+			// Misfetch: delayed penalty, then fetch continues at the target
+			// resolved during fetch (§III).
+			e.c.Misfetches++
+			e.fetchPC = fi.actualNext
+			e.fetchResumeAt = e.now + 1 + int64(e.cfg.MisfetchPenalty)
+			return
+		case p.mispred:
+			e.c.MispredDetected++
+			if k := int(rec.Ctrl); k < len(e.c.MispredictByKind) {
+				e.c.MispredictByKind[k]++
+			}
+			e.fetchPC = p.next
+			if next, err := e.src.Peek(); err == nil && next.Tag {
+				e.mode = fmWrongPath
+				e.c.WPBlocksEntered++
+			} else {
+				// The trace has no wrong-path block here (the generator's
+				// predictor got this branch right): model the penalty with
+				// a starved fetch until resolution.
+				e.mode = fmStarved
+				e.c.MispredStarved++
+			}
+			return
+		default:
+			e.fetchPC = p.next
+			if p.next != fall {
+				return // predicted-taken: control-flow bubble ends the cycle
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func (e *Engine) result() Result {
+	return Result{
+		Counters: e.c,
+		ICache:   e.icache.Stats(),
+		DCache:   e.dcache.Stats(),
+		IFQ:      e.ifqOcc,
+		RB:       e.rbOcc,
+		LSQ:      e.lsqOcc,
+		Config:   e.cfg,
+	}
+}

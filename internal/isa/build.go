@@ -1,0 +1,94 @@
+package isa
+
+// Constructors for assembling programs in Go code (used by the synthetic
+// workload generator and by tests). Each returns a fully populated Inst;
+// call Word() to obtain the encoding.
+
+// R builds an R-type instruction dst = src1 <op> src2.
+func R(op Op, dst, src1, src2 Reg) Inst { return Inst{Op: op, A: dst, B: src1, C: src2} }
+
+// I builds an I-type ALU instruction dst = src <op> imm.
+func I(op Op, dst, src Reg, imm int32) Inst { return Inst{Op: op, A: dst, B: src, Imm: imm} }
+
+// Add returns add dst, a, b.
+func Add(dst, a, b Reg) Inst { return R(OpAdd, dst, a, b) }
+
+// Sub returns sub dst, a, b.
+func Sub(dst, a, b Reg) Inst { return R(OpSub, dst, a, b) }
+
+// Mul returns mul dst, a, b.
+func Mul(dst, a, b Reg) Inst { return R(OpMul, dst, a, b) }
+
+// Div returns div dst, a, b.
+func Div(dst, a, b Reg) Inst { return R(OpDiv, dst, a, b) }
+
+// Addi returns addi dst, src, imm.
+func Addi(dst, src Reg, imm int32) Inst { return I(OpAddi, dst, src, imm) }
+
+// Li loads a 32-bit constant using lui+ori when needed; it returns one or
+// two instructions.
+func Li(dst Reg, v uint32) []Inst {
+	hi, lo := v>>16, v&0xFFFF
+	switch {
+	case hi == 0:
+		return []Inst{I(OpOri, dst, RegZero, int32(lo))}
+	case lo == 0:
+		return []Inst{I(OpLui, dst, RegZero, int32(hi))}
+	default:
+		return []Inst{I(OpLui, dst, RegZero, int32(hi)), I(OpOri, dst, dst, int32(lo))}
+	}
+}
+
+// Lw returns lw dst, off(base).
+func Lw(dst, base Reg, off int32) Inst { return Inst{Op: OpLw, A: dst, B: base, Imm: off} }
+
+// Sw returns sw data, off(base).
+func Sw(data, base Reg, off int32) Inst { return Inst{Op: OpSw, A: data, B: base, Imm: off} }
+
+// Lb returns lb dst, off(base) (sign-extending byte load).
+func Lb(dst, base Reg, off int32) Inst { return Inst{Op: OpLb, A: dst, B: base, Imm: off} }
+
+// Lbu returns lbu dst, off(base) (zero-extending byte load).
+func Lbu(dst, base Reg, off int32) Inst { return Inst{Op: OpLbu, A: dst, B: base, Imm: off} }
+
+// Lh returns lh dst, off(base) (sign-extending halfword load).
+func Lh(dst, base Reg, off int32) Inst { return Inst{Op: OpLh, A: dst, B: base, Imm: off} }
+
+// Lhu returns lhu dst, off(base) (zero-extending halfword load).
+func Lhu(dst, base Reg, off int32) Inst { return Inst{Op: OpLhu, A: dst, B: base, Imm: off} }
+
+// Sb returns sb data, off(base).
+func Sb(data, base Reg, off int32) Inst { return Inst{Op: OpSb, A: data, B: base, Imm: off} }
+
+// Sh returns sh data, off(base).
+func Sh(data, base Reg, off int32) Inst { return Inst{Op: OpSh, A: data, B: base, Imm: off} }
+
+// Beq returns beq a, b, off (off in words relative to pc+4).
+func Beq(a, b Reg, off int32) Inst { return Inst{Op: OpBeq, A: a, B: b, Imm: off} }
+
+// Bne returns bne a, b, off.
+func Bne(a, b Reg, off int32) Inst { return Inst{Op: OpBne, A: a, B: b, Imm: off} }
+
+// Blez returns blez a, off.
+func Blez(a Reg, off int32) Inst { return Inst{Op: OpBlez, A: a, Imm: off} }
+
+// Bgtz returns bgtz a, off.
+func Bgtz(a Reg, off int32) Inst { return Inst{Op: OpBgtz, A: a, Imm: off} }
+
+// J returns j target (absolute byte address, word aligned).
+func J(target uint32) Inst { return Inst{Op: OpJ, Target: target} }
+
+// Jal returns jal target.
+func Jal(target uint32) Inst { return Inst{Op: OpJal, Target: target} }
+
+// Jr returns jr src (jr ra is a return).
+func Jr(src Reg) Inst { return Inst{Op: OpJr, B: src} }
+
+// Jalr returns jalr link, src.
+func Jalr(link, src Reg) Inst { return Inst{Op: OpJalr, A: link, B: src} }
+
+// Nop returns a nop.
+func Nop() Inst { return Inst{Op: OpNop} }
+
+// Halt returns the program-terminating instruction.
+func Halt() Inst { return Inst{Op: OpHalt} }

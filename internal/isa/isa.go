@@ -1,0 +1,373 @@
+// Package isa defines the MIPS/PISA-like 32-bit instruction set used by the
+// ReSim reproduction. SimpleScalar's PISA is a MIPS derivative; ReSim itself
+// is almost ISA independent because it consumes pre-decoded traces (paper
+// §V.A), but the trace *generator* (a SimpleScalar-style functional
+// simulator, internal/funcsim) needs a concrete ISA to execute. The paper's
+// evaluation is SPECINT-only with an integer FU mix (4×ALU, 1×MUL, 1×DIV),
+// so the ISA is integer-only.
+//
+// Encoding (32-bit, fixed width, big-field layout):
+//
+//	R-type: op(6) | a(5) | b(5) | c(5) | unused(11)
+//	I-type: op(6) | a(5) | b(5) | imm(16, sign-extended unless noted)
+//	J-type: op(6) | target(26, word index)
+//
+// Field roles depend on the opcode and are documented per opcode below.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register, r0..r31. r0 reads as zero and writes
+// to it are discarded.
+type Reg uint8
+
+// Conventional register assignments (MIPS o32-like).
+const (
+	RegZero Reg = 0  // hardwired zero
+	RegAT   Reg = 1  // assembler temporary
+	RegV0   Reg = 2  // result
+	RegA0   Reg = 4  // first argument
+	RegGP   Reg = 28 // global pointer
+	RegSP   Reg = 29 // stack pointer
+	RegFP   Reg = 30 // frame pointer
+	RegRA   Reg = 31 // return address (link register)
+
+	// NumRegs is the architectural register count.
+	NumRegs = 32
+)
+
+// NoReg marks an absent register operand in decoded instruction metadata.
+const NoReg Reg = 0xFF
+
+// Op enumerates opcodes. The zero value is NOP so that zeroed memory decodes
+// to harmless instructions.
+type Op uint8
+
+// Opcode space. Field roles: for R-type ALU ops a=dest, b=src1, c=src2.
+// For I-type ALU ops a=dest, b=src1. LW: a=dest, b=base. SW: a=data, b=base.
+// BEQ/BNE: a,b compared, imm is a word offset relative to pc+4. BLEZ/BGTZ:
+// a compared against zero. JR: b=target register. JALR: a=link dest,
+// b=target register.
+const (
+	OpNop Op = iota
+	// R-type integer ALU.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpNor
+	OpSlt
+	OpSltu
+	OpSll
+	OpSrl
+	OpSra
+	// R-type long-latency integer.
+	OpMul
+	OpDiv
+	// I-type ALU.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlti
+	OpLui
+	// Memory. Sub-word variants mirror PISA/MIPS: lb/lh sign-extend,
+	// lbu/lhu zero-extend.
+	OpLw
+	OpSw
+	OpLb
+	OpLbu
+	OpLh
+	OpLhu
+	OpSb
+	OpSh
+	// Control flow.
+	OpBeq
+	OpBne
+	OpBlez
+	OpBgtz
+	OpJ
+	OpJal
+	OpJr
+	OpJalr
+	// Program termination (syscall-exit stand-in).
+	OpHalt
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpNor: "nor", OpSlt: "slt", OpSltu: "sltu", OpSll: "sll",
+	OpSrl: "srl", OpSra: "sra", OpMul: "mul", OpDiv: "div", OpAddi: "addi",
+	OpAndi: "andi", OpOri: "ori", OpXori: "xori", OpSlti: "slti",
+	OpLui: "lui", OpLw: "lw", OpSw: "sw", OpLb: "lb", OpLbu: "lbu",
+	OpLh: "lh", OpLhu: "lhu", OpSb: "sb", OpSh: "sh",
+	OpBeq: "beq", OpBne: "bne",
+	OpBlez: "blez", OpBgtz: "bgtz", OpJ: "j", OpJal: "jal", OpJr: "jr",
+	OpJalr: "jalr", OpHalt: "halt",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o names a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// Class partitions opcodes by the resource they exercise in the simulated
+// pipeline; it maps one-to-one onto the trace record formats (O, M, B).
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassALU   Class = iota // single-cycle integer ALU (O record)
+	ClassMul                // pipelined multiplier, latency 3 (O record)
+	ClassDiv                // unpipelined divider, latency 10 (O record)
+	ClassLoad               // memory read (M record)
+	ClassStore              // memory write (M record)
+	ClassCtrl               // control flow (B record)
+)
+
+var classNames = [...]string{"alu", "mul", "div", "load", "store", "ctrl"}
+
+// String returns a short class name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// CtrlKind refines control-flow instructions the way ReSim's fetch stage and
+// branch predictor need (direct targets resolve at fetch, indirect targets
+// at execute, returns use the RAS).
+type CtrlKind uint8
+
+// Control-flow kinds.
+const (
+	CtrlNone     CtrlKind = iota
+	CtrlCond              // direct conditional branch
+	CtrlJump              // direct unconditional jump
+	CtrlCall              // direct call (writes link register)
+	CtrlRet               // return via jr ra
+	CtrlIndirect          // indirect jump via register (not ra)
+	CtrlIndCall           // indirect call (jalr)
+)
+
+var ctrlNames = [...]string{"none", "cond", "jump", "call", "ret", "ijump", "icall"}
+
+// String returns a short control-kind name.
+func (k CtrlKind) String() string {
+	if int(k) < len(ctrlNames) {
+		return ctrlNames[k]
+	}
+	return fmt.Sprintf("ctrl(%d)", uint8(k))
+}
+
+// Direct reports whether the control target is encoded in the instruction
+// (resolvable during fetch's target resolution).
+func (k CtrlKind) Direct() bool { return k == CtrlCond || k == CtrlJump || k == CtrlCall }
+
+// Inst is a decoded instruction.
+type Inst struct {
+	Op     Op
+	A      Reg   // field a (role depends on Op)
+	B      Reg   // field b
+	C      Reg   // field c (R-type only)
+	Imm    int32 // sign-extended 16-bit immediate (I-type)
+	Target uint32
+}
+
+// Word assembles the instruction into its 32-bit encoding.
+func (in Inst) Word() uint32 {
+	op := uint32(in.Op) & 0x3F
+	switch in.Op {
+	case OpJ, OpJal:
+		return op<<26 | (in.Target >> 2 & 0x03FFFFFF)
+	default:
+		w := op<<26 | uint32(in.A&31)<<21 | uint32(in.B&31)<<16
+		if in.IsIType() {
+			return w | uint32(uint16(in.Imm))
+		}
+		return w | uint32(in.C&31)<<11
+	}
+}
+
+// Decode expands a 32-bit encoding into an Inst. Unknown opcodes decode as
+// NOP; the functional simulator treats them as no-ops, mirroring
+// SimpleScalar's tolerance of unmodeled opcodes in wrong-path fetch.
+func Decode(word uint32, pc uint32) Inst {
+	op := Op(word >> 26 & 0x3F)
+	if !op.Valid() {
+		return Inst{Op: OpNop}
+	}
+	in := Inst{Op: op}
+	switch op {
+	case OpJ, OpJal:
+		in.Target = (pc & 0xF0000000) | (word&0x03FFFFFF)<<2
+	default:
+		in.A = Reg(word >> 21 & 31)
+		in.B = Reg(word >> 16 & 31)
+		if in.IsIType() {
+			in.Imm = int32(int16(word & 0xFFFF))
+			if op == OpBeq || op == OpBne || op == OpBlez || op == OpBgtz {
+				in.Target = uint32(int64(pc) + 4 + int64(in.Imm)*4)
+			}
+		} else {
+			in.C = Reg(word >> 11 & 31)
+		}
+	}
+	return in
+}
+
+// IsIType reports whether the opcode uses the 16-bit immediate field.
+func (in Inst) IsIType() bool {
+	switch in.Op {
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlti, OpLui,
+		OpLw, OpSw, OpLb, OpLbu, OpLh, OpLhu, OpSb, OpSh,
+		OpBeq, OpBne, OpBlez, OpBgtz:
+		return true
+	}
+	return false
+}
+
+// Class returns the pipeline resource class of the instruction.
+func (in Inst) Class() Class {
+	switch in.Op {
+	case OpMul:
+		return ClassMul
+	case OpDiv:
+		return ClassDiv
+	case OpLw, OpLb, OpLbu, OpLh, OpLhu:
+		return ClassLoad
+	case OpSw, OpSb, OpSh:
+		return ClassStore
+	case OpBeq, OpBne, OpBlez, OpBgtz, OpJ, OpJal, OpJr, OpJalr:
+		return ClassCtrl
+	default:
+		return ClassALU
+	}
+}
+
+// MemBytes returns the access width of a memory operation (1, 2 or 4), or
+// 0 for non-memory instructions.
+func (in Inst) MemBytes() int {
+	switch in.Op {
+	case OpLb, OpLbu, OpSb:
+		return 1
+	case OpLh, OpLhu, OpSh:
+		return 2
+	case OpLw, OpSw:
+		return 4
+	}
+	return 0
+}
+
+// Ctrl returns the control-flow kind (CtrlNone for non-control ops).
+// jr ra is a return by convention; jr with any other register is an
+// indirect jump.
+func (in Inst) Ctrl() CtrlKind {
+	switch in.Op {
+	case OpBeq, OpBne, OpBlez, OpBgtz:
+		return CtrlCond
+	case OpJ:
+		return CtrlJump
+	case OpJal:
+		return CtrlCall
+	case OpJr:
+		if in.B == RegRA {
+			return CtrlRet
+		}
+		return CtrlIndirect
+	case OpJalr:
+		return CtrlIndCall
+	default:
+		return CtrlNone
+	}
+}
+
+// Dst returns the destination register, or NoReg if none. Writes to r0 are
+// architectural no-ops and reported as NoReg.
+func (in Inst) Dst() Reg {
+	var d Reg
+	switch in.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpNor, OpSlt, OpSltu,
+		OpSll, OpSrl, OpSra, OpMul, OpDiv,
+		OpAddi, OpAndi, OpOri, OpXori, OpSlti, OpLui,
+		OpLw, OpLb, OpLbu, OpLh, OpLhu:
+		d = in.A
+	case OpJal:
+		d = RegRA
+	case OpJalr:
+		d = in.A
+	default:
+		return NoReg
+	}
+	if d == RegZero {
+		return NoReg
+	}
+	return d
+}
+
+// Srcs returns the source registers (NoReg for absent operands). Reads of r0
+// are free and reported as NoReg so the timing model never waits on them.
+func (in Inst) Srcs() (s1, s2 Reg) {
+	s1, s2 = NoReg, NoReg
+	switch in.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpNor, OpSlt, OpSltu,
+		OpSll, OpSrl, OpSra, OpMul, OpDiv:
+		s1, s2 = in.B, in.C
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlti:
+		s1 = in.B
+	case OpLw, OpLb, OpLbu, OpLh, OpLhu:
+		s1 = in.B // base
+	case OpSw, OpSb, OpSh:
+		s1, s2 = in.B, in.A // base, data
+	case OpBeq, OpBne:
+		s1, s2 = in.A, in.B
+	case OpBlez, OpBgtz:
+		s1 = in.A
+	case OpJr, OpJalr:
+		s1 = in.B
+	}
+	if s1 == RegZero {
+		s1 = NoReg
+	}
+	if s2 == RegZero {
+		s2 = NoReg
+	}
+	return s1, s2
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	switch in.Op {
+	case OpNop, OpHalt:
+		return in.Op.String()
+	case OpJ, OpJal:
+		return fmt.Sprintf("%s 0x%x", in.Op, in.Target)
+	case OpJr:
+		return fmt.Sprintf("jr r%d", in.B)
+	case OpJalr:
+		return fmt.Sprintf("jalr r%d, r%d", in.A, in.B)
+	case OpLw, OpLb, OpLbu, OpLh, OpLhu, OpSw, OpSb, OpSh:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.A, in.Imm, in.B)
+	case OpBeq, OpBne:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.A, in.B, in.Imm)
+	case OpBlez, OpBgtz:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.A, in.Imm)
+	case OpLui:
+		return fmt.Sprintf("lui r%d, %d", in.A, in.Imm)
+	default:
+		if in.IsIType() {
+			return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.A, in.B, in.Imm)
+		}
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.A, in.B, in.C)
+	}
+}

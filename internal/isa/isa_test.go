@@ -1,0 +1,281 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		Add(3, 4, 5),
+		Sub(31, 1, 2),
+		Mul(10, 11, 12),
+		Div(9, 8, 7),
+		Addi(5, 5, -1),
+		Addi(5, 5, 32767),
+		Addi(5, 5, -32768),
+		I(OpOri, 7, 0, 0xABC),
+		I(OpLui, 7, 0, 0x1234),
+		Lw(4, 29, 16),
+		Sw(4, 29, -4),
+		Beq(1, 2, 12),
+		Bne(3, 0, -8),
+		Blez(6, 100),
+		Bgtz(6, -100),
+		Jr(31),
+		Jr(5),
+		Jalr(31, 6),
+		Nop(),
+		Halt(),
+	}
+	for _, want := range cases {
+		got := Decode(want.Word(), 0x1000)
+		if got.Op != want.Op || got.A != want.A || got.B != want.B {
+			t.Errorf("%v: decode mismatch, got %v", want, got)
+		}
+		if want.IsIType() && got.Imm != want.Imm {
+			t.Errorf("%v: imm mismatch, got %d want %d", want, got.Imm, want.Imm)
+		}
+		if !want.IsIType() && want.Op != OpJ && want.Op != OpJal && got.C != want.C {
+			t.Errorf("%v: C mismatch, got %d want %d", want, got.C, want.C)
+		}
+	}
+}
+
+func TestJumpTargetEncoding(t *testing.T) {
+	pc := uint32(0x0040_0100)
+	for _, tgt := range []uint32{0x0040_0000, 0x0040_1ffc, 0x0000_0004} {
+		in := J(tgt)
+		got := Decode(in.Word(), pc)
+		if got.Target != tgt {
+			t.Errorf("j 0x%x: decoded target 0x%x", tgt, got.Target)
+		}
+		call := Jal(tgt)
+		got = Decode(call.Word(), pc)
+		if got.Target != tgt {
+			t.Errorf("jal 0x%x: decoded target 0x%x", tgt, got.Target)
+		}
+		if got.Dst() != RegRA {
+			t.Errorf("jal dest = %d, want ra", got.Dst())
+		}
+	}
+}
+
+func TestBranchTargetComputation(t *testing.T) {
+	pc := uint32(0x2000)
+	in := Decode(Beq(1, 2, 3).Word(), pc) // offset 3 words from pc+4
+	if want := pc + 4 + 12; in.Target != want {
+		t.Errorf("beq target = 0x%x, want 0x%x", in.Target, want)
+	}
+	in = Decode(Bne(1, 2, -2).Word(), pc)
+	if want := pc + 4 - 8; in.Target != want {
+		t.Errorf("bne target = 0x%x, want 0x%x", in.Target, want)
+	}
+}
+
+func TestClassAndCtrl(t *testing.T) {
+	checks := []struct {
+		in   Inst
+		cls  Class
+		kind CtrlKind
+	}{
+		{Add(1, 2, 3), ClassALU, CtrlNone},
+		{Mul(1, 2, 3), ClassMul, CtrlNone},
+		{Div(1, 2, 3), ClassDiv, CtrlNone},
+		{Lw(1, 2, 0), ClassLoad, CtrlNone},
+		{Sw(1, 2, 0), ClassStore, CtrlNone},
+		{Beq(1, 2, 0), ClassCtrl, CtrlCond},
+		{J(0x100), ClassCtrl, CtrlJump},
+		{Jal(0x100), ClassCtrl, CtrlCall},
+		{Jr(RegRA), ClassCtrl, CtrlRet},
+		{Jr(5), ClassCtrl, CtrlIndirect},
+		{Jalr(RegRA, 5), ClassCtrl, CtrlIndCall},
+		{Nop(), ClassALU, CtrlNone},
+	}
+	for _, c := range checks {
+		if got := c.in.Class(); got != c.cls {
+			t.Errorf("%v: class = %v, want %v", c.in, got, c.cls)
+		}
+		if got := c.in.Ctrl(); got != c.kind {
+			t.Errorf("%v: ctrl = %v, want %v", c.in, got, c.kind)
+		}
+	}
+}
+
+func TestCtrlKindDirect(t *testing.T) {
+	direct := []CtrlKind{CtrlCond, CtrlJump, CtrlCall}
+	indirect := []CtrlKind{CtrlRet, CtrlIndirect, CtrlIndCall, CtrlNone}
+	for _, k := range direct {
+		if !k.Direct() {
+			t.Errorf("%v should be direct", k)
+		}
+	}
+	for _, k := range indirect {
+		if k.Direct() {
+			t.Errorf("%v should not be direct", k)
+		}
+	}
+}
+
+func TestSrcDstRegZeroElision(t *testing.T) {
+	// Writes to r0 report no destination; reads of r0 report no source.
+	if d := Add(0, 1, 2).Dst(); d != NoReg {
+		t.Errorf("add r0: dst = %d, want NoReg", d)
+	}
+	s1, s2 := Add(1, 0, 0).Srcs()
+	if s1 != NoReg || s2 != NoReg {
+		t.Errorf("add r1,r0,r0 srcs = %d,%d, want NoReg", s1, s2)
+	}
+	s1, s2 = Sw(4, 5, 0).Srcs()
+	if s1 != 5 || s2 != 4 {
+		t.Errorf("sw srcs = %d,%d, want base=5 data=4", s1, s2)
+	}
+	if d := Sw(4, 5, 0).Dst(); d != NoReg {
+		t.Errorf("sw dst = %d, want NoReg", d)
+	}
+	if d := Lw(7, 5, 0).Dst(); d != 7 {
+		t.Errorf("lw dst = %d, want 7", d)
+	}
+}
+
+func TestSubWordMemoryOps(t *testing.T) {
+	checks := []struct {
+		in    Inst
+		cls   Class
+		bytes int
+	}{
+		{Lb(4, 9, 0), ClassLoad, 1},
+		{Lbu(4, 9, 0), ClassLoad, 1},
+		{Lh(4, 9, 2), ClassLoad, 2},
+		{Lhu(4, 9, 2), ClassLoad, 2},
+		{Lw(4, 9, 4), ClassLoad, 4},
+		{Sb(4, 9, 0), ClassStore, 1},
+		{Sh(4, 9, 2), ClassStore, 2},
+		{Sw(4, 9, 4), ClassStore, 4},
+	}
+	for _, c := range checks {
+		if got := c.in.Class(); got != c.cls {
+			t.Errorf("%v: class %v, want %v", c.in, got, c.cls)
+		}
+		if got := c.in.MemBytes(); got != c.bytes {
+			t.Errorf("%v: MemBytes %d, want %d", c.in, got, c.bytes)
+		}
+		dec := Decode(c.in.Word(), 0)
+		if dec.Op != c.in.Op || dec.Imm != c.in.Imm {
+			t.Errorf("%v: round trip gave %v", c.in, dec)
+		}
+	}
+	if got := Add(1, 2, 3).MemBytes(); got != 0 {
+		t.Errorf("non-memory MemBytes = %d", got)
+	}
+	// Loads write a destination; stores read base+data.
+	if Lb(4, 9, 0).Dst() != 4 {
+		t.Error("lb dest wrong")
+	}
+	s1, s2 := Sh(4, 9, 0).Srcs()
+	if s1 != 9 || s2 != 4 {
+		t.Errorf("sh srcs = %d,%d", s1, s2)
+	}
+	if got := Lbu(7, 2, -3).String(); got != "lbu r7, -3(r2)" {
+		t.Errorf("disasm = %q", got)
+	}
+}
+
+func TestDecodeUnknownOpcodeIsNop(t *testing.T) {
+	word := uint32(uint32(numOps)+5) << 26
+	in := Decode(word, 0)
+	if in.Op != OpNop {
+		t.Errorf("unknown opcode decoded to %v, want nop", in.Op)
+	}
+}
+
+// Property: any generated instruction round-trips through Word/Decode
+// preserving op, operands, and timing-relevant metadata.
+func TestQuickEncodeDecode(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	gen := func() Inst {
+		ops := []Op{OpAdd, OpSub, OpAnd, OpOr, OpXor, OpNor, OpSlt, OpSltu,
+			OpSll, OpSrl, OpSra, OpMul, OpDiv, OpAddi, OpAndi, OpOri,
+			OpXori, OpSlti, OpLui, OpLw, OpSw, OpLb, OpLbu, OpLh, OpLhu,
+			OpSb, OpSh, OpBeq, OpBne, OpBlez, OpBgtz, OpJr, OpJalr,
+			OpNop, OpHalt}
+		in := Inst{
+			Op:  ops[r.Intn(len(ops))],
+			A:   Reg(r.Intn(32)),
+			B:   Reg(r.Intn(32)),
+			C:   Reg(r.Intn(32)),
+			Imm: int32(int16(r.Uint32())),
+		}
+		return in
+	}
+	f := func() bool {
+		want := gen()
+		pc := uint32(r.Intn(1<<20) * 4)
+		got := Decode(want.Word(), pc)
+		if got.Op != want.Op || got.A != want.A || got.B != want.B {
+			return false
+		}
+		if want.IsIType() && got.Imm != want.Imm {
+			return false
+		}
+		if !want.IsIType() && got.C != want.C {
+			return false
+		}
+		// Metadata must be a pure function of the decoded fields.
+		return got.Class() == want.Class() && got.Ctrl() == want.Ctrl()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	cases := []uint32{0, 1, 0xFFFF, 0x10000, 0x12340000, 0xDEADBEEF}
+	for _, v := range cases {
+		seq := Li(5, v)
+		if len(seq) == 0 || len(seq) > 2 {
+			t.Fatalf("Li(0x%x) produced %d instructions", v, len(seq))
+		}
+		// Emulate the sequence.
+		var reg uint32
+		for _, in := range seq {
+			d := Decode(in.Word(), 0)
+			switch d.Op {
+			case OpLui:
+				reg = uint32(d.Imm) << 16
+			case OpOri:
+				base := uint32(0)
+				if d.B == 5 {
+					base = reg
+				}
+				reg = base | uint32(uint16(d.Imm))
+			default:
+				t.Fatalf("Li emitted unexpected op %v", d.Op)
+			}
+		}
+		if reg != v {
+			t.Errorf("Li(0x%x) evaluates to 0x%x", v, reg)
+		}
+	}
+}
+
+func TestDisassemblyIsStable(t *testing.T) {
+	checks := map[string]Inst{
+		"add r1, r2, r3": Add(1, 2, 3),
+		"lw r4, 16(r29)": Lw(4, 29, 16),
+		"sw r4, -4(r29)": Sw(4, 29, -4),
+		"beq r1, r2, 12": Beq(1, 2, 12),
+		"jr r31":         Jr(31),
+		"jalr r31, r6":   Jalr(31, 6),
+		"nop":            Nop(),
+		"halt":           Halt(),
+		"lui r7, 4660":   I(OpLui, 7, 0, 0x1234),
+		"j 0x400100":     J(0x400100),
+	}
+	for want, in := range checks {
+		if got := in.String(); got != want {
+			t.Errorf("disasm = %q, want %q", got, want)
+		}
+	}
+}

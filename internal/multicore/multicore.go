@@ -1,0 +1,150 @@
+// Package multicore implements the paper's future-work direction: "it is
+// possible to fit multiple ReSim instances in a single FPGA and simulate
+// multi-core systems" (§VI). A Cluster steps several independent ReSim
+// engines in lockstep major cycles — the way multiple instances sharing one
+// FPGA clock would run — and optionally backs their private L1 data caches
+// with one shared L2, so the cores interfere in the shared tags exactly as
+// a real CMP's workloads would.
+package multicore
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/fpga"
+	"repro/internal/trace"
+)
+
+// CoreSpec describes one simulated core.
+type CoreSpec struct {
+	Name    string
+	Config  core.Config
+	Source  trace.Source
+	StartPC uint32
+}
+
+// Cluster is a set of lockstep ReSim instances.
+type Cluster struct {
+	names   []string
+	engines []*core.Engine
+	cycles  uint64
+}
+
+// New builds a cluster from the given core specifications.
+func New(specs []CoreSpec) (*Cluster, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("multicore: no cores")
+	}
+	c := &Cluster{}
+	for i, s := range specs {
+		eng, err := core.New(s.Config, s.Source, s.StartPC)
+		if err != nil {
+			return nil, fmt.Errorf("multicore: core %d (%s): %w", i, s.Name, err)
+		}
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("core%d", i)
+		}
+		c.names = append(c.names, name)
+		c.engines = append(c.engines, eng)
+	}
+	return c, nil
+}
+
+// SharedL2 builds one L2 to be shared by all cores' data caches (pass it to
+// AttachSharedDL1 per config before New).
+func SharedL2(sizeBytes, assoc, blockBytes, hitLat, missLat int) (cache.Model, error) {
+	cfg := cache.Config{Name: "l2", SizeBytes: sizeBytes, Assoc: assoc,
+		BlockBytes: blockBytes, HitLatency: hitLat, MissLatency: missLat}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cache.New(cfg), nil
+}
+
+// AttachSharedDL1 gives cfg a private L1 data cache backed by the shared
+// lower level.
+func AttachSharedDL1(cfg *core.Config, l1 cache.Config, shared cache.Model) error {
+	h, err := cache.NewHierarchy(l1, shared)
+	if err != nil {
+		return err
+	}
+	cfg.DCache = h
+	return nil
+}
+
+// Step advances every unfinished core by one major cycle (lockstep).
+func (c *Cluster) Step() error {
+	for i, eng := range c.engines {
+		if eng.Done() {
+			continue
+		}
+		if err := eng.Cycle(); err != nil {
+			return fmt.Errorf("multicore: %s: %w", c.names[i], err)
+		}
+	}
+	c.cycles++
+	return nil
+}
+
+// Done reports whether every core has drained its trace.
+func (c *Cluster) Done() bool {
+	for _, eng := range c.engines {
+		if !eng.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is the outcome of a cluster run.
+type Result struct {
+	Cycles  uint64 // lockstep major cycles until the slowest core drained
+	Names   []string
+	PerCore []core.Result
+}
+
+// Run steps the cluster until every core finishes or maxCycles elapse
+// (0 = unbounded).
+func (c *Cluster) Run(maxCycles uint64) (Result, error) {
+	for !c.Done() {
+		if maxCycles != 0 && c.cycles >= maxCycles {
+			break
+		}
+		if err := c.Step(); err != nil {
+			return c.result(), err
+		}
+	}
+	return c.result(), nil
+}
+
+func (c *Cluster) result() Result {
+	r := Result{Cycles: c.cycles, Names: c.names}
+	for _, eng := range c.engines {
+		r.PerCore = append(r.PerCore, eng.Result())
+	}
+	return r
+}
+
+// AggregateIPC sums committed instructions across cores per lockstep cycle.
+func (r Result) AggregateIPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	var committed uint64
+	for _, res := range r.PerCore {
+		committed += res.Committed
+	}
+	return float64(committed) / float64(r.Cycles)
+}
+
+// AggregateMIPS models the cluster's simulation throughput on dev: all
+// instances share the minor-cycle clock, so the cluster completes
+// f_minor/K lockstep major cycles per second, each retiring the aggregate
+// IPC. Every core must use the same organization and width for a lockstep
+// build; k is their common minor-cycles-per-major-cycle.
+func (r Result) AggregateMIPS(dev fpga.Device, k int) float64 {
+	return fpga.SimulationMIPS(dev, k, r.AggregateIPC())
+}

@@ -1,0 +1,195 @@
+package multicore
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/fpga"
+	"repro/internal/funcsim"
+	"repro/internal/workload"
+)
+
+func source(t *testing.T, name string, limit uint64, cfg core.Config) *funcsim.Source {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := p.NewSource(funcsim.TraceConfig{
+		Predictor:    cfg.Predictor,
+		PerfectBP:    cfg.PerfectBP,
+		WrongPathLen: cfg.WrongPathLen(),
+	}, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestLockstepMatchesIndependentRuns(t *testing.T) {
+	// With private memory systems, lockstep execution must produce exactly
+	// the same per-core results as running each engine alone, and the
+	// cluster finishes when the slowest core does.
+	cfg := core.DefaultConfig()
+	const limit = 15000
+
+	var solo []core.Result
+	for _, name := range []string{"gzip", "parser"} {
+		eng, err := core.New(cfg, source(t, name, limit, cfg), funcsim.CodeBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo = append(solo, res)
+	}
+
+	cl, err := New([]CoreSpec{
+		{Name: "gzip", Config: cfg, Source: source(t, "gzip", limit, cfg), StartPC: funcsim.CodeBase},
+		{Name: "parser", Config: cfg, Source: source(t, "parser", limit, cfg), StartPC: funcsim.CodeBase},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range solo {
+		if res.PerCore[i].Committed != solo[i].Committed {
+			t.Errorf("core %d committed %d, solo %d", i, res.PerCore[i].Committed, solo[i].Committed)
+		}
+		if res.PerCore[i].Cycles != solo[i].Cycles {
+			t.Errorf("core %d cycles %d, solo %d", i, res.PerCore[i].Cycles, solo[i].Cycles)
+		}
+	}
+	slowest := solo[0].Cycles
+	if solo[1].Cycles > slowest {
+		slowest = solo[1].Cycles
+	}
+	if res.Cycles != slowest {
+		t.Errorf("cluster cycles = %d, want slowest core %d", res.Cycles, slowest)
+	}
+	wantAgg := (float64(solo[0].Committed) + float64(solo[1].Committed)) / float64(slowest)
+	if got := res.AggregateIPC(); got != wantAgg {
+		t.Errorf("aggregate IPC = %v, want %v", got, wantAgg)
+	}
+}
+
+func TestSharedL2Interference(t *testing.T) {
+	// Two cores with tiny private L1s sharing a small L2 must see more L2
+	// misses than one core running alone with the same L2: the shared tags
+	// are a real interference channel.
+	l1 := cache.Config{Name: "dl1", SizeBytes: 1 << 10, Assoc: 2, BlockBytes: 64,
+		HitLatency: 1, MissLatency: 20}
+	const limit = 15000
+
+	soloMisses := func() uint64 {
+		shared, err := SharedL2(8<<10, 4, 64, 6, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		if err := AttachSharedDL1(&cfg, l1, shared); err != nil {
+			t.Fatal(err)
+		}
+		cl, err := New([]CoreSpec{
+			{Name: "bzip2", Config: cfg, Source: source(t, "bzip2", limit, cfg), StartPC: funcsim.CodeBase},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return shared.Stats().Misses()
+	}()
+
+	sharedMisses := func() uint64 {
+		shared, err := SharedL2(8<<10, 4, 64, 6, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var specs []CoreSpec
+		for _, name := range []string{"bzip2", "vortex"} {
+			cfg := core.DefaultConfig()
+			if err := AttachSharedDL1(&cfg, l1, shared); err != nil {
+				t.Fatal(err)
+			}
+			specs = append(specs, CoreSpec{
+				Name: name, Config: cfg,
+				Source: source(t, name, limit, cfg), StartPC: funcsim.CodeBase,
+			})
+		}
+		cl, err := New(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return shared.Stats().Misses()
+	}()
+
+	if sharedMisses <= soloMisses {
+		t.Errorf("shared L2 misses %d not above solo %d", sharedMisses, soloMisses)
+	}
+}
+
+func TestAggregateMIPSModel(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cl, err := New([]CoreSpec{
+		{Name: "vpr", Config: cfg, Source: source(t, "vpr", 10000, cfg), StartPC: funcsim.CodeBase},
+		{Name: "gzip", Config: cfg, Source: source(t, "gzip", 10000, cfg), StartPC: funcsim.CodeBase},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := cfg.MinorCyclesPerMajor()
+	want := fpga.Virtex5.MinorClockMHz / float64(k) * res.AggregateIPC()
+	if got := res.AggregateMIPS(fpga.Virtex5, k); got != want {
+		t.Errorf("aggregate MIPS = %v, want %v", got, want)
+	}
+	// Two cores in lockstep must beat one core's throughput.
+	if res.AggregateIPC() <= res.PerCore[0].IPC() {
+		t.Error("aggregate IPC not above single-core IPC")
+	}
+}
+
+func TestRunRespectsMaxCycles(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cl, err := New([]CoreSpec{
+		{Config: cfg, Source: source(t, "gzip", 100000, cfg), StartPC: funcsim.CodeBase},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 50 {
+		t.Errorf("cycles = %d, want 50", res.Cycles)
+	}
+	if res.Names[0] != "core0" {
+		t.Errorf("default name = %q", res.Names[0])
+	}
+}
+
+func TestEmptyClusterRejected(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	bad := core.DefaultConfig()
+	bad.Width = 0
+	if _, err := New([]CoreSpec{{Config: bad}}); err == nil {
+		t.Error("invalid core config accepted")
+	}
+}

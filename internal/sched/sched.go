@@ -1,0 +1,286 @@
+// Package sched models ReSim's internal pipeline: the decomposition of one
+// major cycle (one simulated processor cycle) into minor cycles that pipeline
+// ReSim's own stage machinery (paper §IV). Three organizations are modeled:
+//
+//   - Simple serial execution (Figure 2): Writeback of all N slots, then
+//     Lsq_refresh, then the N Issue slots, with Issue split in two steps and
+//     a D-cache access slot — 2N+3 minor cycles per major cycle.
+//   - Improved (Figure 3): pipelined control lets Issue precede Writeback
+//     within the major cycle; a cache access occurs before writeback and
+//     bookkeeping occupies the last minor cycle — N+4 minor cycles.
+//   - Optimized (Figure 4): Lsq_refresh executes in parallel with the first
+//     Issue slot, which is barred from issuing loads; legal when the
+//     simulated processor has at most N−1 memory ports — N+3 minor cycles.
+//
+// The organizations are timing-equivalent for the simulated processor (the
+// paper reorganizes "without affecting the overall timing results"); they
+// differ in ReSim's own wall-clock speed, i.e. in K = minor cycles per major
+// cycle, which internal/fpga turns into simulation MIPS.
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Organization selects one of the paper's three internal pipelines.
+type Organization uint8
+
+// The three organizations of §IV.
+const (
+	OrgSimple Organization = iota
+	OrgImproved
+	OrgOptimized
+)
+
+// String names the organization.
+func (o Organization) String() string {
+	switch o {
+	case OrgSimple:
+		return "simple"
+	case OrgImproved:
+		return "improved"
+	case OrgOptimized:
+		return "optimized"
+	}
+	return fmt.Sprintf("Organization(%d)", uint8(o))
+}
+
+// Figure returns the paper figure depicting the organization.
+func (o Organization) Figure() int {
+	switch o {
+	case OrgSimple:
+		return 2
+	case OrgImproved:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// MinorCyclesPerMajor returns K for an N-wide simulated processor.
+func (o Organization) MinorCyclesPerMajor(n int) int {
+	switch o {
+	case OrgSimple:
+		return 2*n + 3
+	case OrgImproved:
+		return n + 4
+	default:
+		return n + 3
+	}
+}
+
+// LoadBarredFromFirstSlot reports whether the first Issue slot of a major
+// cycle may not issue a load (the Optimized organization's restriction).
+func (o Organization) LoadBarredFromFirstSlot() bool { return o == OrgOptimized }
+
+// MaxMemPorts returns the largest number of memory ports the organization
+// supports for an N-wide processor ("the restriction that the simulated
+// processor has up to N-1 memory ports").
+func (o Organization) MaxMemPorts(n int) int {
+	if o == OrgOptimized {
+		return n - 1
+	}
+	return n
+}
+
+// Slot is one stage execution placed at a minor cycle within a major cycle.
+type Slot struct {
+	Stage string // e.g. "WB0", "LSQR", "IS2", "CA", "BK"
+	Minor int    // minor-cycle index within the major cycle, 0-based
+	Issue int    // issue-slot index for ISx stages, else -1
+	Load  bool   // whether this slot may process load instructions
+}
+
+// Schedule is the set of stage executions of the dependence-critical chain
+// (Writeback / Lsq_refresh / Issue / cache access / bookkeeping) within one
+// major cycle. Fetch, Dispatch and Commit overlap in separate pipeline lanes
+// and do not lengthen the major cycle (paper §IV.A: "datapath stage
+// dependence decoupling occurs naturally").
+type Schedule struct {
+	Org   Organization
+	Width int
+	Slots []Slot
+}
+
+// Build constructs the minor-cycle schedule for organization o and width n.
+func Build(o Organization, n int) (Schedule, error) {
+	if n < 1 {
+		return Schedule{}, fmt.Errorf("sched: width %d", n)
+	}
+	s := Schedule{Org: o, Width: n}
+	add := func(stage string, minor, issue int, load bool) {
+		s.Slots = append(s.Slots, Slot{Stage: stage, Minor: minor, Issue: issue, Load: load})
+	}
+	switch o {
+	case OrgSimple:
+		// WB0..WBn-1, LSQR, IS0..ISn-1, then the second Issue step and the
+		// D-cache access drain the pipe ("We have split Issue in two steps
+		// independently of instruction type").
+		for i := 0; i < n; i++ {
+			add(fmt.Sprintf("WB%d", i), i, -1, false)
+		}
+		add("LSQR", n, -1, false)
+		for i := 0; i < n; i++ {
+			add(fmt.Sprintf("IS%d", i), n+1+i, i, true)
+		}
+		add("ISb", 2*n+1, -1, false) // second Issue step (fixed-latency split)
+		add("CA", 2*n+2, -1, false)
+	case OrgImproved:
+		// Issue precedes Writeback within the major cycle (pipelined
+		// control); cache access precedes writeback; bookkeeping last.
+		add("LSQR", 0, -1, false)
+		for i := 0; i < n; i++ {
+			add(fmt.Sprintf("IS%d", i), 1+i, i, true)
+		}
+		add("CA", n+1, -1, false)
+		add("WB", n+2, -1, false)
+		add("BK", n+3, -1, false)
+	case OrgOptimized:
+		// Lsq_refresh and the first Issue execute in the same minor cycle;
+		// the first Issue does not consider loads.
+		add("LSQR", 0, -1, false)
+		for i := 0; i < n; i++ {
+			add(fmt.Sprintf("IS%d", i), i, i, i != 0)
+		}
+		add("CA", n, -1, false)
+		add("WB", n+1, -1, false)
+		add("BK", n+2, -1, false)
+	default:
+		return Schedule{}, fmt.Errorf("sched: unknown organization %d", o)
+	}
+	return s, nil
+}
+
+// MinorCycles returns the major-cycle latency implied by the slots.
+func (s Schedule) MinorCycles() int {
+	max := 0
+	for _, sl := range s.Slots {
+		if sl.Minor+1 > max {
+			max = sl.Minor + 1
+		}
+	}
+	return max
+}
+
+// find returns the minor cycle of the first slot whose stage matches.
+func (s Schedule) find(stage string) (int, bool) {
+	for _, sl := range s.Slots {
+		if sl.Stage == stage {
+			return sl.Minor, true
+		}
+	}
+	return 0, false
+}
+
+// Validate checks the §IV dependence constraints:
+//
+//  1. The slot count matches the organization's published formula.
+//  2. Simple: every Writeback precedes Lsq_refresh, which precedes every
+//     Issue (the wakeup chain of §IV.A).
+//  3. Improved/Optimized: every Issue slot precedes the Writeback slot
+//     (pipelined control, §IV.B), the cache access precedes Writeback
+//     ("a cache access occurs before writeback to determine whether there
+//     is a hit"), and bookkeeping is the last minor cycle.
+//  4. Optimized: Lsq_refresh shares minor cycle 0 with the first Issue
+//     slot, and that slot does not consider loads.
+func (s Schedule) Validate() error {
+	if got, want := s.MinorCycles(), s.Org.MinorCyclesPerMajor(s.Width); got != want {
+		return fmt.Errorf("sched: %v/%d-wide has %d minor cycles, want %d", s.Org, s.Width, got, want)
+	}
+	lsqr, ok := s.find("LSQR")
+	if !ok {
+		return fmt.Errorf("sched: missing LSQR slot")
+	}
+	switch s.Org {
+	case OrgSimple:
+		for _, sl := range s.Slots {
+			if strings.HasPrefix(sl.Stage, "WB") && sl.Minor >= lsqr {
+				return fmt.Errorf("sched: %s at %d not before LSQR at %d", sl.Stage, sl.Minor, lsqr)
+			}
+			if sl.Issue >= 0 && sl.Minor <= lsqr {
+				return fmt.Errorf("sched: %s at %d not after LSQR at %d", sl.Stage, sl.Minor, lsqr)
+			}
+		}
+	case OrgImproved, OrgOptimized:
+		wb, ok := s.find("WB")
+		if !ok {
+			return fmt.Errorf("sched: missing WB slot")
+		}
+		ca, ok := s.find("CA")
+		if !ok {
+			return fmt.Errorf("sched: missing CA slot")
+		}
+		bk, ok := s.find("BK")
+		if !ok {
+			return fmt.Errorf("sched: missing BK slot")
+		}
+		if ca >= wb {
+			return fmt.Errorf("sched: cache access at %d not before writeback at %d", ca, wb)
+		}
+		if bk != s.MinorCycles()-1 {
+			return fmt.Errorf("sched: bookkeeping at %d is not the last minor cycle", bk)
+		}
+		for _, sl := range s.Slots {
+			if sl.Issue >= 0 && sl.Minor >= wb {
+				return fmt.Errorf("sched: issue slot %s at %d not before WB at %d", sl.Stage, sl.Minor, wb)
+			}
+		}
+		if s.Org == OrgOptimized {
+			is0, _ := s.find("IS0")
+			if is0 != lsqr {
+				return fmt.Errorf("sched: IS0 at %d not co-scheduled with LSQR at %d", is0, lsqr)
+			}
+			for _, sl := range s.Slots {
+				if sl.Issue == 0 && sl.Load {
+					return fmt.Errorf("sched: first issue slot may not consider loads")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Render draws the schedule as an ASCII minor-cycle grid, the textual
+// equivalent of paper Figures 2-4.
+func (s Schedule) Render() string {
+	k := s.MinorCycles()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v organization, %d-wide: major cycle = %d minor cycles (Figure %d)\n",
+		s.Org, s.Width, k, s.Org.Figure())
+	sb.WriteString("minor      ")
+	for m := 0; m < k; m++ {
+		fmt.Fprintf(&sb, "|%4d ", m)
+	}
+	sb.WriteString("|\n")
+	// One row per distinct stage, in first-execution order.
+	seen := map[string]bool{}
+	var order []string
+	for _, sl := range s.Slots {
+		if !seen[sl.Stage] {
+			seen[sl.Stage] = true
+			order = append(order, sl.Stage)
+		}
+	}
+	for _, stage := range order {
+		fmt.Fprintf(&sb, "%-11s", stage)
+		for m := 0; m < k; m++ {
+			mark := "     "
+			for _, sl := range s.Slots {
+				if sl.Stage == stage && sl.Minor == m {
+					if sl.Issue >= 0 && !sl.Load {
+						mark = " ██* " // issue slot barred from loads
+					} else {
+						mark = " ███ "
+					}
+				}
+			}
+			sb.WriteString("|" + mark)
+		}
+		sb.WriteString("|\n")
+	}
+	if s.Org == OrgOptimized {
+		sb.WriteString("(* = first Issue slot does not consider loads; requires <= N-1 memory ports)\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperLatencyFormulas(t *testing.T) {
+	// §IV: Simple = 2N+3 ("or 11 for our 4-wide example"), Improved = N+4,
+	// Optimized = N+3. Table 1 uses N+3=7 (4-issue) and N+4=6 (2-issue).
+	cases := []struct {
+		org  Organization
+		n    int
+		want int
+	}{
+		{OrgSimple, 4, 11},
+		{OrgImproved, 4, 8},
+		{OrgOptimized, 4, 7},
+		{OrgImproved, 2, 6}, // Table 1 right: "N+4=6 cycles"
+		{OrgOptimized, 2, 5},
+		{OrgSimple, 2, 7},
+		{OrgOptimized, 8, 11},
+	}
+	for _, c := range cases {
+		if got := c.org.MinorCyclesPerMajor(c.n); got != c.want {
+			t.Errorf("%v width %d: K = %d, want %d", c.org, c.n, got, c.want)
+		}
+		s, err := Build(c.org, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.MinorCycles(); got != c.want {
+			t.Errorf("%v width %d: schedule K = %d, want %d", c.org, c.n, got, c.want)
+		}
+	}
+}
+
+func TestSchedulesValidate(t *testing.T) {
+	for _, org := range []Organization{OrgSimple, OrgImproved, OrgOptimized} {
+		for _, n := range []int{1, 2, 4, 8} {
+			s, err := Build(org, n)
+			if err != nil {
+				t.Fatalf("%v/%d: %v", org, n, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Errorf("%v/%d: %v", org, n, err)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsBadWidth(t *testing.T) {
+	if _, err := Build(OrgSimple, 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+}
+
+func TestSimpleOrderingWBThenLSQRThenIssue(t *testing.T) {
+	s, _ := Build(OrgSimple, 4)
+	var maxWB, lsqr, minIS int
+	minIS = 1 << 30
+	for _, sl := range s.Slots {
+		switch {
+		case strings.HasPrefix(sl.Stage, "WB"):
+			if sl.Minor > maxWB {
+				maxWB = sl.Minor
+			}
+		case sl.Stage == "LSQR":
+			lsqr = sl.Minor
+		case sl.Issue >= 0:
+			if sl.Minor < minIS {
+				minIS = sl.Minor
+			}
+		}
+	}
+	if !(maxWB < lsqr && lsqr < minIS) {
+		t.Errorf("simple ordering broken: WB<=%d LSQR=%d IS>=%d", maxWB, lsqr, minIS)
+	}
+}
+
+func TestImprovedIssueBeforeWriteback(t *testing.T) {
+	s, _ := Build(OrgImproved, 4)
+	wb, _ := s.find("WB")
+	for _, sl := range s.Slots {
+		if sl.Issue >= 0 && sl.Minor >= wb {
+			t.Errorf("issue slot %s at %d not before WB at %d", sl.Stage, sl.Minor, wb)
+		}
+	}
+	// Cache access determines hit/miss before writeback (§IV.B).
+	ca, _ := s.find("CA")
+	if ca >= wb {
+		t.Errorf("CA at %d not before WB at %d", ca, wb)
+	}
+}
+
+func TestOptimizedRestrictions(t *testing.T) {
+	s, _ := Build(OrgOptimized, 4)
+	lsqr, _ := s.find("LSQR")
+	is0, _ := s.find("IS0")
+	if lsqr != is0 || lsqr != 0 {
+		t.Errorf("LSQR at %d, IS0 at %d, want both at 0", lsqr, is0)
+	}
+	for _, sl := range s.Slots {
+		if sl.Issue == 0 && sl.Load {
+			t.Error("first issue slot allows loads")
+		}
+		if sl.Issue > 0 && !sl.Load {
+			t.Errorf("issue slot %d should allow loads", sl.Issue)
+		}
+	}
+	if !OrgOptimized.LoadBarredFromFirstSlot() {
+		t.Error("LoadBarredFromFirstSlot false for optimized")
+	}
+	if OrgImproved.LoadBarredFromFirstSlot() || OrgSimple.LoadBarredFromFirstSlot() {
+		t.Error("LoadBarredFromFirstSlot true for non-optimized")
+	}
+}
+
+func TestMaxMemPorts(t *testing.T) {
+	if got := OrgOptimized.MaxMemPorts(4); got != 3 {
+		t.Errorf("optimized max ports = %d, want 3", got)
+	}
+	if got := OrgImproved.MaxMemPorts(4); got != 4 {
+		t.Errorf("improved max ports = %d, want 4", got)
+	}
+	if got := OrgSimple.MaxMemPorts(2); got != 2 {
+		t.Errorf("simple max ports = %d, want 2", got)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	// Move IS0 after WB in the improved schedule: must fail.
+	s, _ := Build(OrgImproved, 2)
+	for i := range s.Slots {
+		if s.Slots[i].Stage == "IS0" {
+			s.Slots[i].Minor = s.MinorCycles() - 1
+		}
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("corrupted schedule validated")
+	}
+	// Wrong K.
+	s2, _ := Build(OrgOptimized, 4)
+	s2.Slots = append(s2.Slots, Slot{Stage: "EXTRA", Minor: 99, Issue: -1})
+	if err := s2.Validate(); err == nil {
+		t.Error("over-long schedule validated")
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	for _, org := range []Organization{OrgSimple, OrgImproved, OrgOptimized} {
+		s, _ := Build(org, 4)
+		out := s.Render()
+		if !strings.Contains(out, "minor") {
+			t.Errorf("%v render missing header:\n%s", org, out)
+		}
+		if !strings.Contains(out, "LSQR") {
+			t.Errorf("%v render missing LSQR lane:\n%s", org, out)
+		}
+		wantFig := map[Organization]string{
+			OrgSimple: "Figure 2", OrgImproved: "Figure 3", OrgOptimized: "Figure 4",
+		}[org]
+		if !strings.Contains(out, wantFig) {
+			t.Errorf("%v render missing %q:\n%s", org, wantFig, out)
+		}
+	}
+	// Optimized render marks the no-load first slot.
+	s, _ := Build(OrgOptimized, 4)
+	if !strings.Contains(s.Render(), "██*") {
+		t.Error("optimized render missing no-load marker")
+	}
+}
+
+func TestOrganizationStrings(t *testing.T) {
+	if OrgSimple.String() != "simple" || OrgImproved.String() != "improved" || OrgOptimized.String() != "optimized" {
+		t.Error("organization names wrong")
+	}
+	if OrgSimple.Figure() != 2 || OrgImproved.Figure() != 3 || OrgOptimized.Figure() != 4 {
+		t.Error("figure numbers wrong")
+	}
+}

@@ -1,0 +1,212 @@
+// Package stats provides the 64-bit statistics counters ReSim maintains
+// during simulation, mirroring the sim-outorder style of named counters,
+// derived rates and occupancy distributions (paper §V.B: "To avoid overflow
+// problems we use 64-bits registers for statistics").
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Counter is a named 64-bit event counter.
+type Counter struct {
+	Name string
+	Desc string
+	v    uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Set overwrites the counter value; used when restoring checkpoints.
+func (c *Counter) Set(n uint64) { c.v = n }
+
+// Occupancy accumulates a per-cycle occupancy sample for a buffering
+// structure (IFQ, RB, LSQ) so that average occupancy and a coarse
+// distribution can be reported.
+type Occupancy struct {
+	Name    string
+	Desc    string
+	Cap     int
+	samples uint64
+	sum     uint64
+	full    uint64 // samples at capacity
+	empty   uint64 // samples at zero
+}
+
+// Sample records one cycle's occupancy n.
+func (o *Occupancy) Sample(n int) {
+	o.samples++
+	o.sum += uint64(n)
+	if n == 0 {
+		o.empty++
+	}
+	if o.Cap > 0 && n >= o.Cap {
+		o.full++
+	}
+}
+
+// Mean returns the average occupancy over all samples.
+func (o *Occupancy) Mean() float64 {
+	if o.samples == 0 {
+		return 0
+	}
+	return float64(o.sum) / float64(o.samples)
+}
+
+// FullFrac returns the fraction of sampled cycles the structure was full.
+func (o *Occupancy) FullFrac() float64 {
+	if o.samples == 0 {
+		return 0
+	}
+	return float64(o.full) / float64(o.samples)
+}
+
+// EmptyFrac returns the fraction of sampled cycles the structure was empty.
+func (o *Occupancy) EmptyFrac() float64 {
+	if o.samples == 0 {
+		return 0
+	}
+	return float64(o.empty) / float64(o.samples)
+}
+
+// Samples returns the number of recorded samples.
+func (o *Occupancy) Samples() uint64 { return o.samples }
+
+// Registry holds an ordered collection of counters, occupancies and derived
+// formulas and can render a sim-outorder-like report.
+type Registry struct {
+	order    []string
+	counters map[string]*Counter
+	occs     map[string]*Occupancy
+	formulas []formula
+}
+
+type formula struct {
+	name string
+	desc string
+	fn   func() float64
+}
+
+// NewRegistry returns an empty statistics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		occs:     make(map[string]*Occupancy),
+	}
+}
+
+// Counter registers (or returns the existing) counter with the given name.
+func (r *Registry) Counter(name, desc string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{Name: name, Desc: desc}
+	r.counters[name] = c
+	r.order = append(r.order, name)
+	return c
+}
+
+// Occupancy registers (or returns the existing) occupancy tracker.
+func (r *Registry) Occupancy(name, desc string, capacity int) *Occupancy {
+	if o, ok := r.occs[name]; ok {
+		return o
+	}
+	o := &Occupancy{Name: name, Desc: desc, Cap: capacity}
+	r.occs[name] = o
+	r.order = append(r.order, name)
+	return o
+}
+
+// Formula registers a derived statistic computed at report time.
+func (r *Registry) Formula(name, desc string, fn func() float64) {
+	r.formulas = append(r.formulas, formula{name, desc, fn})
+	r.order = append(r.order, name)
+}
+
+// Lookup returns the counter with the given name, or nil.
+func (r *Registry) Lookup(name string) *Counter { return r.counters[name] }
+
+// Names returns all registered statistic names in registration order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Write renders the registry in a fixed-width, sim-outorder-like format.
+func (r *Registry) Write(w io.Writer) error {
+	width := 0
+	for _, n := range r.order {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for _, name := range r.order {
+		var err error
+		switch {
+		case r.counters[name] != nil:
+			c := r.counters[name]
+			_, err = fmt.Fprintf(w, "%-*s %16d # %s\n", width, c.Name, c.v, c.Desc)
+		case r.occs[name] != nil:
+			o := r.occs[name]
+			_, err = fmt.Fprintf(w, "%-*s %16.4f # %s (avg occupancy, cap %d, full %.2f%%)\n",
+				width, o.Name, o.Mean(), o.Desc, o.Cap, 100*o.FullFrac())
+		default:
+			for _, f := range r.formulas {
+				if f.name == name {
+					_, err = fmt.Fprintf(w, "%-*s %16.4f # %s\n", width, f.name, f.fn(), f.desc)
+					break
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the registry report as a string.
+func (r *Registry) String() string {
+	var sb strings.Builder
+	_ = r.Write(&sb)
+	return sb.String()
+}
+
+// Snapshot returns a sorted name→value copy of all plain counters, useful in
+// tests that compare two simulation runs.
+func (r *Registry) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(r.counters))
+	for n, c := range r.counters {
+		out[n] = c.v
+	}
+	return out
+}
+
+// Ratio is a convenience for x/y guarding against division by zero.
+func Ratio(x, y uint64) float64 {
+	if y == 0 {
+		return 0
+	}
+	return float64(x) / float64(y)
+}
+
+// SortedKeys returns the keys of m in sorted order (test helper).
+func SortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sim_num_insn", "total instructions committed")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Errorf("value = %d, want 10", c.Value())
+	}
+	// Re-registering returns the same counter.
+	if r.Counter("sim_num_insn", "x") != c {
+		t.Error("duplicate registration created a new counter")
+	}
+	if r.Lookup("sim_num_insn") != c {
+		t.Error("Lookup failed")
+	}
+	if r.Lookup("nope") != nil {
+		t.Error("Lookup of unknown name should be nil")
+	}
+}
+
+func TestOccupancyStats(t *testing.T) {
+	o := &Occupancy{Name: "ifq", Cap: 4}
+	for _, n := range []int{0, 2, 4, 4, 2} {
+		o.Sample(n)
+	}
+	if got := o.Mean(); got != 2.4 {
+		t.Errorf("mean = %v, want 2.4", got)
+	}
+	if got := o.FullFrac(); got != 0.4 {
+		t.Errorf("full = %v, want 0.4", got)
+	}
+	if got := o.EmptyFrac(); got != 0.2 {
+		t.Errorf("empty = %v, want 0.2", got)
+	}
+	if o.Samples() != 5 {
+		t.Errorf("samples = %d, want 5", o.Samples())
+	}
+}
+
+func TestOccupancyEmpty(t *testing.T) {
+	o := &Occupancy{Name: "x", Cap: 8}
+	if o.Mean() != 0 || o.FullFrac() != 0 || o.EmptyFrac() != 0 {
+		t.Error("zero-sample occupancy should report zeros")
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_num_insn", "instructions").Add(1234)
+	r.Occupancy("RB_occ", "reorder buffer", 16).Sample(8)
+	insn := r.Lookup("sim_num_insn")
+	r.Formula("sim_IPC", "instructions per cycle", func() float64 {
+		return float64(insn.Value()) / 1000
+	})
+	out := r.String()
+	for _, want := range []string{"sim_num_insn", "1234", "RB_occ", "sim_IPC", "1.2340"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Registration order is preserved.
+	if i, j := strings.Index(out, "sim_num_insn"), strings.Index(out, "sim_IPC"); i > j {
+		t.Error("report out of registration order")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a", "").Add(1)
+	r.Counter("b", "").Add(2)
+	snap := r.Snapshot()
+	if snap["a"] != 1 || snap["b"] != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	keys := SortedKeys(snap)
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("sorted keys = %v", keys)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio with zero denominator should be 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Error("Ratio(3,4) != 0.75")
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	var c Counter
+	c.Set(99)
+	if c.Value() != 99 {
+		t.Errorf("Set: value = %d", c.Value())
+	}
+}

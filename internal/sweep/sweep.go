@@ -1,0 +1,104 @@
+// Package sweep runs bulk design-space explorations — the paper's stated
+// off-line use case ("bulk simulations with varying design parameters") —
+// in parallel across host cores. Every point regenerates its workload trace
+// deterministically and owns an independent engine, so points never share
+// mutable state and the sweep's output is identical to a serial run.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/funcsim"
+	"repro/internal/workload"
+)
+
+// Point is one named design point.
+type Point struct {
+	Name   string
+	Config core.Config
+}
+
+// Result pairs a point with its simulation outcome.
+type Result struct {
+	Point
+	Res core.Result
+	Err error
+}
+
+// Grid appends one point per value, derived from base by apply; names are
+// "prefix=value".
+func Grid(prefix string, base core.Config, values []int, apply func(*core.Config, int)) []Point {
+	var pts []Point
+	for _, v := range values {
+		cfg := base
+		apply(&cfg, v)
+		pts = append(pts, Point{Name: fmt.Sprintf("%s=%d", prefix, v), Config: cfg})
+	}
+	return pts
+}
+
+// Runner executes design points over one workload.
+type Runner struct {
+	Workload     workload.Profile
+	Instructions uint64
+	// Parallelism bounds concurrent simulations; 0 uses GOMAXPROCS.
+	Parallelism int
+}
+
+// Run simulates every point and returns results in point order. Individual
+// point failures are reported in Result.Err; Run itself only fails on an
+// empty point list.
+func (r Runner) Run(points []Point) ([]Result, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("sweep: no design points")
+	}
+	par := r.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(points) {
+		par = len(points)
+	}
+	results := make([]Result, len(points))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				results[idx] = r.runOne(points[idx])
+			}
+		}()
+	}
+	for i := range points {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results, nil
+}
+
+func (r Runner) runOne(pt Point) Result {
+	out := Result{Point: pt}
+	tc := funcsim.TraceConfig{
+		Predictor:    pt.Config.Predictor,
+		PerfectBP:    pt.Config.PerfectBP,
+		WrongPathLen: pt.Config.WrongPathLen(),
+	}
+	src, err := r.Workload.NewSource(tc, r.Instructions)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	eng, err := core.New(pt.Config, src, funcsim.CodeBase)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Res, out.Err = eng.Run()
+	return out
+}

@@ -1,0 +1,91 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func gzipRunner(t *testing.T) Runner {
+	t.Helper()
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Runner{Workload: p, Instructions: 8000}
+}
+
+func TestGridBuildsPoints(t *testing.T) {
+	pts := Grid("rb", core.DefaultConfig(), []int{8, 16, 32}, func(c *core.Config, v int) {
+		c.RBSize = v
+	})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Name != "rb=8" || pts[0].Config.RBSize != 8 {
+		t.Errorf("point 0 = %+v", pts[0])
+	}
+	if pts[2].Config.RBSize != 32 {
+		t.Errorf("point 2 RB = %d", pts[2].Config.RBSize)
+	}
+	// Base is not mutated.
+	if core.DefaultConfig().RBSize != 16 {
+		t.Error("base config mutated")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	r := gzipRunner(t)
+	pts := Grid("rb", core.DefaultConfig(), []int{4, 8, 16, 32}, func(c *core.Config, v int) {
+		c.RBSize = v
+	})
+
+	r.Parallelism = 1
+	serial, err := r.Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Parallelism = 4
+	parallel, err := r.Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("point %d errs: %v / %v", i, serial[i].Err, parallel[i].Err)
+		}
+		if serial[i].Res.Counters != parallel[i].Res.Counters {
+			t.Errorf("point %s differs between serial and parallel runs", serial[i].Name)
+		}
+		if serial[i].Name != parallel[i].Name {
+			t.Errorf("order not preserved at %d", i)
+		}
+	}
+	// Bigger RBs never hurt: IPC non-decreasing across the grid.
+	for i := 1; i < len(serial); i++ {
+		if serial[i].Res.IPC() < serial[i-1].Res.IPC()-1e-9 {
+			t.Errorf("IPC decreased from %s to %s", serial[i-1].Name, serial[i].Name)
+		}
+	}
+}
+
+func TestBadPointReportsError(t *testing.T) {
+	r := gzipRunner(t)
+	bad := core.DefaultConfig()
+	bad.Width = 0
+	res, err := r.Run([]Point{{Name: "bad", Config: bad}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err == nil {
+		t.Error("invalid point did not report an error")
+	}
+}
+
+func TestEmptySweepRejected(t *testing.T) {
+	r := gzipRunner(t)
+	if _, err := r.Run(nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}

@@ -1,0 +1,263 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+// small keeps harness tests fast; the full budget runs in resim-bench.
+var small = Options{Instructions: 30_000}
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	rows, err := Table1(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+		// V5 runs a faster minor clock than V4, so every V5 number must
+		// exceed its V4 counterpart (105/84 = 1.25x exactly).
+		if r.PerfectV5MIPS <= r.PerfectV4MIPS || r.CacheV5MIPS <= r.CacheV4MIPS {
+			t.Errorf("%s: V5 not faster than V4", r.Benchmark)
+		}
+		// Table 2's headline: every ReSim configuration beats FAST's
+		// reported speed by a wide margin.
+		if r.CacheV4MIPS < 2*r.FASTReported {
+			t.Errorf("%s: cache-config V4 MIPS %.2f not well above FAST %.2f",
+				r.Benchmark, r.CacheV4MIPS, r.FASTReported)
+		}
+	}
+	// Paper shape, left portion: bzip2 fastest, parser slowest.
+	if !(byName["bzip2"].PerfectV4MIPS > byName["gzip"].PerfectV4MIPS) {
+		t.Error("bzip2 not fastest in perfect-memory portion")
+	}
+	if !(byName["parser"].PerfectV4MIPS < byName["gzip"].PerfectV4MIPS) {
+		t.Error("parser not slowest among gzip/parser")
+	}
+	// Right portion: gzip fastest (cache-resident).
+	for _, n := range []string{"bzip2", "parser", "vortex", "vpr"} {
+		if byName[n].CacheV4MIPS >= byName["gzip"].CacheV4MIPS {
+			t.Errorf("cache portion: %s (%.2f) >= gzip (%.2f)",
+				n, byName[n].CacheV4MIPS, byName["gzip"].CacheV4MIPS)
+		}
+	}
+	avg := Table1Averages(rows)
+	if avg.PerfectV4MIPS <= 0 || avg.Benchmark != "Average" {
+		t.Errorf("averages broken: %+v", avg)
+	}
+	out := RenderTable1(rows)
+	for _, want := range []string{"gzip", "Average", "Virtex4", "FAST"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTable2IncludesAllSimulators(t *testing.T) {
+	rows, err := Table2(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	var resimModeled []Table2Row
+	for _, r := range rows {
+		names[r.Simulator] = true
+		if r.Simulator == "ReSim" && r.Source == "modeled" {
+			resimModeled = append(resimModeled, r)
+		}
+	}
+	for _, want := range []string{"PTLsim", "sim-outorder", "GEMS", "FAST", "A-Ports", "ReSim"} {
+		if !names[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+	if len(resimModeled) != 2 {
+		t.Fatalf("want 2 modeled ReSim rows, got %d", len(resimModeled))
+	}
+	// The paper's claim: ReSim outperforms the best reported hardware
+	// simulator (A-Ports, 4.7 MIPS) by at least a factor of ~5 — with our
+	// slightly slower synthetic IPCs we require at least 3x here.
+	for _, r := range resimModeled {
+		if r.SpeedMIPS < 3*4.7 {
+			t.Errorf("ReSim modeled %.2f MIPS, want >= 3x A-Ports (14.1)", r.SpeedMIPS)
+		}
+	}
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "measured") || !strings.Contains(out, "reported") {
+		t.Error("render missing provenance tags")
+	}
+}
+
+func TestTable3Consistency(t *testing.T) {
+	rows, err := Table3(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Bits/instr must be within the O..B record-size envelope.
+		if r.BitsPerInstr < 24 || r.BitsPerInstr > 89 {
+			t.Errorf("%s: bits/instr = %.2f outside [24,89]", r.Benchmark, r.BitsPerInstr)
+		}
+		// Internal consistency: MB/s = MIPS * bits / 8.
+		want := r.ThroughputMIPS * r.BitsPerInstr / 8
+		if diff := r.TraceMBps - want; diff > 0.01 || diff < -0.01 {
+			t.Errorf("%s: trace bandwidth inconsistent: %.2f vs %.2f", r.Benchmark, r.TraceMBps, want)
+		}
+	}
+	avg := Table3Averages(rows)
+	if avg.BitsPerInstr < 30 || avg.BitsPerInstr > 55 {
+		t.Errorf("average bits/instr = %.2f, want near the paper's 43.44", avg.BitsPerInstr)
+	}
+	out := RenderTable3(rows)
+	if !strings.Contains(out, "Gb/s") {
+		t.Error("render missing bandwidth summary")
+	}
+}
+
+func TestTable4AndRender(t *testing.T) {
+	b, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := b.Total()
+	if total.Slices < 12000 || total.Slices > 12600 {
+		t.Errorf("total slices = %d, want ~12273", total.Slices)
+	}
+	if total.BRAMs != 7 {
+		t.Errorf("BRAMs = %d, want 7", total.BRAMs)
+	}
+	out := RenderTable4(b)
+	for _, want := range []string{"Table 4", "FAST (reported)", "29230"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFigures(t *testing.T) {
+	for fig, wantK := range map[int]string{2: "11 minor cycles", 3: "8 minor cycles", 4: "7 minor cycles"} {
+		out, err := RenderFigure(fig, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, wantK) {
+			t.Errorf("figure %d missing %q:\n%s", fig, wantK, out)
+		}
+	}
+	if _, err := RenderFigure(5, 4); err == nil {
+		t.Error("figure 5 accepted")
+	}
+	if _, err := RenderFigure(2, 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+}
+
+func TestTraceCompressionExtension(t *testing.T) {
+	rows, err := TraceCompression(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ratio < 1.2 {
+			t.Errorf("%s: compression ratio %.2f < 1.2", r.Benchmark, r.Ratio)
+		}
+		if r.CompGbps >= r.RawGbps {
+			t.Errorf("%s: compression did not reduce bandwidth", r.Benchmark)
+		}
+		if !r.FitsGigE {
+			t.Errorf("%s: compressed stream still exceeds 1 Gb/s (%.2f)", r.Benchmark, r.CompGbps)
+		}
+	}
+	out := RenderCompression(rows)
+	if !strings.Contains(out, "fits GigE") {
+		t.Error("render missing header")
+	}
+}
+
+func TestPredictorSweep(t *testing.T) {
+	rows, err := PredictorSweep(small, "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PredictorRow{}
+	for _, r := range rows {
+		byName[r.Predictor] = r
+	}
+	// Perfect prediction dominates; the real predictors beat statics.
+	if byName["perfect"].IPC < byName["2lev (paper)"].IPC {
+		t.Error("perfect BP slower than 2-level")
+	}
+	if byName["perfect"].MispredRate != 0 {
+		t.Error("perfect BP mispredicted")
+	}
+	if byName["2lev (paper)"].MispredRate >= byName["nottaken"].MispredRate {
+		t.Error("2-level predictor no better than static not-taken")
+	}
+	if byName["comb"].StorageBits <= byName["2lev (paper)"].StorageBits {
+		t.Error("combined predictor should cost more state than 2-level")
+	}
+	out := RenderPredictorSweep(rows, "gzip")
+	if !strings.Contains(out, "2lev (paper)") || !strings.Contains(out, "perfect") {
+		t.Error("render incomplete")
+	}
+	if _, err := PredictorSweep(small, "nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestWrongPathSweep(t *testing.T) {
+	rows, err := WrongPathSweep(small, "parser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Total trace volume grows monotonically with block length (the
+	// per-record average need not: wrong-path records skew the mix).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TotalBits < rows[i-1].TotalBits {
+			t.Errorf("total bits not monotone: %v then %v", rows[i-1], rows[i])
+		}
+	}
+	// Zero-length blocks starve fetch on every misprediction.
+	if rows[0].BlockLen != 0 || rows[0].StarvedCycles == 0 {
+		t.Errorf("zero-block row unexpected: %+v", rows[0])
+	}
+	// The conservative length starves less than the zero length and models
+	// at least as much wrong-path cache traffic (pollution only appears
+	// when branch resolution is delayed; core's
+	// TestWrongPathLoadsPolluteDCache pins that mechanism directly).
+	conservative := rows[3]
+	if conservative.StarvedCycles >= rows[0].StarvedCycles {
+		t.Errorf("conservative block starves as much as none: %d vs %d",
+			conservative.StarvedCycles, rows[0].StarvedCycles)
+	}
+	if conservative.DCacheMisses < rows[0].DCacheMisses {
+		t.Errorf("longer blocks lost cache traffic: %d vs %d misses",
+			conservative.DCacheMisses, rows[0].DCacheMisses)
+	}
+	out := RenderWrongPathSweep(rows, "parser", 20)
+	if !strings.Contains(out, "RB+IFQ") {
+		t.Error("render missing conservative-size note")
+	}
+}
+
+func TestAblationNarrative(t *testing.T) {
+	out := Ablation(4)
+	for _, want := range []string{"serial", "parallel", "area 1.0x", "4.0x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation missing %q:\n%s", want, out)
+		}
+	}
+}

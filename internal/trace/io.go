@@ -1,0 +1,272 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/bitio"
+)
+
+// Source yields a stream of trace records. Next returns io.EOF when the
+// trace is exhausted. ReSim consumes records strictly in order; wrong-path
+// handling needs one record of lookahead, provided by Buffered.
+type Source interface {
+	Next() (Record, error)
+}
+
+// fileMagic identifies a ReSim trace file ("RSTR").
+const fileMagic = 0x52535452
+
+// fileVersion is the current trace container version.
+const fileVersion = 1
+
+// Header is the trace file preamble: where execution starts and a count of
+// records, so readers can pre-validate traces produced off-line.
+type Header struct {
+	StartPC uint32
+	Records uint64 // 0 when the producer streamed without a known count
+}
+
+// Writer encodes records into a trace file: a fixed header followed by
+// bit-packed records.
+type Writer struct {
+	bw      *bitio.Writer
+	buf     *bufio.Writer
+	records uint64
+	byKind  [3]uint64
+	tagged  uint64
+}
+
+// NewWriter writes a trace container to w, beginning with hdr.
+func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
+	buf := bufio.NewWriterSize(w, 1<<16)
+	var raw [20]byte
+	binary.BigEndian.PutUint32(raw[0:], fileMagic)
+	binary.BigEndian.PutUint32(raw[4:], fileVersion)
+	binary.BigEndian.PutUint32(raw[8:], hdr.StartPC)
+	binary.BigEndian.PutUint64(raw[12:], hdr.Records)
+	if _, err := buf.Write(raw[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bitio.NewWriter(buf), buf: buf}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if err := r.EncodeTo(w.bw); err != nil {
+		return err
+	}
+	w.records++
+	if int(r.Kind) < len(w.byKind) {
+		w.byKind[r.Kind]++
+	}
+	if r.Tag {
+		w.tagged++
+	}
+	return nil
+}
+
+// Close flushes buffered bits and bytes. It does not close the underlying
+// writer.
+func (w *Writer) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	return w.buf.Flush()
+}
+
+// Records returns the number of records written.
+func (w *Writer) Records() uint64 { return w.records }
+
+// BitsWritten returns payload bits written (excluding header and padding).
+func (w *Writer) BitsWritten() uint64 { return w.bw.BitsWritten() }
+
+// Tagged returns the number of wrong-path (Tag=1) records written.
+func (w *Writer) Tagged() uint64 { return w.tagged }
+
+// KindCount returns the number of records written with kind k.
+func (w *Writer) KindCount(k Kind) uint64 {
+	if int(k) < len(w.byKind) {
+		return w.byKind[k]
+	}
+	return 0
+}
+
+// BitsPerRecord returns the average encoded bits per record so far. This is
+// the quantity Table 3 reports as "bits/Instr".
+func (w *Writer) BitsPerRecord() float64 {
+	if w.records == 0 {
+		return 0
+	}
+	return float64(w.bw.BitsWritten()) / float64(w.records)
+}
+
+// Reader decodes a trace container produced by Writer.
+type Reader struct {
+	br     *bitio.Reader
+	hdr    Header
+	read   uint64
+	capped bool
+}
+
+// NewReader opens a trace container from r.
+func NewReader(r io.Reader) (*Reader, error) {
+	buf := bufio.NewReaderSize(r, 1<<16)
+	var raw [20]byte
+	if _, err := io.ReadFull(buf, raw[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if binary.BigEndian.Uint32(raw[0:]) != fileMagic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if v := binary.BigEndian.Uint32(raw[4:]); v != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	rd := &Reader{br: bitio.NewReader(buf)}
+	rd.hdr.StartPC = binary.BigEndian.Uint32(raw[8:])
+	rd.hdr.Records = binary.BigEndian.Uint64(raw[12:])
+	rd.capped = rd.hdr.Records != 0
+	return rd, nil
+}
+
+// Header returns the file header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Next returns the next record or io.EOF.
+func (r *Reader) Next() (Record, error) {
+	if r.capped && r.read >= r.hdr.Records {
+		return Record{}, io.EOF
+	}
+	rec, err := DecodeFrom(r.br)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// Flush padding at end of stream looks like a truncated record.
+			return Record{}, io.EOF
+		}
+		return Record{}, err
+	}
+	r.read++
+	return rec, nil
+}
+
+// Open detects the container format (raw or delta-compressed) by its magic
+// and returns a record source plus the header.
+func Open(r io.Reader) (Source, Header, error) {
+	buf := bufio.NewReaderSize(r, 1<<16)
+	magic, err := buf.Peek(4)
+	if err != nil {
+		return nil, Header{}, fmt.Errorf("trace: short file: %w", err)
+	}
+	switch binary.BigEndian.Uint32(magic) {
+	case fileMagic:
+		rd, err := NewReader(buf)
+		if err != nil {
+			return nil, Header{}, err
+		}
+		return rd, rd.Header(), nil
+	case compressedMagic:
+		rd, err := NewCompressedReader(buf)
+		if err != nil {
+			return nil, Header{}, err
+		}
+		return rd, rd.Header(), nil
+	default:
+		return nil, Header{}, errors.New("trace: unrecognized container magic")
+	}
+}
+
+// SliceSource serves records from memory; it is the Source used by
+// benchmarks so that trace decode cost does not pollute engine timing.
+type SliceSource struct {
+	recs []Record
+	pos  int
+}
+
+// NewSliceSource returns a Source over recs.
+func NewSliceSource(recs []Record) *SliceSource { return &SliceSource{recs: recs} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Record, error) {
+	if s.pos >= len(s.recs) {
+		return Record{}, io.EOF
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Reset rewinds the source to the beginning (benchmark reuse).
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len returns the total number of records.
+func (s *SliceSource) Len() int { return len(s.recs) }
+
+// Buffered adds one-record lookahead and tagged-block skipping on top of any
+// Source. The engine uses Peek to decide whether a wrong-path block follows
+// a branch, and SkipTagged to implement the paper's "tagged instructions
+// that have not been fetched by the branch resolution point at Commit are
+// discarded".
+type Buffered struct {
+	src   Source
+	have  bool
+	head  Record
+	err   error
+	count uint64 // records handed out via Next
+}
+
+// NewBuffered wraps src with lookahead.
+func NewBuffered(src Source) *Buffered { return &Buffered{src: src} }
+
+func (b *Buffered) fill() {
+	if b.have || b.err != nil {
+		return
+	}
+	r, err := b.src.Next()
+	if err != nil {
+		b.err = err
+		return
+	}
+	b.head, b.have = r, true
+}
+
+// Peek returns the next record without consuming it.
+func (b *Buffered) Peek() (Record, error) {
+	b.fill()
+	if !b.have {
+		return Record{}, b.err
+	}
+	return b.head, nil
+}
+
+// Next consumes and returns the next record.
+func (b *Buffered) Next() (Record, error) {
+	b.fill()
+	if !b.have {
+		return Record{}, b.err
+	}
+	b.have = false
+	b.count++
+	return b.head, nil
+}
+
+// SkipTagged discards consecutive Tag=1 records and returns how many were
+// discarded.
+func (b *Buffered) SkipTagged() int {
+	n := 0
+	for {
+		r, err := b.Peek()
+		if err != nil || !r.Tag {
+			return n
+		}
+		_, _ = b.Next()
+		b.count-- // discarded records are not "consumed instructions"
+		n++
+	}
+}
+
+// Consumed returns the number of records handed to the caller via Next,
+// excluding records discarded by SkipTagged.
+func (b *Buffered) Consumed() uint64 { return b.count }

@@ -1,0 +1,66 @@
+package uarch
+
+import "repro/internal/isa"
+
+// NoProducer marks a register whose value is architecturally ready.
+const NoProducer int64 = -1
+
+// RenameTable maps each architectural register to the sequence number of its
+// youngest in-flight producer (paper §III: "Dispatch ... accesses the Rename
+// Table"). Sequence numbers are the engine's global instruction ages.
+type RenameTable struct {
+	prod [isa.NumRegs]int64
+}
+
+// NewRenameTable returns a table with all registers ready.
+func NewRenameTable() *RenameTable {
+	t := &RenameTable{}
+	t.Reset()
+	return t
+}
+
+// Reset marks every register architecturally ready.
+func (t *RenameTable) Reset() {
+	for i := range t.prod {
+		t.prod[i] = NoProducer
+	}
+}
+
+// Producer returns the sequence number of the youngest in-flight producer of
+// r, or NoProducer. r0 and absent operands are always ready.
+func (t *RenameTable) Producer(r isa.Reg) int64 {
+	if r == isa.RegZero || r >= isa.NumRegs {
+		return NoProducer
+	}
+	return t.prod[r]
+}
+
+// SetProducer records seq as the youngest producer of r.
+func (t *RenameTable) SetProducer(r isa.Reg, seq int64) {
+	if r == isa.RegZero || r >= isa.NumRegs {
+		return
+	}
+	t.prod[r] = seq
+}
+
+// ClearIfProducer marks r ready if seq is still its youngest producer
+// (called when the producing instruction writes back or commits).
+func (t *RenameTable) ClearIfProducer(r isa.Reg, seq int64) {
+	if r == isa.RegZero || r >= isa.NumRegs {
+		return
+	}
+	if t.prod[r] == seq {
+		t.prod[r] = NoProducer
+	}
+}
+
+// SquashYoungerThan removes producers with sequence numbers above seq
+// (mis-speculation recovery); the engine then re-installs producers for the
+// surviving in-flight instructions by walking the reorder buffer.
+func (t *RenameTable) SquashYoungerThan(seq int64) {
+	for i := range t.prod {
+		if t.prod[i] > seq {
+			t.prod[i] = NoProducer
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package uarch provides the simulated micro-architectural structures ReSim
+// models (paper Figure 1): the instruction fetch queue and decouple buffer
+// (bounded rings), the reorder buffer and load/store queue (age-ordered
+// rings with squash), the rename table, the functional-unit pool (4×ALU,
+// 1×MUL, 1×DIV in the evaluated configuration) and memory-port accounting.
+package uarch
+
+import "fmt"
+
+// Ring is a bounded FIFO with age-indexed access and truncation, the common
+// shape of the IFQ, decouple buffer, reorder buffer and LSQ. Index 0 is the
+// oldest entry.
+type Ring[T any] struct {
+	buf   []T
+	head  int // index of oldest
+	count int
+}
+
+// NewRing returns a ring with the given capacity.
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("uarch: ring capacity %d", capacity))
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Len returns the number of entries.
+func (r *Ring[T]) Len() int { return r.count }
+
+// Cap returns the capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Full reports whether the ring is at capacity.
+func (r *Ring[T]) Full() bool { return r.count == len(r.buf) }
+
+// Empty reports whether the ring has no entries.
+func (r *Ring[T]) Empty() bool { return r.count == 0 }
+
+// PushBack appends v as the youngest entry; it reports false when full.
+func (r *Ring[T]) PushBack(v T) bool {
+	if r.Full() {
+		return false
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = v
+	r.count++
+	return true
+}
+
+// PopFront removes and returns the oldest entry.
+func (r *Ring[T]) PopFront() (T, bool) {
+	var zero T
+	if r.count == 0 {
+		return zero, false
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	return v, true
+}
+
+// At returns a pointer to the i-th oldest entry (0 = oldest). It panics on
+// out-of-range access, as that is always an engine bug.
+func (r *Ring[T]) At(i int) *T {
+	if i < 0 || i >= r.count {
+		panic(fmt.Sprintf("uarch: ring index %d out of %d", i, r.count))
+	}
+	return &r.buf[(r.head+i)%len(r.buf)]
+}
+
+// TruncateFrom discards the i-th oldest entry and everything younger
+// (squash on mis-speculation recovery). TruncateFrom(Len()) is a no-op.
+func (r *Ring[T]) TruncateFrom(i int) {
+	if i < 0 || i > r.count {
+		panic(fmt.Sprintf("uarch: truncate index %d out of %d", i, r.count))
+	}
+	var zero T
+	for j := i; j < r.count; j++ {
+		r.buf[(r.head+j)%len(r.buf)] = zero
+	}
+	r.count = i
+}
+
+// Clear empties the ring.
+func (r *Ring[T]) Clear() { r.TruncateFrom(0) }

@@ -1,0 +1,308 @@
+package uarch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing[int](4)
+	if !r.Empty() || r.Full() || r.Cap() != 4 {
+		t.Fatalf("fresh ring state wrong")
+	}
+	for i := 1; i <= 4; i++ {
+		if !r.PushBack(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.PushBack(5) {
+		t.Error("push into full ring succeeded")
+	}
+	if !r.Full() {
+		t.Error("ring should be full")
+	}
+	for i := 1; i <= 4; i++ {
+		v, ok := r.PopFront()
+		if !ok || v != i {
+			t.Errorf("pop = %d,%t want %d", v, ok, i)
+		}
+	}
+	if _, ok := r.PopFront(); ok {
+		t.Error("pop from empty succeeded")
+	}
+}
+
+func TestRingWrapsAndIndexes(t *testing.T) {
+	r := NewRing[int](3)
+	r.PushBack(1)
+	r.PushBack(2)
+	r.PopFront()
+	r.PushBack(3)
+	r.PushBack(4) // buffer has wrapped
+	want := []int{2, 3, 4}
+	for i, w := range want {
+		if got := *r.At(i); got != w {
+			t.Errorf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+	// Mutation through At is visible.
+	*r.At(1) = 30
+	if v := *r.At(1); v != 30 {
+		t.Error("At did not return a pointer into the ring")
+	}
+}
+
+func TestRingTruncate(t *testing.T) {
+	r := NewRing[int](8)
+	for i := 0; i < 6; i++ {
+		r.PushBack(i)
+	}
+	r.TruncateFrom(2) // keep entries 0,1
+	if r.Len() != 2 {
+		t.Fatalf("len = %d, want 2", r.Len())
+	}
+	if *r.At(0) != 0 || *r.At(1) != 1 {
+		t.Error("surviving entries wrong")
+	}
+	r.PushBack(99)
+	if *r.At(2) != 99 {
+		t.Error("push after truncate landed wrong")
+	}
+	r.TruncateFrom(r.Len()) // no-op
+	if r.Len() != 3 {
+		t.Error("TruncateFrom(Len) changed length")
+	}
+	r.Clear()
+	if !r.Empty() {
+		t.Error("Clear left entries")
+	}
+}
+
+func TestRingPanicsOnBadIndex(t *testing.T) {
+	r := NewRing[int](2)
+	r.PushBack(1)
+	for _, f := range []func(){
+		func() { r.At(1) },
+		func() { r.At(-1) },
+		func() { r.TruncateFrom(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: Ring matches a slice model under random push/pop/truncate.
+func TestQuickRingMatchesSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func() bool {
+		capacity := 1 + rng.Intn(8)
+		r := NewRing[int](capacity)
+		var model []int
+		next := 0
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				ok := r.PushBack(next)
+				if ok != (len(model) < capacity) {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			case 1:
+				v, ok := r.PopFront()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			default:
+				i := rng.Intn(len(model) + 1)
+				r.TruncateFrom(i)
+				model = model[:i]
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+			for i, v := range model {
+				if *r.At(i) != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenameTable(t *testing.T) {
+	rt := NewRenameTable()
+	if rt.Producer(5) != NoProducer {
+		t.Error("fresh table not ready")
+	}
+	rt.SetProducer(5, 10)
+	if rt.Producer(5) != 10 {
+		t.Error("producer not recorded")
+	}
+	rt.SetProducer(5, 12) // younger producer overrides
+	rt.ClearIfProducer(5, 10)
+	if rt.Producer(5) != 12 {
+		t.Error("stale clear removed younger producer")
+	}
+	rt.ClearIfProducer(5, 12)
+	if rt.Producer(5) != NoProducer {
+		t.Error("clear failed")
+	}
+	// r0 is never renamed.
+	rt.SetProducer(isa.RegZero, 3)
+	if rt.Producer(isa.RegZero) != NoProducer {
+		t.Error("r0 was renamed")
+	}
+	// Absent operands are always ready.
+	if rt.Producer(isa.NoReg) != NoProducer {
+		t.Error("NoReg not ready")
+	}
+}
+
+func TestRenameSquash(t *testing.T) {
+	rt := NewRenameTable()
+	rt.SetProducer(1, 5)
+	rt.SetProducer(2, 9)
+	rt.SetProducer(3, 15)
+	rt.SquashYoungerThan(9)
+	if rt.Producer(1) != 5 || rt.Producer(2) != 9 {
+		t.Error("squash removed surviving producers")
+	}
+	if rt.Producer(3) != NoProducer {
+		t.Error("squash kept younger producer")
+	}
+	rt.Reset()
+	if rt.Producer(1) != NoProducer {
+		t.Error("Reset failed")
+	}
+}
+
+func TestFUPoolDefaultsMatchPaper(t *testing.T) {
+	cfg := DefaultFUConfig()
+	if cfg[FUALU].Count != 4 || cfg[FUALU].Latency != 1 {
+		t.Errorf("ALU spec %+v", cfg[FUALU])
+	}
+	if cfg[FUMult].Count != 1 || cfg[FUMult].Latency != 3 {
+		t.Errorf("MUL spec %+v", cfg[FUMult])
+	}
+	if cfg[FUDiv].Count != 1 || cfg[FUDiv].Latency != 10 {
+		t.Errorf("DIV spec %+v", cfg[FUDiv])
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFUPoolALUBandwidth(t *testing.T) {
+	p := NewFUPool(DefaultFUConfig())
+	for i := 0; i < 4; i++ {
+		if _, ok := p.TryIssue(FUALU, 100); !ok {
+			t.Fatalf("ALU issue %d failed", i)
+		}
+	}
+	if _, ok := p.TryIssue(FUALU, 100); ok {
+		t.Error("fifth ALU issue in one cycle succeeded")
+	}
+	// Pipelined: all four available again next cycle.
+	for i := 0; i < 4; i++ {
+		if _, ok := p.TryIssue(FUALU, 101); !ok {
+			t.Fatalf("ALU issue %d at cycle+1 failed", i)
+		}
+	}
+}
+
+func TestFUPoolDivUnpipelined(t *testing.T) {
+	p := NewFUPool(DefaultFUConfig())
+	lat, ok := p.TryIssue(FUDiv, 50)
+	if !ok || lat != 10 {
+		t.Fatalf("div issue lat=%d ok=%t", lat, ok)
+	}
+	if _, ok := p.TryIssue(FUDiv, 51); ok {
+		t.Error("unpipelined div accepted back-to-back")
+	}
+	if _, ok := p.TryIssue(FUDiv, 59); ok {
+		t.Error("div accepted before completing")
+	}
+	if _, ok := p.TryIssue(FUDiv, 60); !ok {
+		t.Error("div not available after latency elapsed")
+	}
+}
+
+func TestFUPoolMultPipelined(t *testing.T) {
+	p := NewFUPool(DefaultFUConfig())
+	if _, ok := p.TryIssue(FUMult, 7); !ok {
+		t.Fatal("mult issue failed")
+	}
+	if _, ok := p.TryIssue(FUMult, 7); ok {
+		t.Error("one multiplier accepted two ops in a cycle")
+	}
+	if lat, ok := p.TryIssue(FUMult, 8); !ok || lat != 3 {
+		t.Errorf("pipelined mult next-cycle issue lat=%d ok=%t", lat, ok)
+	}
+}
+
+func TestFUPoolReset(t *testing.T) {
+	p := NewFUPool(DefaultFUConfig())
+	p.TryIssue(FUDiv, 0)
+	p.Reset()
+	if _, ok := p.TryIssue(FUDiv, 0); !ok {
+		t.Error("div busy after Reset")
+	}
+}
+
+func TestFUConfigValidate(t *testing.T) {
+	var c FUConfig
+	c[FUALU] = FUSpec{Count: -1, Latency: 1}
+	if err := c.Validate(); err == nil {
+		t.Error("negative count accepted")
+	}
+	c = DefaultFUConfig()
+	c[FUDiv].Latency = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero latency accepted")
+	}
+}
+
+func TestMemPorts(t *testing.T) {
+	m := NewMemPorts(2, 1)
+	if !m.TryRead() || !m.TryRead() {
+		t.Fatal("read ports unavailable")
+	}
+	if m.TryRead() {
+		t.Error("third read port granted")
+	}
+	if !m.TryWrite() {
+		t.Fatal("write port unavailable")
+	}
+	if m.TryWrite() {
+		t.Error("second write port granted")
+	}
+	if m.ReadsUsed() != 2 || m.WritesUsed() != 1 {
+		t.Errorf("usage = %d/%d", m.ReadsUsed(), m.WritesUsed())
+	}
+	m.NewCycle()
+	if !m.TryRead() || !m.TryWrite() {
+		t.Error("ports not refreshed by NewCycle")
+	}
+}

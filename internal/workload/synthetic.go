@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// StreamProfile synthesizes trace-record streams directly, with no program
+// and no ISA behind them — a working demonstration of the paper's claim
+// that "since the trace format is decoded and generic, ReSim supports all
+// ISAs that can be described by it" (§V.A): any front end that can emit
+// B/M/O records can drive the engine. It is also the controlled stimulus
+// for engine stress tests, where each statistical knob can be moved
+// independently of the others (impossible with real programs).
+type StreamProfile struct {
+	Seed int64
+
+	// Dynamic mix; the remainder after all fractions is single-cycle ALU.
+	MulFrac    float64
+	DivFrac    float64
+	LoadFrac   float64
+	StoreFrac  float64
+	BranchFrac float64
+
+	// Branch behavior.
+	TakenProb    float64 // P(branch taken)
+	MispredProb  float64 // P(a taken branch carries a wrong-path block)
+	WrongPathLen int     // tagged records per block
+
+	// Address behavior.
+	MemRange  uint32 // memory addresses fall in [MemBase, MemBase+MemRange)
+	CodeRange uint32 // branch PCs/targets fall in [CodeBase, CodeBase+CodeRange)
+
+	// Register dependence: producers are drawn from the last DepWindow
+	// destinations, so smaller windows mean tighter chains (lower ILP).
+	DepWindow int
+}
+
+// DefaultStreamProfile is a balanced integer mix.
+func DefaultStreamProfile(seed int64) StreamProfile {
+	return StreamProfile{
+		Seed:    seed,
+		MulFrac: 0.04, DivFrac: 0.01,
+		LoadFrac: 0.22, StoreFrac: 0.10, BranchFrac: 0.17,
+		TakenProb: 0.6, MispredProb: 0.08, WrongPathLen: 20,
+		MemRange: 1 << 16, CodeRange: 1 << 14, DepWindow: 12,
+	}
+}
+
+// Validate reports knob errors.
+func (sp StreamProfile) Validate() error {
+	sum := sp.MulFrac + sp.DivFrac + sp.LoadFrac + sp.StoreFrac + sp.BranchFrac
+	if sum < 0 || sum > 1 {
+		return fmt.Errorf("workload: stream fractions sum to %v", sum)
+	}
+	for name, p := range map[string]float64{
+		"TakenProb": sp.TakenProb, "MispredProb": sp.MispredProb,
+	} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("workload: %s = %v out of [0,1]", name, p)
+		}
+	}
+	if sp.WrongPathLen < 0 {
+		return fmt.Errorf("workload: negative WrongPathLen")
+	}
+	if sp.DepWindow < 1 {
+		return fmt.Errorf("workload: DepWindow must be >= 1")
+	}
+	if sp.MemRange == 0 || sp.CodeRange == 0 {
+		return fmt.Errorf("workload: zero address range")
+	}
+	return nil
+}
+
+// streamMemBase keeps synthetic data addresses clear of the code range.
+const streamMemBase = 0x0010_0000
+
+// streamCodeBase anchors synthetic branch PCs.
+const streamCodeBase = 0x0000_1000
+
+// Records synthesizes a stream of n correct-path records (plus tagged
+// wrong-path blocks, which do not count toward n). The stream is
+// self-consistent: branch records carry PCs and word-aligned targets, and
+// register dependencies reference earlier destinations only.
+func (sp StreamProfile) Records(n int) ([]trace.Record, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(sp.Seed))
+	recent := make([]isa.Reg, 0, sp.DepWindow)
+	pc := uint32(streamCodeBase)
+
+	src := func() isa.Reg {
+		if len(recent) == 0 || rng.Intn(4) == 0 {
+			return isa.NoReg
+		}
+		return recent[rng.Intn(len(recent))]
+	}
+	dst := func() isa.Reg {
+		d := isa.Reg(1 + rng.Intn(28))
+		recent = append(recent, d)
+		if len(recent) > sp.DepWindow {
+			recent = recent[1:]
+		}
+		return d
+	}
+	memAddr := func() uint32 {
+		return streamMemBase + uint32(rng.Int63n(int64(sp.MemRange)))&^3
+	}
+	codeAddr := func() uint32 {
+		return streamCodeBase + uint32(rng.Int63n(int64(sp.CodeRange)))&^3
+	}
+
+	var recs []trace.Record
+	emitted := 0
+	for emitted < n {
+		p := rng.Float64()
+		switch {
+		case p < sp.BranchFrac:
+			taken := rng.Float64() < sp.TakenProb
+			rec := trace.Record{
+				Kind: trace.KindBranch, Ctrl: isa.CtrlCond, Taken: taken,
+				PC: pc, Target: codeAddr(),
+				Dest: isa.NoReg, Src1: src(), Src2: isa.NoReg,
+			}
+			recs = append(recs, rec)
+			emitted++
+			if taken {
+				pc = rec.Target
+			} else {
+				pc += 4
+			}
+			if taken && rng.Float64() < sp.MispredProb {
+				for w := 0; w < sp.WrongPathLen; w++ {
+					wp := trace.Record{Kind: trace.KindOther, Class: trace.OpALU,
+						Tag: true, Dest: isa.Reg(1 + rng.Intn(28)),
+						Src1: src(), Src2: isa.NoReg}
+					if rng.Intn(4) == 0 {
+						wp = trace.Record{Kind: trace.KindMem, Tag: true, Size: 4,
+							Addr: memAddr(), Dest: isa.Reg(1 + rng.Intn(28)),
+							Src1: src(), Src2: isa.NoReg}
+					}
+					recs = append(recs, wp)
+				}
+			}
+			continue
+		case p < sp.BranchFrac+sp.LoadFrac:
+			// Sources are drawn before the destination enters the window,
+			// so dependencies always point at earlier instructions.
+			s1 := src()
+			recs = append(recs, trace.Record{Kind: trace.KindMem, Size: 4,
+				Addr: memAddr(), Src1: s1, Src2: isa.NoReg, Dest: dst()})
+		case p < sp.BranchFrac+sp.LoadFrac+sp.StoreFrac:
+			s1, s2 := src(), src()
+			recs = append(recs, trace.Record{Kind: trace.KindMem, Store: true,
+				Size: 4, Addr: memAddr(), Dest: isa.NoReg, Src1: s1, Src2: s2})
+		case p < sp.BranchFrac+sp.LoadFrac+sp.StoreFrac+sp.MulFrac:
+			s1, s2 := src(), src()
+			recs = append(recs, trace.Record{Kind: trace.KindOther,
+				Class: trace.OpMul, Src1: s1, Src2: s2, Dest: dst()})
+		case p < sp.BranchFrac+sp.LoadFrac+sp.StoreFrac+sp.MulFrac+sp.DivFrac:
+			s1, s2 := src(), src()
+			recs = append(recs, trace.Record{Kind: trace.KindOther,
+				Class: trace.OpDiv, Src1: s1, Src2: s2, Dest: dst()})
+		default:
+			s1, s2 := src(), src()
+			recs = append(recs, trace.Record{Kind: trace.KindOther,
+				Class: trace.OpALU, Src1: s1, Src2: s2, Dest: dst()})
+		}
+		emitted++
+		pc += 4
+	}
+	return recs, nil
+}
+
+// Source wraps Records in a trace.Source.
+func (sp StreamProfile) Source(n int) (trace.Source, error) {
+	recs, err := sp.Records(n)
+	if err != nil {
+		return nil, err
+	}
+	return trace.NewSliceSource(recs), nil
+}
+
+// StartPC is where a synthesized stream begins.
+func (sp StreamProfile) StartPC() uint32 { return streamCodeBase }

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func TestStreamProfileValidate(t *testing.T) {
+	if err := DefaultStreamProfile(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []StreamProfile{
+		{LoadFrac: 0.9, StoreFrac: 0.9, DepWindow: 1, MemRange: 1, CodeRange: 1},
+		func() StreamProfile { s := DefaultStreamProfile(1); s.TakenProb = 1.5; return s }(),
+		func() StreamProfile { s := DefaultStreamProfile(1); s.WrongPathLen = -1; return s }(),
+		func() StreamProfile { s := DefaultStreamProfile(1); s.DepWindow = 0; return s }(),
+		func() StreamProfile { s := DefaultStreamProfile(1); s.MemRange = 0; return s }(),
+	}
+	for i, sp := range bad {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+}
+
+func TestStreamMixMatchesKnobs(t *testing.T) {
+	sp := DefaultStreamProfile(7)
+	recs, err := sp.Records(40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var branches, loads, stores, correct float64
+	for _, r := range recs {
+		if r.Tag {
+			continue
+		}
+		correct++
+		switch {
+		case r.Kind == trace.KindBranch:
+			branches++
+		case r.Kind == trace.KindMem && r.Store:
+			stores++
+		case r.Kind == trace.KindMem:
+			loads++
+		}
+	}
+	for name, got := range map[string]struct{ frac, want float64 }{
+		"branch": {branches / correct, sp.BranchFrac},
+		"load":   {loads / correct, sp.LoadFrac},
+		"store":  {stores / correct, sp.StoreFrac},
+	} {
+		if math.Abs(got.frac-got.want) > 0.02 {
+			t.Errorf("%s fraction = %.3f, want ~%.3f", name, got.frac, got.want)
+		}
+	}
+}
+
+func TestStreamIsISAIndependent(t *testing.T) {
+	// The engine consumes the synthesized stream directly — no program, no
+	// ISA — and produces sane timing. This is the §V.A genericity claim.
+	sp := DefaultStreamProfile(11)
+	src, err := sp.Source(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(core.DefaultConfig(), src, sp.StartPC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 20000 {
+		t.Errorf("committed = %d, want 20000", res.Committed)
+	}
+	if ipc := res.IPC(); ipc < 0.3 || ipc > 4 {
+		t.Errorf("IPC = %.2f implausible", ipc)
+	}
+	if res.CommittedBranches == 0 || res.CommittedLoads == 0 {
+		t.Error("stream classes missing from commit counts")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a, err := DefaultStreamProfile(3).Records(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultStreamProfile(3).Records(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestStreamDepWindowControlsILP(t *testing.T) {
+	// A tight dependence window must lower IPC versus a wide one.
+	run := func(window int) float64 {
+		sp := DefaultStreamProfile(5)
+		sp.DepWindow = window
+		sp.BranchFrac = 0 // isolate the dependence effect
+		sp.LoadFrac, sp.StoreFrac = 0, 0
+		src, err := sp.Source(15000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.PerfectBP = true
+		eng, err := core.New(cfg, src, sp.StartPC())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPC()
+	}
+	tight, wide := run(1), run(24)
+	if tight >= wide {
+		t.Errorf("DepWindow had no effect: tight %.2f vs wide %.2f", tight, wide)
+	}
+}
+
+func TestStreamWrongPathBlocksFollowTakenBranches(t *testing.T) {
+	sp := DefaultStreamProfile(13)
+	sp.MispredProb = 1 // every taken branch carries a block
+	recs, err := sp.Records(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		if !r.Tag {
+			continue
+		}
+		prev := recs[i-1]
+		if !prev.Tag && !(prev.Kind == trace.KindBranch && prev.Taken) {
+			t.Fatalf("tagged record %d follows %v", i, prev)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package workload
+
+import (
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/funcsim"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+func TestAllProfilesBuildAndRun(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			prog, err := p.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := funcsim.NewMachine(prog, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := m.Run(20000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != 20000 {
+				t.Fatalf("program halted after %d instructions", n)
+			}
+		})
+	}
+}
+
+func TestProfileMixIsPlausible(t *testing.T) {
+	// Every profile should have a SPECINT-plausible dynamic mix: 10-35%
+	// control flow, 10-45% memory operations.
+	for _, p := range Profiles() {
+		src, err := p.NewSource(funcsim.TraceConfig{PerfectBP: true}, 30000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n, branches, mems uint64
+		for {
+			r, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			n++
+			switch r.Kind {
+			case trace.KindBranch:
+				branches++
+			case trace.KindMem:
+				mems++
+			}
+		}
+		bf := float64(branches) / float64(n)
+		mf := float64(mems) / float64(n)
+		if bf < 0.10 || bf > 0.35 {
+			t.Errorf("%s: branch fraction %.3f outside [0.10,0.35]", p.Name, bf)
+		}
+		if mf < 0.10 || mf > 0.45 {
+			t.Errorf("%s: memory fraction %.3f outside [0.10,0.45]", p.Name, mf)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	p, err := ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	take := func() []trace.Record {
+		src, err := p.NewSource(funcsim.TraceConfig{PerfectBP: true}, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recs []trace.Record
+		for {
+			r, err := src.Next()
+			if err != nil {
+				break
+			}
+			recs = append(recs, r)
+		}
+		return recs
+	}
+	a, b := take(), take()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	names := Names()
+	want := []string{"gzip", "bzip2", "parser", "vortex", "vpr"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("names[%d] = %s, want %s", i, names[i], n)
+		}
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%s): %v", n, err)
+		}
+	}
+	if _, err := ByName("mcf"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := []Profile{
+		{Name: "x", Stream: 10, ArrayBytes: 1000},                   // not pow2
+		{Name: "x", Stream: 10, ArrayBytes: 1024, Stride: 6},        // stride not mult of 4
+		{Name: "x", Arith: 10, Chains: 99},                          // too many chains
+		{Name: "x", Branchy: 10, BranchData: 1024, BranchBias: 1.5}, // bias out of range
+		{Name: "x", Branchy: 10, BranchData: 999},                   // not pow2
+		{Name: "x", Chase: 10, ListNodes: 1},                        // degenerate list
+		{Name: "x", Calls: 10, CallDepth: 0},                        // no depth
+		{Name: "x", JumpTable: 10, JTPads: 0},                       // no pads
+		{Name: "x", JumpTable: 10, JTPads: 4, JTBias: -0.1},         // bad bias
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestChaseListIsCircularAndComplete(t *testing.T) {
+	p, err := ByName("parser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the list segment by recomputing the data layout.
+	l := newLayout(funcsim.DataBase)
+	l.region(max(p.ArrayBytes, 4))
+	l.region(max(p.BranchData, 4))
+	listBase := l.region(p.ListNodes * listNodeBytes)
+	var seg *funcsim.Segment
+	for i := range prog.Segments {
+		if prog.Segments[i].Base == listBase {
+			seg = &prog.Segments[i]
+			break
+		}
+	}
+	if seg == nil {
+		t.Fatal("list segment not found")
+	}
+	// Walk the list; it must return to the head after exactly ListNodes
+	// steps, visiting every node once.
+	seen := make(map[uint32]bool)
+	cur := seg.Base
+	for i := 0; i < p.ListNodes; i++ {
+		if seen[cur] {
+			t.Fatalf("list revisits node %#x after %d steps", cur, i)
+		}
+		seen[cur] = true
+		off := cur - seg.Base
+		cur = binary.LittleEndian.Uint32(seg.Data[off:])
+	}
+	if cur != seg.Base {
+		t.Errorf("list is not circular: ended at %#x, head %#x", cur, seg.Base)
+	}
+	if len(seen) != p.ListNodes {
+		t.Errorf("visited %d nodes, want %d", len(seen), p.ListNodes)
+	}
+}
+
+func TestIPCOrderingMatchesPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration check is slow")
+	}
+	// The headline shape of Table 1 left: bzip2 is the fastest of the five
+	// and parser the slowest under 4-wide perfect memory with the 2-level
+	// predictor.
+	ipc := map[string]float64{}
+	for _, name := range []string{"bzip2", "parser", "gzip"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		src, err := p.NewSource(funcsim.TraceConfig{
+			Predictor:    cfg.Predictor,
+			WrongPathLen: cfg.WrongPathLen(),
+		}, 80000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := core.New(cfg, src, funcsim.CodeBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipc[name] = res.IPC()
+	}
+	if !(ipc["bzip2"] > ipc["gzip"] && ipc["gzip"] > ipc["parser"]) {
+		t.Errorf("IPC ordering broken: %v", ipc)
+	}
+}
+
+func TestWrongPathOverheadNearPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration check is slow")
+	}
+	// §V: "the cost due to mispredictions ... is about 10%". Check the
+	// five-benchmark average overhead lands in a 3-25% band.
+	var sum float64
+	for _, p := range Profiles() {
+		cfg := core.DefaultConfig()
+		src, err := p.NewSource(funcsim.TraceConfig{
+			Predictor:    cfg.Predictor,
+			WrongPathLen: cfg.WrongPathLen(),
+		}, 60000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := core.New(cfg, src, funcsim.CodeBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.WrongPathOverhead()
+	}
+	avg := sum / float64(len(Profiles()))
+	if avg < 0.03 || avg > 0.25 {
+		t.Errorf("average wrong-path overhead = %.3f, want ~0.10", avg)
+	}
+}
+
+func TestJumpTableTargetsAreValidPads(t *testing.T) {
+	p, err := ByName("vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jt *funcsim.Segment
+	for i := range prog.Segments {
+		if len(prog.Segments[i].Data) == jtSlots*4 {
+			jt = &prog.Segments[i]
+			break
+		}
+	}
+	if jt == nil {
+		t.Fatal("jump table segment not found")
+	}
+	code := prog.Segments[0]
+	lo := code.Base
+	hi := code.Base + uint32(len(code.Data))
+	for i := 0; i < jtSlots; i++ {
+		addr := binary.LittleEndian.Uint32(jt.Data[i*4:])
+		if addr < lo || addr >= hi || addr%4 != 0 {
+			t.Fatalf("slot %d points outside code: %#x", i, addr)
+		}
+		// Each pad starts with addi rAcc0+3, ...
+		word := binary.LittleEndian.Uint32(code.Data[addr-lo:])
+		in := isa.Decode(word, addr)
+		if in.Op != isa.OpAddi || in.A != rAcc0+3 {
+			t.Errorf("slot %d does not land on a pad: %v", i, in)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+// Package resim is a Go reproduction of "ReSim, a Trace-Driven,
+// Reconfigurable ILP Processor Simulator" (Fytraki & Pnevmatikatos,
+// DATE 2009): a cycle-accurate, trace-driven timing simulator for an
+// out-of-order, superscalar, speculative processor, together with the
+// substrates the paper's evaluation depends on — a SimpleScalar-style
+// functional simulator and trace generator, a parameterizable branch
+// predictor, timing-only caches, synthetic SPECINT-like workloads, the
+// minor-cycle internal pipeline organizations of §IV, and an FPGA
+// throughput/area model calibrated against the published results.
+//
+// Quick start:
+//
+//	cfg := resim.DefaultConfig()                     // the paper's 4-wide machine
+//	res, err := resim.SimulateWorkload(cfg, "gzip", 200_000)
+//	if err != nil { ... }
+//	fmt.Printf("IPC %.2f -> %.1f simulation MIPS on Virtex-5\n",
+//		res.IPC(), resim.SimulationMIPS(resim.Virtex5, cfg, res))
+//
+// The cmd/resim, cmd/tracegen and cmd/resim-bench tools and the examples/
+// directory exercise this API; internal packages carry the implementation.
+package resim
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/fpga"
+	"repro/internal/funcsim"
+	"repro/internal/multicore"
+	"repro/internal/sched"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Core configuration and results.
+type (
+	// Config parameterizes the simulated processor and engine organization.
+	Config = core.Config
+	// Result is the outcome of a simulation run.
+	Result = core.Result
+	// PredictorConfig parameterizes the branch predictor block.
+	PredictorConfig = bpred.Config
+	// CacheConfig describes one timing-only cache.
+	CacheConfig = cache.Config
+	// CacheModel is the memory-system interface (hit/miss + latency) the
+	// engine consumes; assign to Config.ICache / Config.DCache.
+	CacheModel = cache.Model
+	// Organization selects the internal minor-cycle pipeline (§IV).
+	Organization = sched.Organization
+	// Workload is a synthetic SPECINT-like benchmark profile.
+	Workload = workload.Profile
+	// Device is an FPGA device model.
+	Device = fpga.Device
+	// AreaBreakdown is a per-stage FPGA resource estimate (Table 4).
+	AreaBreakdown = fpga.Breakdown
+	// Record is one pre-decoded trace record (formats B, M and O).
+	Record = trace.Record
+	// Source yields trace records to the engine.
+	Source = trace.Source
+)
+
+// The three internal pipeline organizations (paper Figures 2-4).
+const (
+	OrgSimple    = sched.OrgSimple    // 2N+3 minor cycles per major cycle
+	OrgImproved  = sched.OrgImproved  // N+4
+	OrgOptimized = sched.OrgOptimized // N+3, needs <= N-1 memory ports
+)
+
+// The evaluation's FPGA devices.
+var (
+	Virtex4 = fpga.Virtex4 // xc4vlx40, 84 MHz minor clock
+	Virtex5 = fpga.Virtex5 // xc5vlx50t, 105 MHz minor clock
+)
+
+// DefaultConfig returns the paper's evaluated 4-way configuration: RB 16,
+// LSQ 8, 4 ALU + 1 MUL + 1 DIV, two-level branch predictor, perfect memory,
+// Optimized (N+3) organization.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// FASTComparisonConfig returns the 2-issue configuration of Table 1's right
+// portion: perfect branch prediction and 32 KB 8-way L1 caches.
+func FASTComparisonConfig() Config { return core.FASTComparisonConfig() }
+
+// NewL1Cache attaches a timing-only set-associative cache built from cfg to
+// a Config (assign to Config.ICache / Config.DCache).
+func NewL1Cache(cfg CacheConfig) (CacheModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cache.New(cfg), nil
+}
+
+// Workloads returns the five SPECINT CPU2000 stand-in profiles in Table 1
+// row order (gzip, bzip2, parser, vortex, vpr).
+func Workloads() []Workload { return workload.Profiles() }
+
+// WorkloadByName returns the named profile.
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// SimulateWorkload generates the named workload's trace on the fly (the
+// functional-simulator coupling of the paper's future work) and simulates
+// up to limit correct-path instructions through the engine.
+func SimulateWorkload(cfg Config, name string, limit uint64) (Result, error) {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return Result{}, err
+	}
+	src, err := p.NewSource(traceConfigFor(cfg), limit)
+	if err != nil {
+		return Result{}, err
+	}
+	eng, err := core.New(cfg, src, funcsim.CodeBase)
+	if err != nil {
+		return Result{}, err
+	}
+	return eng.Run()
+}
+
+// Simulate runs the engine over an arbitrary record source starting at
+// startPC.
+func Simulate(cfg Config, src Source, startPC uint32) (Result, error) {
+	eng, err := core.New(cfg, src, startPC)
+	if err != nil {
+		return Result{}, err
+	}
+	return eng.Run()
+}
+
+// TraceStats summarizes a generated trace file.
+type TraceStats struct {
+	Records      uint64
+	WrongPath    uint64
+	Bits         uint64
+	BitsPerInstr float64
+}
+
+// WriteWorkloadTrace generates a ReSim trace for the named workload into w
+// (container format: header + bit-packed B/M/O records). The predictor
+// configuration of cfg drives wrong-path block generation, mirroring
+// sim-bpred.
+func WriteWorkloadTrace(w io.Writer, cfg Config, name string, limit uint64) (TraceStats, error) {
+	return writeWorkloadTrace(w, cfg, name, limit, false)
+}
+
+// WriteCompressedWorkloadTrace is WriteWorkloadTrace with the delta-coded
+// container (see internal/trace): typically ~1.4x smaller, bringing the
+// paper's trace-bandwidth demand under gigabit Ethernet.
+func WriteCompressedWorkloadTrace(w io.Writer, cfg Config, name string, limit uint64) (TraceStats, error) {
+	return writeWorkloadTrace(w, cfg, name, limit, true)
+}
+
+// traceSink abstracts the two container writers.
+type traceSink interface {
+	Write(trace.Record) error
+	Close() error
+	Records() uint64
+	BitsWritten() uint64
+	BitsPerRecord() float64
+}
+
+func writeWorkloadTrace(w io.Writer, cfg Config, name string, limit uint64, compress bool) (TraceStats, error) {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return TraceStats{}, err
+	}
+	prog, err := p.Build()
+	if err != nil {
+		return TraceStats{}, err
+	}
+	m, err := funcsim.NewMachine(prog, 0)
+	if err != nil {
+		return TraceStats{}, err
+	}
+	var (
+		sink   traceSink
+		tagged uint64
+	)
+	hdr := trace.Header{StartPC: prog.Entry}
+	if compress {
+		sink, err = trace.NewCompressedWriter(w, hdr)
+	} else {
+		sink, err = trace.NewWriter(w, hdr)
+	}
+	if err != nil {
+		return TraceStats{}, err
+	}
+	tr := funcsim.NewTracer(m, traceConfigFor(cfg))
+	if _, err := tr.Run(limit, func(r trace.Record) error {
+		if r.Tag {
+			tagged++
+		}
+		return sink.Write(r)
+	}); err != nil {
+		return TraceStats{}, err
+	}
+	if err := sink.Close(); err != nil {
+		return TraceStats{}, err
+	}
+	return TraceStats{
+		Records:      sink.Records(),
+		WrongPath:    tagged,
+		Bits:         sink.BitsWritten(),
+		BitsPerInstr: sink.BitsPerRecord(),
+	}, nil
+}
+
+// SimulateTraceFile opens a trace container previously produced by
+// WriteWorkloadTrace, WriteCompressedWorkloadTrace or cmd/tracegen — the
+// format is auto-detected — and simulates it.
+func SimulateTraceFile(cfg Config, path string) (Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Result{}, err
+	}
+	defer f.Close()
+	src, hdr, err := trace.Open(f)
+	if err != nil {
+		return Result{}, err
+	}
+	return Simulate(cfg, src, hdr.StartPC)
+}
+
+// SimulationMIPS converts a result's IPC into modeled wall-clock simulation
+// throughput on dev: MinorClockMHz / K(width) x IPC (Table 1's model).
+func SimulationMIPS(dev Device, cfg Config, res Result) float64 {
+	return fpga.SimulationMIPS(dev, cfg.MinorCyclesPerMajor(), res.IPC())
+}
+
+// EstimateArea produces the Table 4 per-stage FPGA resource estimate.
+func EstimateArea(cfg Config) (AreaBreakdown, error) { return fpga.EstimateArea(cfg) }
+
+// RenderPipeline renders the minor-cycle schedule of the given organization
+// for an n-wide processor (the ASCII equivalent of Figures 2-4).
+func RenderPipeline(org Organization, n int) (string, error) {
+	s, err := sched.Build(org, n)
+	if err != nil {
+		return "", err
+	}
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	return s.Render(), nil
+}
+
+// SweepPoint is one named design point of a bulk sweep.
+type SweepPoint = sweep.Point
+
+// SweepResult pairs a design point with its simulation outcome.
+type SweepResult = sweep.Result
+
+// SweepGrid derives one design point per value from base; names are
+// "prefix=value".
+func SweepGrid(prefix string, base Config, values []int, apply func(*Config, int)) []SweepPoint {
+	return sweep.Grid(prefix, base, values, apply)
+}
+
+// RunSweep simulates every design point over the named workload in parallel
+// across host cores (the paper's bulk design-space exploration use case);
+// results come back in point order, deterministic regardless of
+// parallelism.
+func RunSweep(workloadName string, instructions uint64, points []SweepPoint) ([]SweepResult, error) {
+	p, err := workload.ByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Runner{Workload: p, Instructions: instructions}.Run(points)
+}
+
+// MulticoreResult is the outcome of a lockstep multi-instance simulation.
+type MulticoreResult = multicore.Result
+
+// MulticoreOptions configures SimulateMulticore.
+type MulticoreOptions struct {
+	// Workloads names one profile per simulated core.
+	Workloads []string
+	// Limit bounds correct-path instructions per core (0 = run to HALT).
+	Limit uint64
+	// SharedL2, when non-nil, backs every core's private L1 data cache
+	// with one shared L2, modeling inter-core cache interference. L1 must
+	// then be set too.
+	SharedL2 *CacheConfig
+	// L1 is the private data-cache geometry used with SharedL2.
+	L1 *CacheConfig
+}
+
+// SimulateMulticore runs one ReSim instance per workload in lockstep major
+// cycles — the paper's future-work mode of fitting multiple instances in
+// one FPGA (§VI). Every core uses cfg (width, predictor, organization).
+func SimulateMulticore(cfg Config, opts MulticoreOptions) (MulticoreResult, error) {
+	if len(opts.Workloads) == 0 {
+		return MulticoreResult{}, fmt.Errorf("resim: no workloads given")
+	}
+	var shared CacheModel
+	if opts.SharedL2 != nil {
+		if opts.L1 == nil {
+			return MulticoreResult{}, fmt.Errorf("resim: SharedL2 requires an L1 geometry")
+		}
+		var err error
+		shared, err = NewL1Cache(*opts.SharedL2)
+		if err != nil {
+			return MulticoreResult{}, err
+		}
+	}
+	var specs []multicore.CoreSpec
+	for _, name := range opts.Workloads {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return MulticoreResult{}, err
+		}
+		coreCfg := cfg
+		if shared != nil {
+			if err := multicore.AttachSharedDL1(&coreCfg, *opts.L1, shared); err != nil {
+				return MulticoreResult{}, err
+			}
+		}
+		src, err := p.NewSource(traceConfigFor(coreCfg), opts.Limit)
+		if err != nil {
+			return MulticoreResult{}, err
+		}
+		specs = append(specs, multicore.CoreSpec{
+			Name: name, Config: coreCfg, Source: src, StartPC: funcsim.CodeBase,
+		})
+	}
+	cl, err := multicore.New(specs)
+	if err != nil {
+		return MulticoreResult{}, err
+	}
+	return cl.Run(0)
+}
+
+// AggregateMIPS models a lockstep cluster's simulation throughput on dev
+// for cores configured as cfg.
+func AggregateMIPS(dev Device, cfg Config, res MulticoreResult) float64 {
+	return res.AggregateMIPS(dev, cfg.MinorCyclesPerMajor())
+}
+
+// traceConfigFor derives the sim-bpred trace-generation configuration that
+// matches a simulated-processor configuration, as the paper does.
+func traceConfigFor(cfg Config) funcsim.TraceConfig {
+	return funcsim.TraceConfig{
+		Predictor:    cfg.Predictor,
+		PerfectBP:    cfg.PerfectBP,
+		WrongPathLen: cfg.WrongPathLen(),
+	}
+}
+
+// Version identifies this reproduction.
+const Version = "1.0.0"
