@@ -7,6 +7,7 @@
 package resim_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -91,7 +92,7 @@ func BenchmarkTable2Simulators(b *testing.B) {
 	var res core.Result
 	var hs baseline.HostStats
 	for i := 0; i < b.N; i++ {
-		res, hs, err = baseline.ExecutionDriven(cfg, prog, benchInstrs)
+		res, hs, err = baseline.ExecutionDriven(context.Background(), cfg, prog, benchInstrs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -357,7 +358,7 @@ func BenchmarkAblationPredictorSweep(b *testing.B) {
 	var rows []tables.PredictorRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = tables.PredictorSweep(tables.Options{Instructions: 20_000}, "gzip")
+		rows, err = tables.PredictorSweep(context.Background(), tables.Options{Instructions: 20_000}, "gzip")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -378,7 +379,7 @@ func BenchmarkAblationWrongPathLen(b *testing.B) {
 	var rows []tables.WrongPathRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = tables.WrongPathSweep(tables.Options{Instructions: 20_000}, "parser")
+		rows, err = tables.WrongPathSweep(context.Background(), tables.Options{Instructions: 20_000}, "parser")
 		if err != nil {
 			b.Fatal(err)
 		}

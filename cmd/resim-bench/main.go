@@ -11,14 +11,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/tables"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var (
 		all      = flag.Bool("all", false, "regenerate every table and figure")
 		table    = flag.Int("table", 0, "regenerate one table (1-4)")
@@ -42,15 +47,15 @@ func main() {
 	run := func(t int) {
 		switch t {
 		case 1:
-			rows, err := tables.Table1(opts)
+			rows, err := tables.Table1(ctx, opts)
 			check(err)
 			fmt.Println(tables.RenderTable1(rows))
 		case 2:
-			rows, err := tables.Table2(opts)
+			rows, err := tables.Table2(ctx, opts)
 			check(err)
 			fmt.Println(tables.RenderTable2(rows))
 		case 3:
-			rows, err := tables.Table3(opts)
+			rows, err := tables.Table3(ctx, opts)
 			check(err)
 			fmt.Println(tables.RenderTable3(rows))
 		case 4:
@@ -72,7 +77,7 @@ func main() {
 			fmt.Println(out)
 		}
 		fmt.Println(tables.Ablation(*width))
-		rows, err := tables.TraceCompression(opts)
+		rows, err := tables.TraceCompression(ctx, opts)
 		check(err)
 		fmt.Println(tables.RenderCompression(rows))
 		return
@@ -89,17 +94,17 @@ func main() {
 		fmt.Println(tables.Ablation(*width))
 	}
 	if *compress {
-		rows, err := tables.TraceCompression(opts)
+		rows, err := tables.TraceCompression(ctx, opts)
 		check(err)
 		fmt.Println(tables.RenderCompression(rows))
 	}
 	if *bpSweep != "" {
-		rows, err := tables.PredictorSweep(opts, *bpSweep)
+		rows, err := tables.PredictorSweep(ctx, opts, *bpSweep)
 		check(err)
 		fmt.Println(tables.RenderPredictorSweep(rows, *bpSweep))
 	}
 	if *wpSweep != "" {
-		rows, err := tables.WrongPathSweep(opts, *wpSweep)
+		rows, err := tables.WrongPathSweep(ctx, opts, *wpSweep)
 		check(err)
 		fmt.Println(tables.RenderWrongPathSweep(rows, *wpSweep, 20))
 	}

@@ -2,7 +2,8 @@
 // parameters — the configuration tool the paper's conclusions propose. The
 // output is a VHDL-like structural document plus the modeled resource
 // budget and device fit report, derived from the exact configuration the
-// timing engine simulates.
+// timing engine simulates (composed and validated through the resim
+// Session options).
 //
 // Usage:
 //
@@ -16,7 +17,6 @@ import (
 	"os"
 
 	resim "repro"
-	"repro/internal/core"
 	"repro/internal/fpga"
 	"repro/internal/gen"
 )
@@ -34,37 +34,30 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := core.DefaultConfig()
-	cfg.Width = *width
-	cfg.RBSize = *rb
-	cfg.LSQSize = *lsq
-	cfg.IFQSize = *ifq
-	cfg.PerfectBP = *perfectBP
-	switch *orgName {
-	case "simple":
-		cfg.Organization = resim.OrgSimple
-	case "improved":
-		cfg.Organization = resim.OrgImproved
-	case "optimized":
-		cfg.Organization = resim.OrgOptimized
-	default:
-		fatal(fmt.Errorf("unknown organization %q", *orgName))
+	org, err := resim.OrganizationByName(*orgName)
+	if err != nil {
+		fatal(err)
 	}
-	if max := cfg.Organization.MaxMemPorts(cfg.Width); cfg.MemReadPorts > max {
-		cfg.MemReadPorts = max
+
+	opts := []resim.Option{
+		resim.WithWidth(*width),
+		resim.WithRBSize(*rb),
+		resim.WithLSQSize(*lsq),
+		resim.WithIFQSize(*ifq),
+		resim.WithOrganization(org),
+	}
+	if *perfectBP {
+		opts = append(opts, resim.WithPerfectBP())
 	}
 	if *caches {
-		il1, err := resim.NewL1Cache(resim.CacheConfig{Name: "il1", SizeBytes: 32 << 10,
-			Assoc: 8, BlockBytes: 64, HitLatency: 1, MissLatency: 20})
-		if err != nil {
-			fatal(err)
-		}
-		dl1, err := resim.NewL1Cache(resim.CacheConfig{Name: "dl1", SizeBytes: 32 << 10,
-			Assoc: 8, BlockBytes: 64, HitLatency: 1, MissLatency: 20})
-		if err != nil {
-			fatal(err)
-		}
-		cfg.ICache, cfg.DCache = il1, dl1
+		opts = append(opts, resim.WithL1Caches(resim.CacheConfig{
+			SizeBytes: 32 << 10, Assoc: 8, BlockBytes: 64,
+			HitLatency: 1, MissLatency: 20,
+		}))
+	}
+	ses, err := resim.New(opts...)
+	if err != nil {
+		fatal(err)
 	}
 
 	var dev fpga.Device
@@ -77,7 +70,7 @@ func main() {
 		fatal(fmt.Errorf("unknown device %q", *device))
 	}
 
-	out, err := gen.Generate(cfg, dev)
+	out, err := gen.Generate(ses.Config(), dev)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,19 +1,25 @@
 // Command resim runs the ReSim timing engine over a trace — either a file
 // produced by tracegen or one generated on the fly from a synthetic
 // workload — and prints the sim-outorder-style statistics report plus the
-// modeled FPGA simulation throughput.
+// modeled FPGA simulation throughput. Ctrl-C cancels an in-flight run.
 //
 // Usage:
 //
 //	resim -workload bzip2 -n 500000
 //	resim -trace gzip.trace -width 2 -perfect-bp -caches
 //	resim -workload parser -org simple -device virtex4
+//
+// With -config, the JSON file is loaded first and explicit structure flags
+// override its fields.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	resim "repro"
 	"repro/internal/configfile"
@@ -25,7 +31,7 @@ func main() {
 		tracePath = flag.String("trace", "", "trace file to simulate (from tracegen)")
 		name      = flag.String("workload", "", "generate and simulate this workload on the fly")
 		n         = flag.Uint64("n", 500_000, "instruction budget for -workload mode")
-		confPath  = flag.String("config", "", "JSON configuration file (overrides the structure flags)")
+		confPath  = flag.String("config", "", "JSON configuration file (explicit flags override its fields)")
 		saveConf  = flag.String("save-config", "", "write the effective configuration as JSON and exit")
 		pipeTrace = flag.Int("pipetrace", 0, "render a pipeline diagram of the first N instructions")
 		width     = flag.Int("width", 4, "processor width N")
@@ -38,43 +44,13 @@ func main() {
 		device    = flag.String("device", "virtex5", "FPGA model for throughput: virtex4, virtex5")
 		readPorts = flag.Int("read-ports", 0, "memory read ports (0 = auto)")
 		report    = flag.Bool("report", true, "print the full statistics report")
+		progress  = flag.Bool("progress", false, "report progress to stderr while simulating")
 	)
 	flag.Parse()
 
+	// Configuration file first, explicit flags second: a flag the user typed
+	// always wins, and flags left at their defaults never clobber the file.
 	cfg := resim.DefaultConfig()
-	cfg.Width = *width
-	cfg.RBSize = *rb
-	cfg.LSQSize = *lsq
-	cfg.IFQSize = *ifq
-	cfg.PerfectBP = *perfectBP
-	switch *orgName {
-	case "simple":
-		cfg.Organization = resim.OrgSimple
-	case "improved":
-		cfg.Organization = resim.OrgImproved
-	case "optimized":
-		cfg.Organization = resim.OrgOptimized
-	default:
-		fatal(fmt.Errorf("unknown organization %q", *orgName))
-	}
-	if *caches {
-		il1, err := resim.NewL1Cache(resim.CacheConfig{Name: "il1", SizeBytes: 32 << 10,
-			Assoc: 8, BlockBytes: 64, HitLatency: 1, MissLatency: 20})
-		if err != nil {
-			fatal(err)
-		}
-		dl1, err := resim.NewL1Cache(resim.CacheConfig{Name: "dl1", SizeBytes: 32 << 10,
-			Assoc: 8, BlockBytes: 64, HitLatency: 1, MissLatency: 20})
-		if err != nil {
-			fatal(err)
-		}
-		cfg.ICache, cfg.DCache = il1, dl1
-	}
-	if *readPorts > 0 {
-		cfg.MemReadPorts = *readPorts
-	} else if max := cfg.Organization.MaxMemPorts(cfg.Width); cfg.MemReadPorts > max {
-		cfg.MemReadPorts = max
-	}
 	if *confPath != "" {
 		loaded, err := configfile.Load(*confPath)
 		if err != nil {
@@ -82,20 +58,88 @@ func main() {
 		}
 		cfg = loaded
 	}
-	if err := cfg.Validate(); err != nil {
-		fatal(err)
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	use := func(flagName string) bool { return *confPath == "" || set[flagName] }
+
+	if use("width") {
+		cfg.Width = *width
 	}
-	if *saveConf != "" {
-		if err := configfile.Save(*saveConf, cfg); err != nil {
+	if use("rb") {
+		cfg.RBSize = *rb
+	}
+	if use("lsq") {
+		cfg.LSQSize = *lsq
+	}
+	if use("ifq") {
+		cfg.IFQSize = *ifq
+	}
+	if use("perfect-bp") {
+		cfg.PerfectBP = *perfectBP
+	}
+	if use("org") {
+		org, err := resim.OrganizationByName(*orgName)
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s\n", *saveConf)
-		return
+		cfg.Organization = org
 	}
+	if set["caches"] { // -caches attaches the 32K L1s, -caches=false strips the file's
+		if *caches {
+			il1, err := resim.NewL1Cache(resim.CacheConfig{Name: "il1", SizeBytes: 32 << 10,
+				Assoc: 8, BlockBytes: 64, HitLatency: 1, MissLatency: 20})
+			if err != nil {
+				fatal(err)
+			}
+			dl1, err := resim.NewL1Cache(resim.CacheConfig{Name: "dl1", SizeBytes: 32 << 10,
+				Assoc: 8, BlockBytes: 64, HitLatency: 1, MissLatency: 20})
+			if err != nil {
+				fatal(err)
+			}
+			cfg.ICache, cfg.DCache = il1, dl1
+		} else {
+			cfg.ICache, cfg.DCache = nil, nil
+		}
+	}
+	if *readPorts > 0 {
+		cfg.MemReadPorts = *readPorts
+	} else if *confPath == "" {
+		// No file: the default port count is nobody's explicit choice, so
+		// clamp it to the organization's limit. A config file's ports are
+		// explicit — leave them and let validation surface any conflict
+		// with flag-overridden width/org rather than silently simulating a
+		// different machine.
+		// max >= 1 mirrors Session.New's guard: at width 1 the Optimized
+		// organization allows no read ports at all, and clamping to 0 would
+		// swap the clear organization-limit error for a confusing one.
+		if max := cfg.Organization.MaxMemPorts(cfg.Width); max >= 1 && cfg.MemReadPorts > max {
+			cfg.MemReadPorts = max
+		}
+	}
+
 	var collector *ptrace.Collector
 	if *pipeTrace > 0 {
 		collector = ptrace.New(*pipeTrace)
 		cfg.PipeTracer = collector
+	}
+
+	opts := []resim.Option{resim.WithConfig(cfg)}
+	if *progress {
+		opts = append(opts, resim.WithObserver(resim.ObserverFunc(func(p resim.Progress) {
+			fmt.Fprintf(os.Stderr, "resim: %d cycles, %d committed, IPC %.3f\n",
+				p.Cycles, p.Committed, p.IPC)
+		}), 0))
+	}
+	ses, err := resim.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if *saveConf != "" {
+		if err := configfile.Save(*saveConf, ses.Config()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *saveConf)
+		return
 	}
 
 	var dev resim.Device
@@ -108,17 +152,17 @@ func main() {
 		fatal(fmt.Errorf("unknown device %q", *device))
 	}
 
-	var (
-		res resim.Result
-		err error
-	)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var res resim.Result
 	switch {
 	case *tracePath != "" && *name != "":
 		fatal(fmt.Errorf("use either -trace or -workload, not both"))
 	case *tracePath != "":
-		res, err = resim.SimulateTraceFile(cfg, *tracePath)
+		res, err = ses.RunTrace(ctx, *tracePath)
 	case *name != "":
-		res, err = resim.SimulateWorkload(cfg, *name, *n)
+		res, err = ses.RunWorkload(ctx, *name, *n)
 	default:
 		fmt.Fprintln(os.Stderr, "resim: one of -trace or -workload is required")
 		flag.Usage()
@@ -139,9 +183,9 @@ func main() {
 	fmt.Printf("\nsimulated %d instructions in %d cycles (IPC %.3f)\n",
 		res.Committed, res.Cycles, res.IPC())
 	fmt.Printf("internal pipeline: %v, K = %d minor cycles per major cycle\n",
-		cfg.Organization, cfg.MinorCyclesPerMajor())
+		ses.Config().Organization, ses.Config().MinorCyclesPerMajor())
 	fmt.Printf("modeled simulation throughput on %s: %.2f MIPS\n",
-		dev.Name, resim.SimulationMIPS(dev, cfg, res))
+		dev.Name, resim.SimulationMIPS(dev, ses.Config(), res))
 }
 
 func fatal(err error) {

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	resim "repro"
 )
@@ -35,27 +38,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := resim.DefaultConfig()
-	cfg.Width = *width
-	cfg.PerfectBP = *perfectBP
-	if *width <= 2 {
-		cfg.MemReadPorts = 1
+	opts := []resim.Option{resim.WithWidth(*width)}
+	if *perfectBP {
+		opts = append(opts, resim.WithPerfectBP())
 	}
-	if err := cfg.Validate(); err != nil {
+	ses, err := resim.New(opts...)
+	if err != nil {
 		fatal(err)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)
 	}
-	write := resim.WriteWorkloadTrace
-	if *compress {
-		write = resim.WriteCompressedWorkloadTrace
-	}
-	st, err := write(f, cfg, *name, *n)
+	st, err := ses.WriteTrace(ctx, f, *name, *n, *compress)
 	if err != nil {
 		_ = f.Close()
+		_ = os.Remove(*out) // don't leave a truncated, footer-less container
 		fatal(err)
 	}
 	if err := f.Close(); err != nil {

@@ -2,12 +2,13 @@
 // fit multiple ReSim instances in a single FPGA and simulate multi-core
 // systems" (§VI). It checks how many engine instances the area model fits
 // on each device, then runs a lockstep cluster — one ReSim instance per
-// workload — twice: with private memory systems, and with the cores'
-// private L1 data caches backed by one shared L2, so the workloads
-// interfere in the shared tags like a real CMP.
+// workload — twice through Session.Multicore: with private memory systems,
+// and with the cores' private L1 data caches backed by one shared L2, so
+// the workloads interfere in the shared tags like a real CMP.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,12 @@ import (
 )
 
 func main() {
-	cfg := resim.DefaultConfig()
+	ses, err := resim.New() // every core uses the paper's 4-wide machine
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := ses.Config()
+	ctx := context.Background()
 
 	// How many instances fit? (Perfect-memory core: ~10K V4 slices.)
 	breakdown, err := resim.EstimateArea(cfg)
@@ -34,7 +40,7 @@ func main() {
 
 	// Lockstep cluster with private memory systems.
 	fmt.Printf("\nlockstep cluster, private memories: %v\n", workloads)
-	res, err := resim.SimulateMulticore(cfg, resim.MulticoreOptions{
+	res, err := ses.Multicore(ctx, resim.MulticoreOptions{
 		Workloads: workloads, Limit: instrs,
 	})
 	if err != nil {
@@ -51,7 +57,7 @@ func main() {
 
 	// The same cluster with private 8K L1s over one shared 64K L2.
 	fmt.Printf("\nlockstep cluster, shared L2 (8K private L1s, 64K shared L2):\n")
-	shared, err := resim.SimulateMulticore(cfg, resim.MulticoreOptions{
+	shared, err := ses.Multicore(ctx, resim.MulticoreOptions{
 		Workloads: workloads,
 		Limit:     instrs,
 		L1: &resim.CacheConfig{Name: "dl1", SizeBytes: 8 << 10, Assoc: 2,

@@ -1,6 +1,8 @@
 // Pipelineviz renders the paper's Figures 2-4: the three internal
 // minor-cycle pipeline organizations of §IV, plus the major-cycle latency
-// formulas K(N) for a range of widths.
+// formulas K(N) for a range of widths. Each organization is composed into
+// a validated Session first, demonstrating that the option builder rejects
+// illegal combinations (e.g. Optimized with too many memory ports).
 package main
 
 import (
@@ -11,8 +13,14 @@ import (
 )
 
 func main() {
-	for _, org := range []resim.Organization{resim.OrgSimple, resim.OrgImproved, resim.OrgOptimized} {
-		out, err := resim.RenderPipeline(org, 4)
+	orgs := []resim.Organization{resim.OrgSimple, resim.OrgImproved, resim.OrgOptimized}
+	for _, org := range orgs {
+		// New validates the organization/width/port combination once.
+		ses, err := resim.New(resim.WithOrganization(org), resim.WithWidth(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := resim.RenderPipeline(org, ses.Config().Width)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -25,7 +33,7 @@ func main() {
 		fmt.Printf("%5d", n)
 	}
 	fmt.Println()
-	for _, org := range []resim.Organization{resim.OrgSimple, resim.OrgImproved, resim.OrgOptimized} {
+	for _, org := range orgs {
 		fmt.Printf("%-12v", org)
 		for n := 1; n <= 8; n++ {
 			fmt.Printf("%5d", org.MinorCyclesPerMajor(n))
@@ -34,4 +42,14 @@ func main() {
 	}
 	fmt.Println("\nsimple = 2N+3, improved = N+4, optimized = N+3 (<= N-1 memory ports).")
 	fmt.Println("All three simulate identical processor timing; they differ only in ReSim's own clock cycles per simulated cycle.")
+
+	// The Optimized organization's port restriction is a real constraint the
+	// Session enforces at construction:
+	if _, err := resim.New(
+		resim.WithOrganization(resim.OrgOptimized),
+		resim.WithWidth(2),
+		resim.WithMemoryPorts(2, 1), // width 2 allows at most N-1 = 1 read port
+	); err != nil {
+		fmt.Printf("\nSession validation: %v\n", err)
+	}
 }

@@ -1,9 +1,11 @@
 // Quickstart: simulate one SPECINT-like workload on the paper's 4-wide
 // configuration and report the simulated IPC and the modeled FPGA
-// simulation throughput on both evaluation devices.
+// simulation throughput on both evaluation devices. A Session built with
+// resim.New is the entry point; an Observer reports progress mid-run.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,13 +13,24 @@ import (
 )
 
 func main() {
-	cfg := resim.DefaultConfig() // 4-wide, RB 16, LSQ 8, 2-level BP, perfect memory
-
-	res, err := resim.SimulateWorkload(cfg, "gzip", 200_000)
+	// The paper's machine: 4-wide, RB 16, LSQ 8, 2-level BP, perfect memory.
+	ses, err := resim.New(
+		resim.WithObserver(resim.ObserverFunc(func(p resim.Progress) {
+			if !p.Final {
+				fmt.Printf("  ... %d cycles, IPC so far %.3f\n", p.Cycles, p.IPC)
+			}
+		}), 50_000),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	res, err := ses.RunWorkload(context.Background(), "gzip", 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := ses.Config()
 	fmt.Printf("gzip: %d instructions in %d cycles -> IPC %.3f\n",
 		res.Committed, res.Cycles, res.IPC())
 	fmt.Printf("branch mispredictions: %d (%.1f%% of branches), wrong-path overhead %.1f%%\n",

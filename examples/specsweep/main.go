@@ -1,14 +1,17 @@
 // Specsweep is the paper's off-line bulk-simulation use case: "traces that
 // are prepared off-line (for example for bulk simulations with varying
-// design parameters)". It demonstrates both halves of that flow:
+// design parameters)". It demonstrates both halves of that flow through
+// the Session API:
 //
-//  1. prepare a trace file once and re-simulate it under different
-//     configurations (the trace never changes, only the machine), and
+//  1. prepare a trace file once with Session.WriteTrace and re-simulate it
+//     under different configurations (the trace never changes, only the
+//     machine), and
 //  2. run a parallel design-space sweep across host cores with
-//     resim.RunSweep, printing an IPC surface over RB size x issue width.
+//     Session.Sweep, printing an IPC surface over RB size x issue width.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -19,6 +22,7 @@ import (
 
 func main() {
 	const instrs = 100_000
+	ctx := context.Background()
 
 	// --- Phase 1: one trace, many machines -------------------------------
 	dir, err := os.MkdirTemp("", "resim-sweep")
@@ -31,8 +35,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	genCfg := resim.DefaultConfig()
-	st, err := resim.WriteWorkloadTrace(f, genCfg, "gzip", instrs)
+	gen, err := resim.New() // the generator's predictor shapes the trace
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := gen.WriteTrace(ctx, f, "gzip", instrs, false)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,9 +49,11 @@ func main() {
 	fmt.Printf("prepared gzip trace: %d records, %.1f bits/instr\n", st.Records, st.BitsPerInstr)
 
 	for _, penalty := range []int{1, 3, 8} {
-		cfg := resim.DefaultConfig()
-		cfg.MispredPenalty = penalty
-		res, err := resim.SimulateTraceFile(cfg, path)
+		ses, err := resim.New(resim.WithPenalties(3, penalty))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ses.RunTrace(ctx, path)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,15 +70,19 @@ func main() {
 	}
 	fmt.Println()
 	for _, width := range widths {
-		base := resim.DefaultConfig()
-		base.Width = width
-		base.IFQSize = width                  // keep fetch bandwidth in step with issue width
-		base.Organization = resim.OrgImproved // legal at every width/port combo
-		base.MemReadPorts = 2
-		points := resim.SweepGrid("rb", base, rbSizes, func(c *resim.Config, v int) {
+		ses, err := resim.New(
+			resim.WithWidth(width),
+			resim.WithIFQSize(width),                  // keep fetch bandwidth in step with issue width
+			resim.WithOrganization(resim.OrgImproved), // legal at every width/port combo
+			resim.WithMemoryPorts(2, 1),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		points := resim.SweepGrid("rb", ses.Config(), rbSizes, func(c *resim.Config, v int) {
 			c.RBSize = v
 		})
-		results, err := resim.RunSweep("parser", instrs, points)
+		results, err := ses.Sweep(ctx, "parser", instrs, points)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -14,6 +14,7 @@
 package baseline
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -34,23 +35,18 @@ type HostStats struct {
 // ExecutionDriven runs prog through the functional simulator and the timing
 // engine simultaneously (no trace file), simulating up to limit
 // instructions, and reports both the simulation result and host throughput.
-func ExecutionDriven(cfg core.Config, prog *funcsim.Program, limit uint64) (core.Result, HostStats, error) {
+func ExecutionDriven(ctx context.Context, cfg core.Config, prog *funcsim.Program, limit uint64) (core.Result, HostStats, error) {
 	m, err := funcsim.NewMachine(prog, 0)
 	if err != nil {
 		return core.Result{}, HostStats{}, err
 	}
-	tc := funcsim.TraceConfig{
-		Predictor:    cfg.Predictor,
-		PerfectBP:    cfg.PerfectBP,
-		WrongPathLen: cfg.WrongPathLen(),
-	}
-	src := funcsim.NewSource(m, tc, limit)
+	src := funcsim.NewSource(m, cfg.TraceConfig(), limit)
 	eng, err := core.New(cfg, src, prog.Entry)
 	if err != nil {
 		return core.Result{}, HostStats{}, err
 	}
 	start := time.Now()
-	res, err := eng.Run()
+	res, err := eng.RunContext(ctx)
 	wall := time.Since(start)
 	hs := HostStats{Wall: wall}
 	if sec := wall.Seconds(); sec > 0 {

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -24,7 +25,7 @@ func TestExecutionDrivenMatchesTraceDriven(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	onTheFly, _, err := ExecutionDriven(cfg, prog, limit)
+	onTheFly, _, err := ExecutionDriven(context.Background(), cfg, prog, limit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestExecutionDrivenReportsHostSpeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, hs, err := ExecutionDriven(core.DefaultConfig(), prog, 10000)
+	res, hs, err := ExecutionDriven(context.Background(), core.DefaultConfig(), prog, 10000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -128,6 +128,10 @@ func New(cfg Config) *Cache {
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
 
+// CloneCold returns a new cache with the same geometry and empty tag state
+// and counters.
+func (c *Cache) CloneCold() Model { return New(c.cfg) }
+
 // Access implements Model. Misses allocate (write-allocate for stores,
 // demand fill for loads) and evict the true-LRU way.
 func (c *Cache) Access(addr uint32, write bool) (bool, int) {
@@ -218,3 +222,20 @@ func (p *Perfect) Stats() Stats { return p.st }
 
 // Reset implements Model.
 func (p *Perfect) Reset() { p.st = Stats{} }
+
+// CloneCold returns a fresh perfect model with the same latency and zero
+// counters.
+func (p *Perfect) CloneCold() Model { return NewPerfect(p.Latency) }
+
+// CloneCold returns a cold private copy of m when the model supports it —
+// a fresh instance with the same parameters, empty state and counters — so
+// parallel simulations never share mutable tag state. Models that do not
+// support cloning (custom implementations) are returned as-is; nil stays
+// nil.
+func CloneCold(m Model) Model {
+	type cloner interface{ CloneCold() Model }
+	if c, ok := m.(cloner); ok {
+		return c.CloneCold()
+	}
+	return m
+}

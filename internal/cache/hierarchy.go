@@ -48,3 +48,14 @@ func (h *Hierarchy) Reset() {
 
 // L1 exposes the upper level (for geometry queries).
 func (h *Hierarchy) L1() *Cache { return h.l1 }
+
+// CloneCold returns a fully private cold copy: fresh L1 and a cold clone
+// of the lower level. Cloning is for isolating independent parallel
+// simulations (sweep points), where sharing the lower level would race and
+// cross-pollute supposedly independent design points; deliberate sharing
+// (the multicore shared-L2 interference channel) never goes through
+// CloneCold — the cluster hands each core the same Model instance
+// directly. A custom lower level without CloneCold support stays shared.
+func (h *Hierarchy) CloneCold() Model {
+	return &Hierarchy{l1: New(h.l1.cfg), lower: CloneCold(h.lower)}
+}

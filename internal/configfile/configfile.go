@@ -107,15 +107,14 @@ func (f File) ToConfig() (core.Config, error) {
 	cfg.MispredPenalty = f.MispredPenalty
 	cfg.PerfectBP = f.PerfectBP
 
-	switch f.Organization {
-	case "simple":
-		cfg.Organization = sched.OrgSimple
-	case "improved":
-		cfg.Organization = sched.OrgImproved
-	case "optimized", "":
+	if f.Organization == "" { // omitted field keeps the paper's default
 		cfg.Organization = sched.OrgOptimized
-	default:
-		return cfg, fmt.Errorf("configfile: unknown organization %q", f.Organization)
+	} else {
+		org, err := sched.OrgByName(f.Organization)
+		if err != nil {
+			return cfg, fmt.Errorf("configfile: %w", err)
+		}
+		cfg.Organization = org
 	}
 
 	if f.Predictor != nil {

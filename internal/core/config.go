@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
+	"repro/internal/funcsim"
 	"repro/internal/sched"
 	"repro/internal/uarch"
 )
@@ -60,6 +61,11 @@ type Config struct {
 	// PipeTracer, when non-nil, receives per-instruction pipeline events
 	// (the sim-outorder "ptrace" facility); see internal/ptrace.
 	PipeTracer PipeTracer
+	// Observer, when non-nil, receives periodic Progress callbacks from
+	// (*Engine).RunContext every ObserverInterval major cycles
+	// (0 = DefaultObserverInterval).
+	Observer         Observer
+	ObserverInterval uint64
 }
 
 // PipeTracer observes instruction flow through the simulated pipeline.
@@ -147,6 +153,20 @@ func (c Config) Validate() error {
 // WrongPathLen returns the paper's conservative wrong-path block size for
 // this configuration: "Reorder Buffer size plus IFQ size" (§V.A).
 func (c Config) WrongPathLen() int { return c.RBSize + c.IFQSize }
+
+// TraceConfig derives the sim-bpred trace-generation configuration that
+// matches this simulated-processor configuration, as the paper does: the
+// generator runs the same predictor so the mis-prediction points in the
+// trace line up with the ones the engine discovers. Every consumer of a
+// workload trace source (the root package, sweeps, multicore clusters and
+// the evaluation tables) derives its configuration here.
+func (c Config) TraceConfig() funcsim.TraceConfig {
+	return funcsim.TraceConfig{
+		Predictor:    c.Predictor,
+		PerfectBP:    c.PerfectBP,
+		WrongPathLen: c.WrongPathLen(),
+	}
+}
 
 // MinorCyclesPerMajor returns K for the configured organization and width.
 func (c Config) MinorCyclesPerMajor() int {

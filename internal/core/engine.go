@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -239,18 +240,87 @@ func (e *Engine) Cycle() error {
 	return nil
 }
 
+// CtxCheckInterval is how many major cycles elapse between context polls in
+// RunContext: frequent enough that cancellation lands promptly, amortized
+// enough that the cycle loop stays fast.
+const CtxCheckInterval = 8192
+
+// DefaultObserverInterval is the Progress callback period (major cycles)
+// when Config.ObserverInterval is zero.
+const DefaultObserverInterval = 65536
+
 // Run simulates until the trace drains (or cfg.MaxCycles elapse) and returns
 // the result.
 func (e *Engine) Run() (Result, error) {
-	for !e.Done() {
-		if e.cfg.MaxCycles != 0 && e.c.Cycles >= e.cfg.MaxCycles {
-			break
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// every CtxCheckInterval major cycles, and a cancelled run returns the
+// statistics accumulated so far together with ctx.Err(). When cfg.Observer
+// is set it receives a Progress callback every cfg.ObserverInterval cycles
+// and a final one when the run drains.
+func (e *Engine) RunContext(ctx context.Context) (Result, error) {
+	err := Drive(ctx, e.cfg.Observer, e.cfg.ObserverInterval,
+		func() uint64 { return e.c.Cycles },
+		func() bool {
+			return e.Done() || (e.cfg.MaxCycles != 0 && e.c.Cycles >= e.cfg.MaxCycles)
+		},
+		e.Cycle,
+		e.progress)
+	return e.result(), err
+}
+
+// Drive is the run loop shared by Engine.RunContext and the multicore
+// cluster: it calls step until done reports true, polling the context
+// every CtxCheckInterval simulated cycles and delivering Progress
+// callbacks every interval cycles (0 = DefaultObserverInterval) plus a
+// final one on completion, so cancellation cadence and observer semantics
+// live in exactly one place. Cancellation and step errors end the loop
+// without a final callback.
+func Drive(ctx context.Context, obs Observer, interval uint64,
+	cycles func() uint64, done func() bool, step func() error,
+	progress func(final bool) Progress) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if interval == 0 {
+		interval = DefaultObserverInterval
+	}
+	nextCheck := cycles() + CtxCheckInterval
+	nextObs := cycles() + interval
+	for !done() {
+		if err := step(); err != nil {
+			return err
 		}
-		if err := e.Cycle(); err != nil {
-			return e.result(), err
+		c := cycles()
+		if c >= nextCheck {
+			nextCheck = c + CtxCheckInterval
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if obs != nil && c >= nextObs {
+			nextObs = c + interval
+			obs.Progress(progress(false))
 		}
 	}
-	return e.result(), nil
+	if obs != nil {
+		obs.Progress(progress(true))
+	}
+	return nil
+}
+
+// progress snapshots the counters an Observer sees.
+func (e *Engine) progress(final bool) Progress {
+	p := Progress{Cycles: e.c.Cycles, Committed: e.c.Committed, Final: final}
+	if e.c.Cycles > 0 {
+		p.IPC = float64(e.c.Committed) / float64(e.c.Cycles)
+	}
+	return p
 }
 
 // Result snapshots the current statistics; usable mid-run by callers that

@@ -1,0 +1,31 @@
+package core
+
+// Progress is a periodic snapshot of a running simulation, delivered to an
+// Observer. For single-engine runs Core is 0; a sweep reports the completed
+// point's index, and a lockstep cluster reports -1 (cluster aggregate).
+type Progress struct {
+	Core      int
+	Cycles    uint64
+	Committed uint64
+	IPC       float64
+	// Final marks the last callback of a run (delivered once, after the
+	// simulation drains or hits its cycle budget; not delivered on error or
+	// cancellation).
+	Final bool
+}
+
+// Observer receives periodic progress callbacks from long-running
+// simulations — the observation hook that lets sweeps and services report
+// progress while a run is in flight. It generalizes the per-instruction
+// PipeTracer hook to coarse per-interval statistics: callbacks arrive every
+// Config.ObserverInterval major cycles from a single goroutine per run.
+// Implementations must be fast; they execute on the simulation path.
+type Observer interface {
+	Progress(Progress)
+}
+
+// ObserverFunc adapts a plain function to the Observer interface.
+type ObserverFunc func(Progress)
+
+// Progress implements Observer.
+func (f ObserverFunc) Progress(p Progress) { f(p) }

@@ -8,6 +8,7 @@
 package multicore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -30,6 +31,9 @@ type Cluster struct {
 	names   []string
 	engines []*core.Engine
 	cycles  uint64
+
+	observer core.Observer
+	obsEvery uint64
 }
 
 // New builds a cluster from the given core specifications.
@@ -106,18 +110,40 @@ type Result struct {
 	PerCore []core.Result
 }
 
+// Observe registers an observer that receives cluster-aggregate Progress
+// callbacks (Core = -1) every interval lockstep cycles from Run
+// (0 = core.DefaultObserverInterval).
+func (c *Cluster) Observe(obs core.Observer, interval uint64) {
+	c.observer = obs
+	c.obsEvery = interval
+}
+
 // Run steps the cluster until every core finishes or maxCycles elapse
-// (0 = unbounded).
-func (c *Cluster) Run(maxCycles uint64) (Result, error) {
-	for !c.Done() {
-		if maxCycles != 0 && c.cycles >= maxCycles {
-			break
-		}
-		if err := c.Step(); err != nil {
-			return c.result(), err
-		}
+// (0 = unbounded). Cancellation cadence and observer semantics come from
+// the shared core.Drive loop: the context is polled every
+// core.CtxCheckInterval lockstep cycles, and a cancelled run returns the
+// statistics accumulated so far together with ctx.Err().
+func (c *Cluster) Run(ctx context.Context, maxCycles uint64) (Result, error) {
+	err := core.Drive(ctx, c.observer, c.obsEvery,
+		func() uint64 { return c.cycles },
+		func() bool {
+			return c.Done() || (maxCycles != 0 && c.cycles >= maxCycles)
+		},
+		c.Step,
+		c.progress)
+	return c.result(), err
+}
+
+// progress snapshots the cluster aggregate for an observer callback.
+func (c *Cluster) progress(final bool) core.Progress {
+	p := core.Progress{Core: -1, Cycles: c.cycles, Final: final}
+	for _, eng := range c.engines {
+		p.Committed += eng.Result().Committed
 	}
-	return c.result(), nil
+	if c.cycles > 0 {
+		p.IPC = float64(p.Committed) / float64(c.cycles)
+	}
+	return p
 }
 
 func (c *Cluster) result() Result {

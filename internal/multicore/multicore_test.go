@@ -1,6 +1,7 @@
 package multicore
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cache"
@@ -16,11 +17,7 @@ func source(t *testing.T, name string, limit uint64, cfg core.Config) *funcsim.S
 	if err != nil {
 		t.Fatal(err)
 	}
-	src, err := p.NewSource(funcsim.TraceConfig{
-		Predictor:    cfg.Predictor,
-		PerfectBP:    cfg.PerfectBP,
-		WrongPathLen: cfg.WrongPathLen(),
-	}, limit)
+	src, err := p.NewSource(cfg.TraceConfig(), limit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +51,7 @@ func TestLockstepMatchesIndependentRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cl.Run(0)
+	res, err := cl.Run(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +99,7 @@ func TestSharedL2Interference(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := cl.Run(0); err != nil {
+		if _, err := cl.Run(context.Background(), 0); err != nil {
 			t.Fatal(err)
 		}
 		return shared.Stats().Misses()
@@ -128,7 +125,7 @@ func TestSharedL2Interference(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := cl.Run(0); err != nil {
+		if _, err := cl.Run(context.Background(), 0); err != nil {
 			t.Fatal(err)
 		}
 		return shared.Stats().Misses()
@@ -148,7 +145,7 @@ func TestAggregateMIPSModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cl.Run(0)
+	res, err := cl.Run(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +168,7 @@ func TestRunRespectsMaxCycles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cl.Run(50)
+	res, err := cl.Run(context.Background(), 50)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,6 +46,21 @@ func (o Organization) String() string {
 	return fmt.Sprintf("Organization(%d)", uint8(o))
 }
 
+// OrgByName parses an organization name ("simple", "improved",
+// "optimized") — the single parser behind the CLI flags and the JSON
+// configuration file.
+func OrgByName(name string) (Organization, error) {
+	switch name {
+	case "simple":
+		return OrgSimple, nil
+	case "improved":
+		return OrgImproved, nil
+	case "optimized":
+		return OrgOptimized, nil
+	}
+	return 0, fmt.Errorf("sched: unknown organization %q (have simple, improved, optimized)", name)
+}
+
 // Figure returns the paper figure depicting the organization.
 func (o Organization) Figure() int {
 	switch o {

@@ -6,10 +6,13 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/funcsim"
 	"repro/internal/workload"
@@ -46,14 +49,43 @@ type Runner struct {
 	Instructions uint64
 	// Parallelism bounds concurrent simulations; 0 uses GOMAXPROCS.
 	Parallelism int
+	// Observer, when non-nil, receives one Progress callback per completed
+	// point: Core is the point's index, the counters are that point's, and
+	// Final marks the last point to finish. Callbacks are serialized. It is
+	// the sweep's single reporting channel: per-point Config.Observer fields
+	// are ignored, so a base configuration carrying an observer does not
+	// double-report through every derived point.
+	Observer core.Observer
 }
 
 // Run simulates every point and returns results in point order. Individual
-// point failures are reported in Result.Err; Run itself only fails on an
-// empty point list.
-func (r Runner) Run(points []Point) ([]Result, error) {
+// point failures are reported in Result.Err; Run itself fails on an empty
+// point list or a cancelled context. On cancellation in-flight engines stop
+// at their next context poll, every worker goroutine drains, and Run
+// returns ctx.Err().
+//
+// Points run in parallel, so per-point state is isolated where the sweep
+// can do it: the built-in cache models (set-associative, perfect, and
+// hierarchies including their lower level) are cloned cold for each point,
+// since points derived from one base Config would otherwise race on shared
+// tag state. Custom Model implementations cannot be cloned and stay shared
+// — they must be safe for concurrent access, or the sweep must run with
+// Parallelism = 1. Known limitation: two distinct hierarchies sharing one
+// lower level across a point's ICache and DCache are cloned independently
+// (the shared level is de-shared within the point); only an identical
+// model instance in both fields is recognized as unified.
+//
+// A PipeTracer unique to one point is kept (serial pipeline tracing keeps
+// working); an instance shared by several points is cleared when the sweep
+// runs in parallel, because the built-in collector is unsynchronized.
+// Per-point Observers are always cleared — the Runner's Observer is the
+// sweep's reporting channel.
+func (r Runner) Run(ctx context.Context, points []Point) ([]Result, error) {
 	if len(points) == 0 {
 		return nil, fmt.Errorf("sweep: no design points")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	par := r.Parallelism
 	if par <= 0 {
@@ -63,42 +95,127 @@ func (r Runner) Run(points []Point) ([]Result, error) {
 		par = len(points)
 	}
 	results := make([]Result, len(points))
-	var wg sync.WaitGroup
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
 	work := make(chan int)
+	shared := sharedTracers(points, par)
 	for w := 0; w < par; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for idx := range work {
-				results[idx] = r.runOne(points[idx])
+				results[idx] = r.runOne(ctx, points[idx], shared)
+				if r.Observer != nil {
+					mu.Lock()
+					done++
+					r.Observer.Progress(core.Progress{
+						Core:      idx,
+						Cycles:    results[idx].Res.Cycles,
+						Committed: results[idx].Res.Committed,
+						IPC:       results[idx].Res.IPC(),
+						// Per the Observer contract, Final marks successful
+						// completion only — never a cancelled sweep.
+						Final: done == len(points) && ctx.Err() == nil,
+					})
+					mu.Unlock()
+				}
 			}
 		}()
 	}
+feed:
 	for i := range points {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return results, nil
 }
 
-func (r Runner) runOne(pt Point) Result {
+func (r Runner) runOne(ctx context.Context, pt Point, sharedTr map[uintptr]bool) Result {
 	out := Result{Point: pt}
-	tc := funcsim.TraceConfig{
-		Predictor:    pt.Config.Predictor,
-		PerfectBP:    pt.Config.PerfectBP,
-		WrongPathLen: pt.Config.WrongPathLen(),
+	cfg := pt.Config
+	cfg.Observer = nil
+	if sharedTr[ptrOf(cfg.PipeTracer)] {
+		cfg.PipeTracer = nil
 	}
-	src, err := r.Workload.NewSource(tc, r.Instructions)
+	if sameModel(cfg.ICache, cfg.DCache) {
+		// Unified I/D cache: clone once so the point keeps one cache with
+		// I/D contention rather than two independent halves.
+		unified := cache.CloneCold(cfg.ICache)
+		cfg.ICache, cfg.DCache = unified, unified
+	} else {
+		cfg.ICache = cache.CloneCold(cfg.ICache)
+		cfg.DCache = cache.CloneCold(cfg.DCache)
+	}
+	src, err := r.Workload.NewSource(cfg.TraceConfig(), r.Instructions)
 	if err != nil {
 		out.Err = err
 		return out
 	}
-	eng, err := core.New(pt.Config, src, funcsim.CodeBase)
+	eng, err := core.New(cfg, src, funcsim.CodeBase)
 	if err != nil {
 		out.Err = err
 		return out
 	}
-	out.Res, out.Err = eng.Run()
+	out.Res, out.Err = eng.RunContext(ctx)
 	return out
+}
+
+// sameModel reports whether a and b are the same cache-model instance. It
+// compares by pointer identity rather than interface equality so a custom
+// value-typed Model with non-comparable fields cannot panic the sweep; all
+// built-in models are pointers.
+func sameModel(a, b cache.Model) bool {
+	return a != nil && ptrOf(a) != 0 && ptrOf(a) == ptrOf(b)
+}
+
+// ptrOf returns v's pointer identity, or 0 for nil and value-typed
+// implementations.
+func ptrOf(v any) uintptr {
+	if v == nil {
+		return 0
+	}
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer {
+		return 0
+	}
+	return rv.Pointer()
+}
+
+// sharedTracers identifies PipeTracer instances referenced by more than one
+// point when the sweep will actually run in parallel. Those are cleared per
+// point: the built-in ptrace collector is unsynchronized, so concurrent
+// engines would corrupt it (typically a leak from deriving every point from
+// one base Config). A tracer unique to a single point is kept — serial or
+// parallel, only one engine ever touches it.
+func sharedTracers(points []Point, par int) map[uintptr]bool {
+	if par <= 1 {
+		return nil
+	}
+	counts := map[uintptr]int{}
+	for i := range points {
+		if p := ptrOf(points[i].Config.PipeTracer); p != 0 {
+			counts[p]++
+		}
+	}
+	var shared map[uintptr]bool
+	for p, n := range counts {
+		if n > 1 {
+			if shared == nil {
+				shared = map[uintptr]bool{}
+			}
+			shared[p] = true
+		}
+	}
+	return shared
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -42,12 +43,12 @@ func TestParallelMatchesSerial(t *testing.T) {
 	})
 
 	r.Parallelism = 1
-	serial, err := r.Run(pts)
+	serial, err := r.Run(context.Background(), pts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	r.Parallelism = 4
-	parallel, err := r.Run(pts)
+	parallel, err := r.Run(context.Background(), pts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestBadPointReportsError(t *testing.T) {
 	r := gzipRunner(t)
 	bad := core.DefaultConfig()
 	bad.Width = 0
-	res, err := r.Run([]Point{{Name: "bad", Config: bad}})
+	res, err := r.Run(context.Background(), []Point{{Name: "bad", Config: bad}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestBadPointReportsError(t *testing.T) {
 
 func TestEmptySweepRejected(t *testing.T) {
 	r := gzipRunner(t)
-	if _, err := r.Run(nil); err == nil {
+	if _, err := r.Run(context.Background(), nil); err == nil {
 		t.Error("empty sweep accepted")
 	}
 }

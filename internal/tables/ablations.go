@@ -1,6 +1,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -24,7 +25,7 @@ type PredictorRow struct {
 // the kind of bulk design-space exploration the paper builds ReSim for.
 // The trace is regenerated per point with the matching sim-bpred predictor,
 // exactly as the paper's flow would.
-func PredictorSweep(opts Options, workloadName string) ([]PredictorRow, error) {
+func PredictorSweep(ctx context.Context, opts Options, workloadName string) ([]PredictorRow, error) {
 	p, err := workload.ByName(workloadName)
 	if err != nil {
 		return nil, err
@@ -59,7 +60,7 @@ func PredictorSweep(opts Options, workloadName string) ([]PredictorRow, error) {
 	for _, pt := range points {
 		cfg := base
 		pt.mod(&cfg)
-		res, err := runProfileWith(p, cfg, opts.instructions())
+		res, err := runProfile(ctx, p, cfg, opts.instructions())
 		if err != nil {
 			return nil, fmt.Errorf("predictor sweep %s: %w", pt.name, err)
 		}
@@ -75,10 +76,6 @@ func PredictorSweep(opts Options, workloadName string) ([]PredictorRow, error) {
 		rows = append(rows, row)
 	}
 	return rows, nil
-}
-
-func runProfileWith(p workload.Profile, cfg core.Config, limit uint64) (core.Result, error) {
-	return runProfile(p, cfg, limit)
 }
 
 // RenderPredictorSweep formats the sweep.
@@ -114,7 +111,7 @@ type WrongPathRow struct {
 // modeling wrong-path cache pollution. The sweep runs with the 32K L1
 // caches attached (and the two-level predictor) because pollution is
 // invisible under a perfect memory system.
-func WrongPathSweep(opts Options, workloadName string) ([]WrongPathRow, error) {
+func WrongPathSweep(ctx context.Context, opts Options, workloadName string) ([]WrongPathRow, error) {
 	p, err := workload.ByName(workloadName)
 	if err != nil {
 		return nil, err
@@ -126,7 +123,8 @@ func WrongPathSweep(opts Options, workloadName string) ([]WrongPathRow, error) {
 		cfg := core.DefaultConfig()
 		cfg.ICache = newL1("il1")
 		cfg.DCache = newL1("dl1")
-		tc := funcsim.TraceConfig{Predictor: cfg.Predictor, WrongPathLen: wpl}
+		tc := cfg.TraceConfig()
+		tc.WrongPathLen = wpl
 		src, err := p.NewSource(tc, opts.instructions())
 		if err != nil {
 			return nil, err
@@ -136,7 +134,7 @@ func WrongPathSweep(opts Options, workloadName string) ([]WrongPathRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := eng.Run()
+		res, err := eng.RunContext(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("wrong-path sweep len %d: %w", wpl, err)
 		}

@@ -5,6 +5,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -44,13 +45,8 @@ var fastReportedMuops = map[string]float64{
 }
 
 // runProfile simulates one profile under cfg and returns the result.
-func runProfile(p workload.Profile, cfg core.Config, limit uint64) (core.Result, error) {
-	tc := funcsim.TraceConfig{
-		Predictor:    cfg.Predictor,
-		PerfectBP:    cfg.PerfectBP,
-		WrongPathLen: cfg.WrongPathLen(),
-	}
-	src, err := p.NewSource(tc, limit)
+func runProfile(ctx context.Context, p workload.Profile, cfg core.Config, limit uint64) (core.Result, error) {
+	src, err := p.NewSource(cfg.TraceConfig(), limit)
 	if err != nil {
 		return core.Result{}, err
 	}
@@ -58,7 +54,7 @@ func runProfile(p workload.Profile, cfg core.Config, limit uint64) (core.Result,
 	if err != nil {
 		return core.Result{}, err
 	}
-	return eng.Run()
+	return eng.RunContext(ctx)
 }
 
 // Table1Row is one benchmark row of Table 1.
@@ -80,13 +76,13 @@ type Table1Row struct {
 }
 
 // Table1 regenerates both portions of Table 1.
-func Table1(opts Options) ([]Table1Row, error) {
+func Table1(ctx context.Context, opts Options) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, p := range workload.Profiles() {
 		row := Table1Row{Benchmark: p.Name, FASTReported: fastReportedMuops[p.Name]}
 
 		left := core.DefaultConfig()
-		res, err := runProfile(p, left, opts.instructions())
+		res, err := runProfile(ctx, p, left, opts.instructions())
 		if err != nil {
 			return nil, fmt.Errorf("table1 left %s: %w", p.Name, err)
 		}
@@ -96,7 +92,7 @@ func Table1(opts Options) ([]Table1Row, error) {
 		row.PerfectV5MIPS = fpga.SimulationMIPS(fpga.Virtex5, k, res.IPC())
 
 		right := core.FASTComparisonConfig()
-		res, err = runProfile(p, right, opts.instructions())
+		res, err = runProfile(ctx, p, right, opts.instructions())
 		if err != nil {
 			return nil, fmt.Errorf("table1 right %s: %w", p.Name, err)
 		}
@@ -163,7 +159,7 @@ type Table2Row struct {
 // numbers, our modeled ReSim configurations on Virtex-5, and this
 // repository's own software engine measured on the host (the sim-outorder
 // analog).
-func Table2(opts Options) ([]Table2Row, error) {
+func Table2(ctx context.Context, opts Options) ([]Table2Row, error) {
 	rows := []Table2Row{
 		{"PTLsim", "x86-64", 0.27, "reported"},
 		{"sim-outorder", "PISA", 0.30, "reported"},
@@ -178,7 +174,7 @@ func Table2(opts Options) ([]Table2Row, error) {
 	var cacheIPCSum, perfIPCSum float64
 	n := 0
 	for _, p := range workload.Profiles() {
-		res, err := runProfile(p, right, opts.instructions())
+		res, err := runProfile(ctx, p, right, opts.instructions())
 		if err != nil {
 			return nil, err
 		}
@@ -199,7 +195,7 @@ func Table2(opts Options) ([]Table2Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, hs, err := baseline.ExecutionDriven(left, prog, opts.instructions())
+		res, hs, err := baseline.ExecutionDriven(ctx, left, prog, opts.instructions())
 		if err != nil {
 			return nil, err
 		}
@@ -243,13 +239,12 @@ type Table3Row struct {
 
 // Table3 regenerates the trace-demand statistics: perfect memory system,
 // Virtex-4, 4-wide, 2-level BP (paper §V).
-func Table3(opts Options) ([]Table3Row, error) {
+func Table3(ctx context.Context, opts Options) ([]Table3Row, error) {
 	cfg := core.DefaultConfig()
 	k := cfg.MinorCyclesPerMajor()
 	var rows []Table3Row
 	for _, p := range workload.Profiles() {
-		tc := funcsim.TraceConfig{Predictor: cfg.Predictor, WrongPathLen: cfg.WrongPathLen()}
-		src, err := p.NewSource(tc, opts.instructions())
+		src, err := p.NewSource(cfg.TraceConfig(), opts.instructions())
 		if err != nil {
 			return nil, err
 		}
@@ -259,7 +254,7 @@ func Table3(opts Options) ([]Table3Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := eng.Run()
+		res, err := eng.RunContext(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -346,8 +341,8 @@ type CompressionRow struct {
 // TraceCompression runs the trace-bandwidth extension experiment: the paper
 // notes the raw trace demand (~1.1 Gb/s) exceeds gigabit Ethernet; stateful
 // delta coding of addresses and branch PCs shrinks it below that line.
-func TraceCompression(opts Options) ([]CompressionRow, error) {
-	t3, err := Table3(opts)
+func TraceCompression(ctx context.Context, opts Options) ([]CompressionRow, error) {
+	t3, err := Table3(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -358,8 +353,7 @@ func TraceCompression(opts Options) ([]CompressionRow, error) {
 	cfg := core.DefaultConfig()
 	var rows []CompressionRow
 	for _, p := range workload.Profiles() {
-		tc := funcsim.TraceConfig{Predictor: cfg.Predictor, WrongPathLen: cfg.WrongPathLen()}
-		src, err := p.NewSource(tc, opts.instructions())
+		src, err := p.NewSource(cfg.TraceConfig(), opts.instructions())
 		if err != nil {
 			return nil, err
 		}

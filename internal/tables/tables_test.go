@@ -1,6 +1,7 @@
 package tables
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 var small = Options{Instructions: 30_000}
 
 func TestTable1ShapeMatchesPaper(t *testing.T) {
-	rows, err := Table1(small)
+	rows, err := Table1(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestTable1ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestTable2IncludesAllSimulators(t *testing.T) {
-	rows, err := Table2(small)
+	rows, err := Table2(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestTable2IncludesAllSimulators(t *testing.T) {
 }
 
 func TestTable3Consistency(t *testing.T) {
-	rows, err := Table3(small)
+	rows, err := Table3(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestFigures(t *testing.T) {
 }
 
 func TestTraceCompressionExtension(t *testing.T) {
-	rows, err := TraceCompression(small)
+	rows, err := TraceCompression(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestTraceCompressionExtension(t *testing.T) {
 }
 
 func TestPredictorSweep(t *testing.T) {
-	rows, err := PredictorSweep(small, "gzip")
+	rows, err := PredictorSweep(context.Background(), small, "gzip")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,13 +211,13 @@ func TestPredictorSweep(t *testing.T) {
 	if !strings.Contains(out, "2lev (paper)") || !strings.Contains(out, "perfect") {
 		t.Error("render incomplete")
 	}
-	if _, err := PredictorSweep(small, "nope"); err == nil {
+	if _, err := PredictorSweep(context.Background(), small, "nope"); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }
 
 func TestWrongPathSweep(t *testing.T) {
-	rows, err := WrongPathSweep(small, "parser")
+	rows, err := WrongPathSweep(context.Background(), small, "parser")
 	if err != nil {
 		t.Fatal(err)
 	}

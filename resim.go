@@ -8,32 +8,40 @@
 // minor-cycle internal pipeline organizations of §IV, and an FPGA
 // throughput/area model calibrated against the published results.
 //
+// The public API is the Session: one validated configuration, built with
+// functional options, behind every run mode (workload simulation, trace
+// file simulation, trace writing, parallel sweeps, lockstep multicore).
+// Runs take a context.Context for cancellation and can report progress
+// through an Observer.
+//
 // Quick start:
 //
-//	cfg := resim.DefaultConfig()                     // the paper's 4-wide machine
-//	res, err := resim.SimulateWorkload(cfg, "gzip", 200_000)
+//	ses, err := resim.New()                          // the paper's 4-wide machine
+//	if err != nil { ... }
+//	res, err := ses.RunWorkload(ctx, "gzip", 200_000)
 //	if err != nil { ... }
 //	fmt.Printf("IPC %.2f -> %.1f simulation MIPS on Virtex-5\n",
-//		res.IPC(), resim.SimulationMIPS(resim.Virtex5, cfg, res))
+//		res.IPC(), resim.SimulationMIPS(resim.Virtex5, ses.Config(), res))
 //
 // The cmd/resim, cmd/tracegen and cmd/resim-bench tools and the examples/
 // directory exercise this API; internal packages carry the implementation.
+// The pre-Session free functions (SimulateWorkload, RunSweep, ...) remain
+// as deprecated wrappers over a Session.
 package resim
 
 import (
-	"fmt"
+	"context"
 	"io"
-	"os"
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fpga"
-	"repro/internal/funcsim"
 	"repro/internal/multicore"
 	"repro/internal/sched"
 	"repro/internal/sweep"
 	"repro/internal/trace"
+	"repro/internal/uarch"
 	"repro/internal/workload"
 )
 
@@ -50,6 +58,8 @@ type (
 	// CacheModel is the memory-system interface (hit/miss + latency) the
 	// engine consumes; assign to Config.ICache / Config.DCache.
 	CacheModel = cache.Model
+	// FUConfig configures the functional-unit pools.
+	FUConfig = uarch.FUConfig
 	// Organization selects the internal minor-cycle pipeline (§IV).
 	Organization = sched.Organization
 	// Workload is a synthetic SPECINT-like benchmark profile.
@@ -62,6 +72,15 @@ type (
 	Record = trace.Record
 	// Source yields trace records to the engine.
 	Source = trace.Source
+	// PipeTracer observes per-instruction pipeline events (see
+	// internal/ptrace for a ready-made collector).
+	PipeTracer = core.PipeTracer
+	// Observer receives periodic Progress callbacks from long runs.
+	Observer = core.Observer
+	// ObserverFunc adapts a plain function to the Observer interface.
+	ObserverFunc = core.ObserverFunc
+	// Progress is one periodic snapshot delivered to an Observer.
+	Progress = core.Progress
 )
 
 // The three internal pipeline organizations (paper Figures 2-4).
@@ -77,9 +96,14 @@ var (
 	Virtex5 = fpga.Virtex5 // xc5vlx50t, 105 MHz minor clock
 )
 
+// OrganizationByName parses an organization name ("simple", "improved",
+// "optimized") — the parser the CLI flags and the JSON configuration file
+// share.
+func OrganizationByName(name string) (Organization, error) { return sched.OrgByName(name) }
+
 // DefaultConfig returns the paper's evaluated 4-way configuration: RB 16,
 // LSQ 8, 4 ALU + 1 MUL + 1 DIV, two-level branch predictor, perfect memory,
-// Optimized (N+3) organization.
+// Optimized (N+3) organization. New() starts from this configuration.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // FASTComparisonConfig returns the 2-issue configuration of Table 1's right
@@ -102,56 +126,12 @@ func Workloads() []Workload { return workload.Profiles() }
 // WorkloadByName returns the named profile.
 func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
 
-// SimulateWorkload generates the named workload's trace on the fly (the
-// functional-simulator coupling of the paper's future work) and simulates
-// up to limit correct-path instructions through the engine.
-func SimulateWorkload(cfg Config, name string, limit uint64) (Result, error) {
-	p, err := workload.ByName(name)
-	if err != nil {
-		return Result{}, err
-	}
-	src, err := p.NewSource(traceConfigFor(cfg), limit)
-	if err != nil {
-		return Result{}, err
-	}
-	eng, err := core.New(cfg, src, funcsim.CodeBase)
-	if err != nil {
-		return Result{}, err
-	}
-	return eng.Run()
-}
-
-// Simulate runs the engine over an arbitrary record source starting at
-// startPC.
-func Simulate(cfg Config, src Source, startPC uint32) (Result, error) {
-	eng, err := core.New(cfg, src, startPC)
-	if err != nil {
-		return Result{}, err
-	}
-	return eng.Run()
-}
-
 // TraceStats summarizes a generated trace file.
 type TraceStats struct {
 	Records      uint64
 	WrongPath    uint64
 	Bits         uint64
 	BitsPerInstr float64
-}
-
-// WriteWorkloadTrace generates a ReSim trace for the named workload into w
-// (container format: header + bit-packed B/M/O records). The predictor
-// configuration of cfg drives wrong-path block generation, mirroring
-// sim-bpred.
-func WriteWorkloadTrace(w io.Writer, cfg Config, name string, limit uint64) (TraceStats, error) {
-	return writeWorkloadTrace(w, cfg, name, limit, false)
-}
-
-// WriteCompressedWorkloadTrace is WriteWorkloadTrace with the delta-coded
-// container (see internal/trace): typically ~1.4x smaller, bringing the
-// paper's trace-bandwidth demand under gigabit Ethernet.
-func WriteCompressedWorkloadTrace(w io.Writer, cfg Config, name string, limit uint64) (TraceStats, error) {
-	return writeWorkloadTrace(w, cfg, name, limit, true)
 }
 
 // traceSink abstracts the two container writers.
@@ -163,66 +143,67 @@ type traceSink interface {
 	BitsPerRecord() float64
 }
 
-func writeWorkloadTrace(w io.Writer, cfg Config, name string, limit uint64, compress bool) (TraceStats, error) {
-	p, err := workload.ByName(name)
+// sessionFor wraps an already-composed configuration for the deprecated
+// free functions, validating it the way New does.
+func sessionFor(cfg Config) (*Session, error) { return New(WithConfig(cfg)) }
+
+// SimulateWorkload generates the named workload's trace on the fly and
+// simulates up to limit correct-path instructions through the engine.
+//
+// Deprecated: use New and (*Session).RunWorkload, which add cancellation
+// and progress observation.
+func SimulateWorkload(cfg Config, name string, limit uint64) (Result, error) {
+	s, err := sessionFor(cfg)
 	if err != nil {
-		return TraceStats{}, err
+		return Result{}, err
 	}
-	prog, err := p.Build()
+	return s.RunWorkload(context.Background(), name, limit)
+}
+
+// Simulate runs the engine over an arbitrary record source starting at
+// startPC.
+//
+// Deprecated: use New and (*Session).RunSource.
+func Simulate(cfg Config, src Source, startPC uint32) (Result, error) {
+	s, err := sessionFor(cfg)
 	if err != nil {
-		return TraceStats{}, err
+		return Result{}, err
 	}
-	m, err := funcsim.NewMachine(prog, 0)
-	if err != nil {
-		return TraceStats{}, err
-	}
-	var (
-		sink   traceSink
-		tagged uint64
-	)
-	hdr := trace.Header{StartPC: prog.Entry}
-	if compress {
-		sink, err = trace.NewCompressedWriter(w, hdr)
-	} else {
-		sink, err = trace.NewWriter(w, hdr)
-	}
-	if err != nil {
-		return TraceStats{}, err
-	}
-	tr := funcsim.NewTracer(m, traceConfigFor(cfg))
-	if _, err := tr.Run(limit, func(r trace.Record) error {
-		if r.Tag {
-			tagged++
-		}
-		return sink.Write(r)
-	}); err != nil {
-		return TraceStats{}, err
-	}
-	if err := sink.Close(); err != nil {
-		return TraceStats{}, err
-	}
-	return TraceStats{
-		Records:      sink.Records(),
-		WrongPath:    tagged,
-		Bits:         sink.BitsWritten(),
-		BitsPerInstr: sink.BitsPerRecord(),
-	}, nil
+	return s.RunSource(context.Background(), src, startPC)
+}
+
+// WriteWorkloadTrace generates a ReSim trace for the named workload into w
+// (container format: header + bit-packed B/M/O records). The predictor
+// configuration of cfg drives wrong-path block generation, mirroring
+// sim-bpred.
+//
+// Deprecated: use New and (*Session).WriteTrace.
+func WriteWorkloadTrace(w io.Writer, cfg Config, name string, limit uint64) (TraceStats, error) {
+	// Historical behavior: only the trace-generation fields of cfg are
+	// consumed; engine-side fields are not validated.
+	return writeTrace(context.Background(), w, cfg.TraceConfig(), name, limit, false)
+}
+
+// WriteCompressedWorkloadTrace is WriteWorkloadTrace with the delta-coded
+// container (see internal/trace): typically ~1.4x smaller, bringing the
+// paper's trace-bandwidth demand under gigabit Ethernet.
+//
+// Deprecated: use New and (*Session).WriteTrace with compress = true.
+func WriteCompressedWorkloadTrace(w io.Writer, cfg Config, name string, limit uint64) (TraceStats, error) {
+	return writeTrace(context.Background(), w, cfg.TraceConfig(), name, limit, true)
 }
 
 // SimulateTraceFile opens a trace container previously produced by
 // WriteWorkloadTrace, WriteCompressedWorkloadTrace or cmd/tracegen — the
 // format is auto-detected — and simulates it.
+//
+// Deprecated: use New and (*Session).RunTrace.
 func SimulateTraceFile(cfg Config, path string) (Result, error) {
-	f, err := os.Open(path)
+	s, err := sessionFor(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	defer f.Close()
-	src, hdr, err := trace.Open(f)
-	if err != nil {
-		return Result{}, err
-	}
-	return Simulate(cfg, src, hdr.StartPC)
+	return s.RunTrace(context.Background(), path)
 }
 
 // SimulationMIPS converts a result's IPC into modeled wall-clock simulation
@@ -260,21 +241,23 @@ func SweepGrid(prefix string, base Config, values []int, apply func(*Config, int
 }
 
 // RunSweep simulates every design point over the named workload in parallel
-// across host cores (the paper's bulk design-space exploration use case);
-// results come back in point order, deterministic regardless of
-// parallelism.
+// across host cores; results come back in point order, deterministic
+// regardless of parallelism.
+//
+// Deprecated: use New and (*Session).Sweep, which add cancellation and
+// per-point progress observation.
 func RunSweep(workloadName string, instructions uint64, points []SweepPoint) ([]SweepResult, error) {
-	p, err := workload.ByName(workloadName)
+	s, err := New()
 	if err != nil {
 		return nil, err
 	}
-	return sweep.Runner{Workload: p, Instructions: instructions}.Run(points)
+	return s.Sweep(context.Background(), workloadName, instructions, points)
 }
 
 // MulticoreResult is the outcome of a lockstep multi-instance simulation.
 type MulticoreResult = multicore.Result
 
-// MulticoreOptions configures SimulateMulticore.
+// MulticoreOptions configures (*Session).Multicore.
 type MulticoreOptions struct {
 	// Workloads names one profile per simulated core.
 	Workloads []string
@@ -289,48 +272,17 @@ type MulticoreOptions struct {
 }
 
 // SimulateMulticore runs one ReSim instance per workload in lockstep major
-// cycles — the paper's future-work mode of fitting multiple instances in
-// one FPGA (§VI). Every core uses cfg (width, predictor, organization).
+// cycles (§VI). Every core uses cfg (width, predictor, organization).
+// Unlike the historical implementation, cfg.MaxCycles now bounds the
+// lockstep run (previously it was silently ignored here).
+//
+// Deprecated: use New and (*Session).Multicore.
 func SimulateMulticore(cfg Config, opts MulticoreOptions) (MulticoreResult, error) {
-	if len(opts.Workloads) == 0 {
-		return MulticoreResult{}, fmt.Errorf("resim: no workloads given")
-	}
-	var shared CacheModel
-	if opts.SharedL2 != nil {
-		if opts.L1 == nil {
-			return MulticoreResult{}, fmt.Errorf("resim: SharedL2 requires an L1 geometry")
-		}
-		var err error
-		shared, err = NewL1Cache(*opts.SharedL2)
-		if err != nil {
-			return MulticoreResult{}, err
-		}
-	}
-	var specs []multicore.CoreSpec
-	for _, name := range opts.Workloads {
-		p, err := workload.ByName(name)
-		if err != nil {
-			return MulticoreResult{}, err
-		}
-		coreCfg := cfg
-		if shared != nil {
-			if err := multicore.AttachSharedDL1(&coreCfg, *opts.L1, shared); err != nil {
-				return MulticoreResult{}, err
-			}
-		}
-		src, err := p.NewSource(traceConfigFor(coreCfg), opts.Limit)
-		if err != nil {
-			return MulticoreResult{}, err
-		}
-		specs = append(specs, multicore.CoreSpec{
-			Name: name, Config: coreCfg, Source: src, StartPC: funcsim.CodeBase,
-		})
-	}
-	cl, err := multicore.New(specs)
+	s, err := sessionFor(cfg)
 	if err != nil {
 		return MulticoreResult{}, err
 	}
-	return cl.Run(0)
+	return s.Multicore(context.Background(), opts)
 }
 
 // AggregateMIPS models a lockstep cluster's simulation throughput on dev
@@ -339,15 +291,5 @@ func AggregateMIPS(dev Device, cfg Config, res MulticoreResult) float64 {
 	return res.AggregateMIPS(dev, cfg.MinorCyclesPerMajor())
 }
 
-// traceConfigFor derives the sim-bpred trace-generation configuration that
-// matches a simulated-processor configuration, as the paper does.
-func traceConfigFor(cfg Config) funcsim.TraceConfig {
-	return funcsim.TraceConfig{
-		Predictor:    cfg.Predictor,
-		PerfectBP:    cfg.PerfectBP,
-		WrongPathLen: cfg.WrongPathLen(),
-	}
-}
-
 // Version identifies this reproduction.
-const Version = "1.0.0"
+const Version = "1.1.0"

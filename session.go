@@ -1,0 +1,409 @@
+package resim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/funcsim"
+	"repro/internal/multicore"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Session is the single entry point to every ReSim run mode: it holds one
+// validated processor configuration and exposes workload simulation, trace
+// file simulation, trace writing, parallel design-space sweeps and lockstep
+// multicore clusters, all context-aware. Build one with New; a Session is
+// immutable and safe for concurrent use — each run owns its engine, and
+// cache geometry given via WithL1Caches is instantiated fresh per engine.
+// Models installed directly with WithICache/WithDCache (and PipeTracer /
+// Observer hooks) are shared across runs and stay the caller's to
+// synchronize.
+type Session struct {
+	cfg Config
+	// il1/dl1 are WithL1Caches geometries; engines get fresh instances so
+	// runs never share tag state or statistics. A later WithICache /
+	// WithDCache / WithConfig option clears the corresponding side.
+	il1, dl1 *CacheConfig
+}
+
+// settings is the mutable state the functional options operate on before
+// New validates it once.
+type settings struct {
+	cfg      Config
+	il1, dl1 *CacheConfig
+	// portsSet records an explicit memory-port choice (WithMemoryPorts or
+	// WithConfig); without one, New clamps the default read-port count to
+	// the organization's limit so e.g. New(WithWidth(2)) stays valid under
+	// the Optimized organization.
+	portsSet bool
+}
+
+// Option configures a Session under construction. Options are applied in
+// order; later options override earlier ones.
+type Option func(*settings) error
+
+// New builds a Session from the paper's default 4-wide configuration plus
+// the given options, validating the composed configuration exactly once.
+func New(opts ...Option) (*Session, error) {
+	s := settings{cfg: core.DefaultConfig()}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&s); err != nil {
+			return nil, err
+		}
+	}
+	if !s.portsSet {
+		if max := s.cfg.Organization.MaxMemPorts(s.cfg.Width); max >= 1 && s.cfg.MemReadPorts > max {
+			s.cfg.MemReadPorts = max
+		}
+	}
+	if err := s.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Session{cfg: s.cfg, il1: s.il1, dl1: s.dl1}, nil
+}
+
+// WithConfig replaces the whole configuration; apply it first when combining
+// with field-level options. The configuration is taken as-is (no automatic
+// memory-port clamping).
+func WithConfig(cfg Config) Option {
+	return func(s *settings) error {
+		s.cfg = cfg
+		s.il1, s.dl1 = nil, nil
+		s.portsSet = true
+		return nil
+	}
+}
+
+// WithWidth sets N: fetch, dispatch, issue, writeback and commit bandwidth.
+func WithWidth(n int) Option {
+	return func(s *settings) error { s.cfg.Width = n; return nil }
+}
+
+// WithIFQSize sets the instruction fetch queue depth.
+func WithIFQSize(n int) Option {
+	return func(s *settings) error { s.cfg.IFQSize = n; return nil }
+}
+
+// WithRBSize sets the reorder buffer depth.
+func WithRBSize(n int) Option {
+	return func(s *settings) error { s.cfg.RBSize = n; return nil }
+}
+
+// WithLSQSize sets the load/store queue depth.
+func WithLSQSize(n int) Option {
+	return func(s *settings) error { s.cfg.LSQSize = n; return nil }
+}
+
+// WithOrganization selects the internal minor-cycle pipeline (§IV).
+func WithOrganization(org Organization) Option {
+	return func(s *settings) error { s.cfg.Organization = org; return nil }
+}
+
+// WithPredictor configures the simulated branch predictor (and turns
+// perfect branch prediction off).
+func WithPredictor(pc PredictorConfig) Option {
+	return func(s *settings) error {
+		s.cfg.Predictor = pc
+		s.cfg.PerfectBP = false
+		return nil
+	}
+}
+
+// WithPerfectBP selects perfect branch prediction (Table 1, right portion).
+func WithPerfectBP() Option {
+	return func(s *settings) error { s.cfg.PerfectBP = true; return nil }
+}
+
+// WithL1Caches attaches timing-only L1 instruction and data caches sharing
+// the given geometry (they are named "il1" and "dl1" in reports). Unlike
+// WithICache/WithDCache, only the geometry is stored: every engine the
+// session builds gets its own fresh cache instances, so concurrent or
+// repeated runs never share tag state and stay deterministic.
+func WithL1Caches(cc CacheConfig) Option {
+	return func(s *settings) error {
+		icc, dcc := cc, cc
+		icc.Name, dcc.Name = "il1", "dl1"
+		if err := icc.Validate(); err != nil {
+			return err
+		}
+		s.il1, s.dl1 = &icc, &dcc
+		return nil
+	}
+}
+
+// WithICache installs a custom instruction-cache model (nil = perfect),
+// overriding an earlier WithL1Caches on the instruction side. The model is
+// shared by every run the session starts.
+func WithICache(m CacheModel) Option {
+	return func(s *settings) error {
+		s.cfg.ICache = m
+		s.il1 = nil
+		return nil
+	}
+}
+
+// WithDCache installs a custom data-cache model (nil = perfect), overriding
+// an earlier WithL1Caches on the data side. The model is shared by every
+// run the session starts.
+func WithDCache(m CacheModel) Option {
+	return func(s *settings) error {
+		s.cfg.DCache = m
+		s.dl1 = nil
+		return nil
+	}
+}
+
+// WithMemoryPorts sets the per-cycle load-issue and store-commit port
+// counts explicitly, disabling New's automatic read-port clamping.
+func WithMemoryPorts(read, write int) Option {
+	return func(s *settings) error {
+		s.cfg.MemReadPorts = read
+		s.cfg.MemWritePorts = write
+		s.portsSet = true
+		return nil
+	}
+}
+
+// WithPenalties sets the misfetch and mis-speculation fetch bubbles.
+func WithPenalties(misfetch, mispred int) Option {
+	return func(s *settings) error {
+		s.cfg.MisfetchPenalty = misfetch
+		s.cfg.MispredPenalty = mispred
+		return nil
+	}
+}
+
+// WithFUs configures the functional-unit pools.
+func WithFUs(fu FUConfig) Option {
+	return func(s *settings) error { s.cfg.FUs = fu; return nil }
+}
+
+// WithMaxCycles bounds a run's simulated major cycles (0 = no limit).
+func WithMaxCycles(n uint64) Option {
+	return func(s *settings) error { s.cfg.MaxCycles = n; return nil }
+}
+
+// WithPipeTracer installs a per-instruction pipeline event hook (the
+// sim-outorder "ptrace" facility; see internal/ptrace).
+func WithPipeTracer(pt PipeTracer) Option {
+	return func(s *settings) error { s.cfg.PipeTracer = pt; return nil }
+}
+
+// WithObserver installs a progress observer invoked every everyCycles major
+// cycles of a run (0 = a default interval). Sweeps report one callback per
+// completed point; multicore clusters report the lockstep aggregate.
+func WithObserver(obs Observer, everyCycles uint64) Option {
+	return func(s *settings) error {
+		s.cfg.Observer = obs
+		s.cfg.ObserverInterval = everyCycles
+		return nil
+	}
+}
+
+// Config returns the session's validated configuration. When the session
+// was built with WithL1Caches the returned Config carries newly built cache
+// instances, owned by the caller.
+func (s *Session) Config() Config { return s.engineConfig() }
+
+// engineConfig derives the per-engine configuration: the shared validated
+// core plus fresh L1 instances for WithL1Caches geometry (validated at
+// option time), so engines never share mutable cache state.
+func (s *Session) engineConfig() Config {
+	cfg := s.cfg
+	if s.il1 != nil {
+		cfg.ICache = cache.New(*s.il1)
+	}
+	if s.dl1 != nil {
+		cfg.DCache = cache.New(*s.dl1)
+	}
+	return cfg
+}
+
+// RunWorkload generates the named synthetic workload's trace on the fly
+// (the functional-simulator coupling of the paper's future work) and
+// simulates up to limit correct-path instructions through the engine.
+func (s *Session) RunWorkload(ctx context.Context, name string, limit uint64) (Result, error) {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return Result{}, err
+	}
+	src, err := p.NewSource(s.cfg.TraceConfig(), limit)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.RunSource(ctx, src, funcsim.CodeBase)
+}
+
+// RunSource simulates an arbitrary record source starting at startPC.
+func (s *Session) RunSource(ctx context.Context, src Source, startPC uint32) (Result, error) {
+	eng, err := core.New(s.engineConfig(), src, startPC)
+	if err != nil {
+		return Result{}, err
+	}
+	return eng.RunContext(ctx)
+}
+
+// RunTrace opens a trace container previously produced by WriteTrace or
+// cmd/tracegen — the format is auto-detected — and simulates it.
+func (s *Session) RunTrace(ctx context.Context, path string) (Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Result{}, err
+	}
+	defer f.Close()
+	src, hdr, err := trace.Open(f)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.RunSource(ctx, src, hdr.StartPC)
+}
+
+// WriteTrace generates a ReSim trace for the named workload into w
+// (container format: header + bit-packed B/M/O records; compress selects
+// the delta-coded container, typically ~1.4x smaller). The session's
+// predictor configuration drives wrong-path block generation, mirroring
+// sim-bpred. The context is polled periodically; a cancelled write returns
+// ctx.Err().
+func (s *Session) WriteTrace(ctx context.Context, w io.Writer, name string, limit uint64, compress bool) (TraceStats, error) {
+	return writeTrace(ctx, w, s.cfg.TraceConfig(), name, limit, compress)
+}
+
+// writeTrace is the shared trace-writing loop. It takes the derived
+// trace-generation configuration directly so the deprecated free-function
+// wrappers can keep their historical behavior of not validating the
+// engine-side Config fields a trace write never consumes.
+func writeTrace(ctx context.Context, w io.Writer, tc funcsim.TraceConfig, name string, limit uint64, compress bool) (TraceStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p, err := workload.ByName(name)
+	if err != nil {
+		return TraceStats{}, err
+	}
+	prog, err := p.Build()
+	if err != nil {
+		return TraceStats{}, err
+	}
+	m, err := funcsim.NewMachine(prog, 0)
+	if err != nil {
+		return TraceStats{}, err
+	}
+	var (
+		sink   traceSink
+		tagged uint64
+	)
+	hdr := trace.Header{StartPC: prog.Entry}
+	if compress {
+		sink, err = trace.NewCompressedWriter(w, hdr)
+	} else {
+		sink, err = trace.NewWriter(w, hdr)
+	}
+	if err != nil {
+		return TraceStats{}, err
+	}
+	tr := funcsim.NewTracer(m, tc)
+	var sinceCheck int
+	if _, err := tr.Run(limit, func(r trace.Record) error {
+		if sinceCheck++; sinceCheck >= core.CtxCheckInterval {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if r.Tag {
+			tagged++
+		}
+		return sink.Write(r)
+	}); err != nil {
+		return TraceStats{}, err
+	}
+	if err := sink.Close(); err != nil {
+		return TraceStats{}, err
+	}
+	return TraceStats{
+		Records:      sink.Records(),
+		WrongPath:    tagged,
+		Bits:         sink.BitsWritten(),
+		BitsPerInstr: sink.BitsPerRecord(),
+	}, nil
+}
+
+// Sweep simulates every design point over the named workload in parallel
+// across host cores (the paper's bulk design-space exploration use case);
+// results come back in point order, deterministic regardless of
+// parallelism. Each point carries its own full configuration — derive them
+// with SweepGrid. The session's observer, when set, receives one callback
+// per completed point; cancelling the context aborts in-flight engines and
+// returns ctx.Err() once every worker has drained.
+func (s *Session) Sweep(ctx context.Context, workloadName string, instructions uint64, points []SweepPoint) ([]SweepResult, error) {
+	p, err := workload.ByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	r := sweep.Runner{Workload: p, Instructions: instructions, Observer: s.cfg.Observer}
+	return r.Run(ctx, points)
+}
+
+// Multicore runs one ReSim instance per workload in lockstep major cycles —
+// the paper's future-work mode of fitting multiple instances in one FPGA
+// (§VI). Every core uses the session's configuration (width, predictor,
+// organization). The session's observer, when set, receives cluster
+// aggregates (Progress.Core = -1).
+func (s *Session) Multicore(ctx context.Context, opts MulticoreOptions) (MulticoreResult, error) {
+	if len(opts.Workloads) == 0 {
+		return MulticoreResult{}, fmt.Errorf("resim: no workloads given")
+	}
+	var shared CacheModel
+	if opts.SharedL2 != nil {
+		if opts.L1 == nil {
+			return MulticoreResult{}, fmt.Errorf("resim: SharedL2 requires an L1 geometry")
+		}
+		var err error
+		shared, err = NewL1Cache(*opts.SharedL2)
+		if err != nil {
+			return MulticoreResult{}, err
+		}
+	}
+	var specs []multicore.CoreSpec
+	for _, name := range opts.Workloads {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return MulticoreResult{}, err
+		}
+		// Each core gets its own fresh L1 instances (engineConfig); the
+		// cluster is the single reporting channel (aggregate progress), so
+		// per-engine observers stay unset.
+		coreCfg := s.engineConfig()
+		coreCfg.Observer = nil
+		if shared != nil {
+			if err := multicore.AttachSharedDL1(&coreCfg, *opts.L1, shared); err != nil {
+				return MulticoreResult{}, err
+			}
+		}
+		src, err := p.NewSource(coreCfg.TraceConfig(), opts.Limit)
+		if err != nil {
+			return MulticoreResult{}, err
+		}
+		specs = append(specs, multicore.CoreSpec{
+			Name: name, Config: coreCfg, Source: src, StartPC: funcsim.CodeBase,
+		})
+	}
+	cl, err := multicore.New(specs)
+	if err != nil {
+		return MulticoreResult{}, err
+	}
+	if s.cfg.Observer != nil {
+		cl.Observe(s.cfg.Observer, s.cfg.ObserverInterval)
+	}
+	// WithMaxCycles bounds the lockstep cycle count, same as single runs.
+	return cl.Run(ctx, s.cfg.MaxCycles)
+}

@@ -1,0 +1,502 @@
+package resim_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	resim "repro"
+)
+
+func TestSessionOptionComposition(t *testing.T) {
+	ses, err := resim.New(
+		resim.WithWidth(2),
+		resim.WithIFQSize(2),
+		resim.WithRBSize(32),
+		resim.WithLSQSize(16),
+		resim.WithOrganization(resim.OrgImproved),
+		resim.WithPerfectBP(),
+		resim.WithPenalties(2, 5),
+		resim.WithMaxCycles(123),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ses.Config()
+	if cfg.Width != 2 || cfg.IFQSize != 2 || cfg.RBSize != 32 || cfg.LSQSize != 16 {
+		t.Errorf("structure options not applied: %+v", cfg)
+	}
+	if cfg.Organization != resim.OrgImproved || !cfg.PerfectBP {
+		t.Errorf("organization/predictor options not applied")
+	}
+	if cfg.MisfetchPenalty != 2 || cfg.MispredPenalty != 5 || cfg.MaxCycles != 123 {
+		t.Errorf("penalty/cycle options not applied")
+	}
+
+	// Later options override earlier ones.
+	ses, err = resim.New(resim.WithWidth(8), resim.WithWidth(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ses.Config().Width != 4 {
+		t.Errorf("width = %d, want last option to win", ses.Config().Width)
+	}
+
+	// ... including across the two cache option families: a later WithDCache
+	// replaces the WithL1Caches data side but keeps its instruction side.
+	custom, err := resim.NewL1Cache(resim.CacheConfig{
+		Name: "custom", SizeBytes: 1 << 10, Assoc: 1, BlockBytes: 32,
+		HitLatency: 1, MissLatency: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err = resim.New(
+		resim.WithL1Caches(resim.CacheConfig{
+			SizeBytes: 8 << 10, Assoc: 2, BlockBytes: 64, HitLatency: 1, MissLatency: 20,
+		}),
+		resim.WithDCache(custom),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ses.Config()
+	if got.DCache != resim.CacheModel(custom) {
+		t.Error("later WithDCache did not override WithL1Caches")
+	}
+	if got.ICache == nil {
+		t.Error("WithL1Caches instruction side lost after WithDCache")
+	}
+	// And WithConfig wipes earlier cache geometry entirely.
+	ses, err = resim.New(
+		resim.WithL1Caches(resim.CacheConfig{
+			SizeBytes: 8 << 10, Assoc: 2, BlockBytes: 64, HitLatency: 1, MissLatency: 20,
+		}),
+		resim.WithConfig(resim.DefaultConfig()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg := ses.Config(); cfg.ICache != nil || cfg.DCache != nil {
+		t.Error("WithConfig did not clear earlier WithL1Caches geometry")
+	}
+}
+
+func TestSessionAutoClampsReadPorts(t *testing.T) {
+	// The default configuration has 2 read ports; under the Optimized
+	// organization a 2-wide machine allows only N-1 = 1. Without an explicit
+	// port option New clamps instead of failing.
+	ses, err := resim.New(resim.WithWidth(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ses.Config().MemReadPorts; got != 1 {
+		t.Errorf("MemReadPorts = %d, want clamped to 1", got)
+	}
+	// An explicit choice is validated, not clamped.
+	if _, err := resim.New(resim.WithWidth(2), resim.WithMemoryPorts(2, 1)); err == nil {
+		t.Error("explicit illegal port count accepted")
+	}
+}
+
+func TestSessionValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []resim.Option
+	}{
+		{"zero width", []resim.Option{resim.WithWidth(0)}},
+		{"huge width", []resim.Option{resim.WithWidth(64)}},
+		{"bad cache geometry", []resim.Option{resim.WithL1Caches(resim.CacheConfig{SizeBytes: 100})}},
+		{"zero RB", []resim.Option{resim.WithRBSize(0)}},
+		{"negative penalty", []resim.Option{resim.WithPenalties(-1, 3)}},
+	}
+	for _, tc := range cases {
+		if _, err := resim.New(tc.opts...); err == nil {
+			t.Errorf("%s: New accepted an invalid configuration", tc.name)
+		}
+	}
+}
+
+func TestSessionL1CachesOption(t *testing.T) {
+	ses, err := resim.New(resim.WithL1Caches(resim.CacheConfig{
+		SizeBytes: 8 << 10, Assoc: 2, BlockBytes: 64, HitLatency: 1, MissLatency: 20,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ses.RunWorkload(context.Background(), "parser", 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ICache.Accesses() == 0 || res.DCache.Accesses() == 0 {
+		t.Error("session caches saw no traffic")
+	}
+}
+
+// TestSessionCachedRunsAreIndependent pins the WithL1Caches contract: every
+// run gets fresh cache instances, so repeated and concurrent runs are
+// deterministic and race-free (run with -race to check the latter).
+func TestSessionCachedRunsAreIndependent(t *testing.T) {
+	ses, err := resim.New(resim.WithL1Caches(resim.CacheConfig{
+		SizeBytes: 4 << 10, Assoc: 2, BlockBytes: 64, HitLatency: 1, MissLatency: 20,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	first, err := ses.RunWorkload(ctx, "gzip", 15_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ses.RunWorkload(ctx, "gzip", 15_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Counters != second.Counters ||
+		first.DCache.Misses() != second.DCache.Misses() {
+		t.Error("second run saw state warmed by the first (caches shared across runs)")
+	}
+
+	results := make(chan resim.Result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			res, err := ses.RunWorkload(ctx, "gzip", 15_000)
+			if err != nil {
+				t.Error(err)
+			}
+			results <- res
+		}()
+	}
+	a, b := <-results, <-results
+	if a.Counters != b.Counters {
+		t.Error("concurrent runs diverged (shared engine state)")
+	}
+}
+
+// TestSweepWithSharedBaseCachesIsDeterministic pins the per-point cache
+// isolation: SweepGrid copies one Config (and thus one cache-model pair)
+// into every point, and parallel workers must not share that state. Run
+// with -race to check the data-race half; the counter comparison catches
+// cross-point warming either way.
+func TestSweepWithSharedBaseCachesIsDeterministic(t *testing.T) {
+	ses, err := resim.New(resim.WithL1Caches(resim.CacheConfig{
+		SizeBytes: 4 << 10, Assoc: 2, BlockBytes: 64, HitLatency: 1, MissLatency: 20,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	run := func() []resim.SweepResult {
+		points := resim.SweepGrid("rb", ses.Config(), []int{8, 16, 32}, func(c *resim.Config, v int) {
+			c.RBSize = v
+		})
+		res, err := ses.Sweep(ctx, "gzip", 10_000, points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Err != nil || b[i].Err != nil {
+			t.Fatalf("point %d errs: %v / %v", i, a[i].Err, b[i].Err)
+		}
+		if a[i].Res.Counters != b[i].Res.Counters ||
+			a[i].Res.DCache.Misses() != b[i].Res.DCache.Misses() {
+			t.Errorf("point %s not deterministic across sweeps (shared cache state)", a[i].Name)
+		}
+	}
+}
+
+func TestNilContextRunsLikeBackground(t *testing.T) {
+	ses, err := resim.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ses.RunWorkload(nil, "gzip", 5_000) //nolint:staticcheck // nil ctx tolerated by contract
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Error("nil-context run produced no result")
+	}
+}
+
+// TestWrapperSessionEquivalence pins the deprecated free functions to the
+// Session they delegate to: identical counters on a fixed workload.
+func TestWrapperSessionEquivalence(t *testing.T) {
+	cfg := resim.DefaultConfig()
+	old, err := resim.SimulateWorkload(cfg, "gzip", 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := resim.New(resim.WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, err := ses.RunWorkload(context.Background(), "gzip", 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Counters != now.Counters {
+		t.Errorf("wrapper and Session results differ:\nold %+v\nnew %+v", old.Counters, now.Counters)
+	}
+}
+
+func TestRunWorkloadCancellation(t *testing.T) {
+	ses, err := resim.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ses.RunWorkload(ctx, "gzip", 5_000_000); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunWorkloadCancellationMidRun(t *testing.T) {
+	ses, err := resim.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// Effectively unbounded budget; only cancellation stops it promptly.
+		_, err := ses.RunWorkload(ctx, "gzip", 1<<62)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not stop after cancellation")
+	}
+}
+
+func TestWriteTraceCancellation(t *testing.T) {
+	ses, err := resim.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ses.WriteTrace(ctx, discard{}, "gzip", 5_000_000, false); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestSweepCancellationNoLeaks proves an in-flight sweep aborts via the
+// context without leaking worker goroutines (issue acceptance criterion).
+func TestSweepCancellationNoLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ses, err := resim.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ses.Config()
+	points := resim.SweepGrid("rb", base, []int{4, 8, 12, 16, 24, 32, 48, 64}, func(c *resim.Config, v int) {
+		c.RBSize = v
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := ses.Sweep(ctx, "gzip", 1<<62, points)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep did not stop after cancellation")
+	}
+
+	// Workers must all have drained; give the runtime a moment to reap.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+1 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines: before %d, after %d (leak)", before, runtime.NumGoroutine())
+}
+
+func TestMulticoreCancellation(t *testing.T) {
+	ses, err := resim.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = ses.Multicore(ctx, resim.MulticoreOptions{
+		Workloads: []string{"gzip", "vpr"}, Limit: 5_000_000,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestObserverDelivery(t *testing.T) {
+	var (
+		calls     int
+		lastCycle uint64
+		finals    int
+	)
+	ses, err := resim.New(resim.WithObserver(resim.ObserverFunc(func(p resim.Progress) {
+		calls++
+		if p.Cycles < lastCycle {
+			t.Errorf("cycles went backwards: %d after %d", p.Cycles, lastCycle)
+		}
+		lastCycle = p.Cycles
+		if p.Final {
+			finals++
+		}
+	}), 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ses.RunWorkload(context.Background(), "gzip", 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls < 2 {
+		t.Errorf("observer called %d times over %d cycles (interval 1024)", calls, res.Cycles)
+	}
+	if finals != 1 {
+		t.Errorf("final callbacks = %d, want exactly 1", finals)
+	}
+	if lastCycle != res.Cycles {
+		t.Errorf("final callback at cycle %d, result has %d", lastCycle, res.Cycles)
+	}
+}
+
+func TestSweepObserverPerPoint(t *testing.T) {
+	var calls, finals atomic.Int64
+	ses, err := resim.New(resim.WithObserver(resim.ObserverFunc(func(p resim.Progress) {
+		calls.Add(1)
+		if p.Final {
+			finals.Add(1)
+		}
+		if p.Core < 0 || p.Core > 2 {
+			t.Errorf("point index %d out of range", p.Core)
+		}
+	}), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := resim.SweepGrid("rb", ses.Config(), []int{8, 16, 32}, func(c *resim.Config, v int) {
+		c.RBSize = v
+	})
+	if _, err := ses.Sweep(context.Background(), "gzip", 8_000, points); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("observer calls = %d, want one per point", got)
+	}
+	if got := finals.Load(); got != 1 {
+		t.Errorf("final callbacks = %d, want exactly 1", got)
+	}
+}
+
+func TestMulticoreHonorsMaxCycles(t *testing.T) {
+	ses, err := resim.New(resim.WithMaxCycles(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ses.Multicore(context.Background(), resim.MulticoreOptions{
+		Workloads: []string{"gzip", "vpr"}, Limit: 100_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 50 {
+		t.Errorf("cluster ran %d lockstep cycles, want the WithMaxCycles bound of 50", res.Cycles)
+	}
+}
+
+func TestMulticoreObserverAggregates(t *testing.T) {
+	var finals int
+	var lastCommitted uint64
+	ses, err := resim.New(resim.WithObserver(resim.ObserverFunc(func(p resim.Progress) {
+		if p.Core != -1 {
+			t.Errorf("cluster progress Core = %d, want -1", p.Core)
+		}
+		lastCommitted = p.Committed
+		if p.Final {
+			finals++
+		}
+	}), 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ses.Multicore(context.Background(), resim.MulticoreOptions{
+		Workloads: []string{"gzip", "vpr"}, Limit: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var committed uint64
+	for _, pc := range res.PerCore {
+		committed += pc.Committed
+	}
+	if finals != 1 {
+		t.Errorf("final callbacks = %d, want exactly 1", finals)
+	}
+	if lastCommitted != committed {
+		t.Errorf("final aggregate committed %d, cluster total %d", lastCommitted, committed)
+	}
+}
+
+// TestSessionTraceRoundTrip drives the WriteTrace -> RunTrace pair through
+// the Session and checks it matches the on-the-fly run, mirroring the
+// legacy free-function test at the Session layer.
+func TestSessionTraceRoundTrip(t *testing.T) {
+	ses, err := resim.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "vpr.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses.WriteTrace(ctx, f, "vpr", 15_000, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	offline, err := ses.RunTrace(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online, err := ses.RunWorkload(ctx, "vpr", 15_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offline.Counters != online.Counters {
+		t.Error("offline trace run differs from on-the-fly run")
+	}
+}
