@@ -493,3 +493,101 @@ func BenchmarkInOrderBaseline(b *testing.B) {
 	}
 	b.ReportMetric(res.IPC(), "IPC")
 }
+
+// --- sweep / trace-cache benchmarks ----------------------------------------
+
+// benchSweepPoints is a 4-point engine-parameter grid (LSQ depth) whose
+// points share one trace configuration — the common shape of a design-space
+// sweep, and the case the trace cache amortizes to a single generation.
+func benchSweepPoints() []resim.SweepPoint {
+	return resim.SweepGrid("lsq", resim.DefaultConfig(), []int{4, 8, 16, 32},
+		func(c *resim.Config, v int) { c.LSQSize = v })
+}
+
+// BenchmarkSweepUncached is the pre-cache behavior: every point regenerates
+// the workload trace from the functional simulator.
+func BenchmarkSweepUncached(b *testing.B) {
+	ses, err := resim.New(resim.WithTraceCache(nil))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := benchSweepPoints()
+	for i := 0; i < b.N; i++ {
+		res, err := ses.Sweep(context.Background(), "gzip", benchInstrs, pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pr := range res {
+			if pr.Err != nil {
+				b.Fatal(pr.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepColdCache measures a first-ever sweep: a fresh cache per
+// iteration, so each iteration pays one generation plus four replays.
+func BenchmarkSweepColdCache(b *testing.B) {
+	pts := benchSweepPoints()
+	for i := 0; i < b.N; i++ {
+		ses, err := resim.New(resim.WithTraceCache(resim.NewTraceCache(resim.TraceCacheConfig{})))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := ses.Sweep(context.Background(), "gzip", benchInstrs, pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pr := range res {
+			if pr.Err != nil {
+				b.Fatal(pr.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepWarmCache measures the steady state of iterative design
+// exploration: the trace is already cached and every point only replays.
+func BenchmarkSweepWarmCache(b *testing.B) {
+	ses, err := resim.New(resim.WithTraceCache(resim.NewTraceCache(resim.TraceCacheConfig{})))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := benchSweepPoints()
+	// Warm the cache outside the timed region.
+	if _, err := ses.Sweep(context.Background(), "gzip", benchInstrs, pts[:1]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ses.Sweep(context.Background(), "gzip", benchInstrs, pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pr := range res {
+			if pr.Err != nil {
+				b.Fatal(pr.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkTraceGeneration isolates the cost the cache saves: one full
+// trace materialization through the functional simulator.
+func BenchmarkTraceGeneration(b *testing.B) {
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tc := resim.DefaultConfig().TraceConfig()
+	for i := 0; i < b.N; i++ {
+		c := resim.NewTraceCache(resim.TraceCacheConfig{})
+		tr, err := c.Get(context.Background(), p, tc, benchInstrs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Records() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Command benchguard is the CI benchmark-regression gate: it parses
+// `go test -bench` output, compares the ns/op of each benchmark listed in a
+// committed baseline (BENCH_baseline.json) and fails when any of them
+// regressed beyond a threshold (default 20%).
+//
+// The comparison is deliberately conservative against noise: when the bench
+// output holds several samples of one benchmark (-count=N), the minimum
+// ns/op is used on both sides — the minimum is the least noisy estimator of
+// a benchmark's true cost on a busy CI machine.
+//
+// Because the committed baseline comes from one machine and CI runners
+// vary, -calibrate names a reference benchmark measured in the same run:
+// every other benchmark's current ns/op is divided by the calibrator's
+// current/baseline ratio before comparison, cancelling out raw hardware
+// speed. The calibrator itself is reported but not gated (a real
+// regression in it would also scale the gated benchmarks, which all
+// include or dwarf its work). Without -calibrate, absolute ns/op compare.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Sweep|Table1' -count 6 . | go run ./cmd/benchguard
+//	go run ./cmd/benchguard -update bench.txt      # refresh the baseline
+//	go run ./cmd/benchguard -threshold 0.30 bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed reference point for the regression gate.
+type Baseline struct {
+	Note string `json:"note,omitempty"`
+	// Context of the machine that produced the baseline; informational.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to the
+	// reference ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+// "BenchmarkSweepWarmCache-8   30   38463802 ns/op   1.23 IPC".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// machineLine captures the goos/goarch/cpu context lines.
+var machineLine = regexp.MustCompile(`^(goos|goarch|cpu):\s*(.+)$`)
+
+// parseBench reads bench output, returning minimum ns/op per benchmark and
+// the machine context.
+func parseBench(r io.Reader) (map[string]float64, map[string]string, error) {
+	res := map[string]float64{}
+	machine := map[string]string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := machineLine.FindStringSubmatch(line); m != nil {
+			machine[m[1]] = strings.TrimSpace(m[2])
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("benchguard: bad ns/op in %q: %w", line, err)
+		}
+		if old, ok := res[m[1]]; !ok || ns < old {
+			res[m[1]] = ns
+		}
+	}
+	return res, machine, sc.Err()
+}
+
+// verdict is one benchmark's comparison outcome.
+type verdict struct {
+	name       string
+	base, cur  float64
+	delta      float64 // (cur-base)/base
+	regressed  bool
+	missing    bool
+	overweight bool // improved past the threshold: baseline is stale
+}
+
+// compare evaluates current results against the baseline at the given
+// regression threshold. A non-empty calibrate benchmark normalizes every
+// current value by that benchmark's current/baseline ratio (and exempts
+// the calibrator itself from the gate); it returns the scale used.
+func compare(base Baseline, cur map[string]float64, threshold float64, calibrate string) ([]verdict, float64, error) {
+	scale := 1.0
+	if calibrate != "" {
+		cb, okB := base.Benchmarks[calibrate]
+		cc, okC := cur[calibrate]
+		if !okB || !okC || cb <= 0 {
+			return nil, 0, fmt.Errorf("benchguard: calibration benchmark %q missing from baseline or bench output", calibrate)
+		}
+		scale = cc / cb
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for n := range base.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []verdict
+	for _, n := range names {
+		b := base.Benchmarks[n]
+		c, ok := cur[n]
+		if !ok {
+			out = append(out, verdict{name: n, base: b, missing: true})
+			continue
+		}
+		d := (c/scale - b) / b
+		gated := n != calibrate
+		out = append(out, verdict{
+			name: n, base: b, cur: c, delta: d,
+			regressed:  gated && d > threshold,
+			overweight: gated && d < -threshold,
+		})
+	}
+	return out, scale, nil
+}
+
+func run() error {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline file")
+		threshold    = flag.Float64("threshold", 0.20, "ns/op regression tolerance (0.20 = +20%)")
+		update       = flag.Bool("update", false, "rewrite the baseline from the given bench output")
+		note         = flag.String("note", "", "note to store when updating the baseline")
+		calibrate    = flag.String("calibrate", "", "benchmark used to normalize out machine speed (exempt from the gate)")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	cur, machine, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(cur) == 0 {
+		return fmt.Errorf("benchguard: no benchmark results in input")
+	}
+
+	if *update {
+		b := Baseline{
+			Note:       *note,
+			Goos:       machine["goos"],
+			Goarch:     machine["goarch"],
+			CPU:        machine["cpu"],
+			Benchmarks: cur,
+		}
+		if b.Note == "" {
+			b.Note = "min ns/op per benchmark; refresh with: go run ./cmd/benchguard -update"
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchguard: wrote %d benchmarks to %s\n", len(cur), *baselinePath)
+		return nil
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("benchguard: bad baseline %s: %w", *baselinePath, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("benchguard: baseline %s lists no benchmarks", *baselinePath)
+	}
+
+	verdicts, scale, err := compare(base, cur, *threshold, *calibrate)
+	if err != nil {
+		return err
+	}
+	if *calibrate != "" {
+		fmt.Printf("calibrated by %s: this machine runs %.2fx the baseline's ns/op\n", *calibrate, scale)
+	}
+	failed := false
+	fmt.Printf("%-44s %14s %14s %8s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	for _, v := range verdicts {
+		if v.missing {
+			failed = true
+			fmt.Printf("%-44s %14.0f %14s %8s  MISSING from bench output\n", v.name, v.base, "-", "-")
+			continue
+		}
+		tag := ""
+		if v.name == *calibrate {
+			tag = "  (calibrator, not gated)"
+		}
+		switch {
+		case v.regressed:
+			failed = true
+			tag = fmt.Sprintf("  REGRESSED (> %+.0f%%)", *threshold*100)
+		case v.overweight:
+			tag = "  improved; consider refreshing the baseline"
+		}
+		fmt.Printf("%-44s %14.0f %14.0f %+7.1f%%%s\n", v.name, v.base, v.cur, v.delta*100, tag)
+	}
+	if failed {
+		return fmt.Errorf("benchguard: benchmark regression beyond %.0f%% (or missing benchmark)", *threshold*100)
+	}
+	fmt.Println("benchguard: OK")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweepWarmCache-8   	      30	  38463802 ns/op	         1.23 IPC
+BenchmarkSweepWarmCache-8   	      31	  37000000 ns/op	         1.23 IPC
+BenchmarkSweepUncached-8    	      15	  76014654 ns/op
+BenchmarkTable1PerfectMemory/gzip-8 	 50	  20000000 ns/op
+PASS
+ok  	repro	0.6s
+`
+
+func TestParseBenchTakesMinimum(t *testing.T) {
+	got, machine, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	if got["BenchmarkSweepWarmCache"] != 37000000 {
+		t.Errorf("WarmCache = %v, want the minimum of the two samples", got["BenchmarkSweepWarmCache"])
+	}
+	if got["BenchmarkTable1PerfectMemory/gzip"] != 20000000 {
+		t.Errorf("sub-benchmark name not parsed: %v", got)
+	}
+	if machine["goos"] != "linux" || machine["cpu"] == "" {
+		t.Errorf("machine context = %v", machine)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]float64{
+		"BenchA": 100, // will regress
+		"BenchB": 100, // within tolerance
+		"BenchC": 100, // missing from current
+		"BenchD": 100, // improved past threshold
+	}}
+	cur := map[string]float64{"BenchA": 125, "BenchB": 115, "BenchD": 60, "BenchE": 1}
+	vs, scale, err := compare(base, cur, 0.20, "")
+	if err != nil || scale != 1.0 {
+		t.Fatalf("uncalibrated compare: scale=%v err=%v", scale, err)
+	}
+	if len(vs) != 4 {
+		t.Fatalf("verdicts = %d, want 4 (extra current benchmarks ignored)", len(vs))
+	}
+	byName := map[string]verdict{}
+	for _, v := range vs {
+		byName[v.name] = v
+	}
+	if !byName["BenchA"].regressed {
+		t.Error("BenchA +25% not flagged at 20% threshold")
+	}
+	if byName["BenchB"].regressed || byName["BenchB"].missing {
+		t.Error("BenchB +15% wrongly flagged")
+	}
+	if !byName["BenchC"].missing {
+		t.Error("BenchC absence not flagged")
+	}
+	if !byName["BenchD"].overweight || byName["BenchD"].regressed {
+		t.Error("BenchD improvement not marked as stale-baseline hint")
+	}
+}
+
+func TestCompareCalibratesOutMachineSpeed(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]float64{
+		"BenchCal": 100, // machine-speed reference
+		"BenchA":   100, // scales with the machine: fine after calibration
+		"BenchB":   100, // regressed even accounting for the slower machine
+	}}
+	// This "machine" is 1.5x slower across the board; BenchB regressed 2x.
+	cur := map[string]float64{"BenchCal": 150, "BenchA": 150, "BenchB": 300}
+	vs, scale, err := compare(base, cur, 0.20, "BenchCal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 1.5 {
+		t.Errorf("scale = %v, want 1.5", scale)
+	}
+	byName := map[string]verdict{}
+	for _, v := range vs {
+		byName[v.name] = v
+	}
+	if byName["BenchA"].regressed {
+		t.Error("BenchA flagged despite tracking machine speed exactly")
+	}
+	if !byName["BenchB"].regressed {
+		t.Error("BenchB's real 2x regression hidden by calibration")
+	}
+	if byName["BenchCal"].regressed || byName["BenchCal"].overweight {
+		t.Error("calibrator must be exempt from the gate")
+	}
+	if _, _, err := compare(base, map[string]float64{"BenchA": 1}, 0.20, "BenchCal"); err == nil {
+		t.Error("missing calibrator accepted")
+	}
+}

@@ -97,4 +97,26 @@ func main() {
 	}
 	fmt.Println("\nLarger windows and wider issue raise IPC until another bottleneck binds;")
 	fmt.Println("on the FPGA each width has its own K = N+3/N+4, so MIPS = f/K x IPC trades width against clock rate.")
+
+	// --- Phase 3: the shared trace cache ----------------------------------
+	// Every sweep above generated its traces through the process-wide trace
+	// cache, so re-running a sweep replays memoized traces instead of
+	// re-simulating the workload (each RB size has its own trace key here,
+	// because the wrong-path block length is RB+IFQ).
+	before := resim.SharedTraceCache().Stats()
+	ses, err := resim.New(resim.WithWidth(4), resim.WithIFQSize(4),
+		resim.WithOrganization(resim.OrgImproved), resim.WithMemoryPorts(2, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	points := resim.SweepGrid("rb", ses.Config(), rbSizes, func(c *resim.Config, v int) {
+		c.RBSize = v
+	})
+	if _, err := ses.Sweep(ctx, "parser", instrs, points); err != nil {
+		log.Fatal(err)
+	}
+	after := resim.SharedTraceCache().Stats()
+	fmt.Printf("\nre-running the N=4 sweep: %d new trace generations, %d cached replays (%d traces resident, %.1f MB)\n",
+		after.Generations-before.Generations, after.Hits-before.Hits,
+		after.Entries, float64(after.Resident)/1e6)
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fpga"
 	"repro/internal/funcsim"
+	"repro/internal/tracecache"
 	"repro/internal/workload"
 )
 
@@ -188,5 +189,65 @@ func TestEmptyClusterRejected(t *testing.T) {
 	bad.Width = 0
 	if _, err := New([]CoreSpec{{Config: bad}}); err == nil {
 		t.Error("invalid core config accepted")
+	}
+}
+
+// TestClusterSharesCachedTrace builds a homogeneous cluster whose cores
+// consume independent snapshots of one cached trace — the session-level
+// wiring — and checks the lockstep outcome matches cores that each
+// regenerated the trace themselves.
+func TestClusterSharesCachedTrace(t *testing.T) {
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	const limit = 5000
+
+	traces := tracecache.New(tracecache.Config{})
+	var cachedSpecs, freshSpecs []CoreSpec
+	for i := 0; i < 2; i++ {
+		tr, err := traces.Get(context.Background(), p, cfg.TraceConfig(), limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedSpecs = append(cachedSpecs, CoreSpec{
+			Name: "cached", Config: cfg, Source: tr.Source(), StartPC: tr.StartPC(),
+		})
+		src, err := p.NewSource(cfg.TraceConfig(), limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freshSpecs = append(freshSpecs, CoreSpec{
+			Name: "fresh", Config: cfg, Source: src, StartPC: funcsim.CodeBase,
+		})
+	}
+	if got := traces.Generations(); got != 1 {
+		t.Fatalf("generations = %d, want 1", got)
+	}
+
+	cachedCl, err := New(cachedSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshCl, err := New(freshSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cachedCl.Run(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := freshCl.Run(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Errorf("cycles: cached cluster %d, fresh cluster %d", a.Cycles, b.Cycles)
+	}
+	for i := range a.PerCore {
+		if a.PerCore[i].Counters != b.PerCore[i].Counters {
+			t.Errorf("core %d: cached snapshot run differs from regeneration", i)
+		}
 	}
 }

@@ -1,8 +1,15 @@
 // Package sweep runs bulk design-space explorations — the paper's stated
 // off-line use case ("bulk simulations with varying design parameters") —
-// in parallel across host cores. Every point regenerates its workload trace
-// deterministically and owns an independent engine, so points never share
-// mutable state and the sweep's output is identical to a serial run.
+// in parallel across host cores. Each point owns an independent engine, so
+// points never share mutable state and the sweep's output is identical to a
+// serial run.
+//
+// Trace generation is amortized through a tracecache.Cache: points are
+// grouped by their trace key (workload + derived trace configuration +
+// instruction budget), each distinct trace is generated exactly once, and
+// every point replays an independent snapshot. Most design-space sweeps
+// vary only engine parameters (width, queue depths, cache geometry), so a
+// whole sweep typically costs a single generation.
 package sweep
 
 import (
@@ -14,7 +21,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/core"
-	"repro/internal/funcsim"
+	"repro/internal/tracecache"
 	"repro/internal/workload"
 )
 
@@ -56,6 +63,17 @@ type Runner struct {
 	// are ignored, so a base configuration carrying an observer does not
 	// double-report through every derived point.
 	Observer core.Observer
+	// Traces memoizes generated traces across points (and across runs, when
+	// the caller shares one cache between sweeps). nil gives the run a
+	// private cache, so points sharing a trace configuration still generate
+	// it once.
+	Traces *tracecache.Cache
+	// DisableCache restores the historical behavior of regenerating the
+	// trace per point (streaming, nothing materialized). Equivalence tests
+	// and memory-constrained callers use it; results are identical either
+	// way because cached replays are record-for-record equal to
+	// regeneration.
+	DisableCache bool
 }
 
 // Run simulates every point and returns results in point order. Individual
@@ -63,6 +81,13 @@ type Runner struct {
 // point list or a cancelled context. On cancellation in-flight engines stop
 // at their next context poll, every worker goroutine drains, and Run
 // returns ctx.Err().
+//
+// Points sharing a trace key (workload + trace configuration + instruction
+// budget) share one generated trace through the Traces cache; each point
+// replays a private snapshot, so the concurrent engines never touch shared
+// mutable trace state. Points whose budget is uncacheable (Instructions
+// == 0 or over the cache's per-trace cap), or a Runner with DisableCache,
+// fall back to regenerating per point.
 //
 // Points run in parallel, so per-point state is isolated where the sweep
 // can do it: the built-in cache models (set-associative, perfect, and
@@ -94,6 +119,12 @@ func (r Runner) Run(ctx context.Context, points []Point) ([]Result, error) {
 	if par > len(points) {
 		par = len(points)
 	}
+	traces := r.Traces
+	if r.DisableCache {
+		traces = nil // DisableCache wins even over an explicit Traces
+	} else if traces == nil {
+		traces = tracecache.New(tracecache.Config{})
+	}
 	results := make([]Result, len(points))
 	var (
 		wg   sync.WaitGroup
@@ -107,7 +138,7 @@ func (r Runner) Run(ctx context.Context, points []Point) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range work {
-				results[idx] = r.runOne(ctx, points[idx], shared)
+				results[idx] = r.runOne(ctx, points[idx], shared, traces)
 				if r.Observer != nil {
 					mu.Lock()
 					done++
@@ -126,7 +157,7 @@ func (r Runner) Run(ctx context.Context, points []Point) ([]Result, error) {
 		}()
 	}
 feed:
-	for i := range points {
+	for _, i := range r.feedOrder(points, traces) {
 		select {
 		case work <- i:
 		case <-ctx.Done():
@@ -141,7 +172,36 @@ feed:
 	return results, nil
 }
 
-func (r Runner) runOne(ctx context.Context, pt Point, sharedTr map[uintptr]bool) Result {
+// feedOrder returns the order point indices are handed to workers. With a
+// trace cache in play, points are grouped by trace key and the first point
+// of every distinct key goes to the front: the distinct generations fan out
+// across the worker pool in parallel, and by the time the remaining points
+// run their traces are warm (they block on the in-flight generation rather
+// than duplicating it). Results are written by index, so scheduling order
+// never affects output order.
+func (r Runner) feedOrder(points []Point, traces *tracecache.Cache) []int {
+	order := make([]int, 0, len(points))
+	if traces == nil || !traces.Cacheable(r.Instructions) {
+		for i := range points {
+			order = append(order, i)
+		}
+		return order
+	}
+	seen := make(map[tracecache.Key]bool, len(points))
+	var rest []int
+	for i := range points {
+		k := tracecache.KeyFor(r.Workload, points[i].Config.TraceConfig(), r.Instructions)
+		if seen[k] {
+			rest = append(rest, i)
+			continue
+		}
+		seen[k] = true
+		order = append(order, i)
+	}
+	return append(order, rest...)
+}
+
+func (r Runner) runOne(ctx context.Context, pt Point, sharedTr map[uintptr]bool, traces *tracecache.Cache) Result {
 	out := Result{Point: pt}
 	cfg := pt.Config
 	cfg.Observer = nil
@@ -157,12 +217,12 @@ func (r Runner) runOne(ctx context.Context, pt Point, sharedTr map[uintptr]bool)
 		cfg.ICache = cache.CloneCold(cfg.ICache)
 		cfg.DCache = cache.CloneCold(cfg.DCache)
 	}
-	src, err := r.Workload.NewSource(cfg.TraceConfig(), r.Instructions)
+	src, startPC, err := tracecache.SourceFor(ctx, traces, r.Workload, cfg.TraceConfig(), r.Instructions)
 	if err != nil {
 		out.Err = err
 		return out
 	}
-	eng, err := core.New(cfg, src, funcsim.CodeBase)
+	eng, err := core.New(cfg, src, startPC)
 	if err != nil {
 		out.Err = err
 		return out

@@ -2,9 +2,11 @@ package sweep
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/tracecache"
 	"repro/internal/workload"
 )
 
@@ -88,5 +90,114 @@ func TestEmptySweepRejected(t *testing.T) {
 	r := gzipRunner(t)
 	if _, err := r.Run(context.Background(), nil); err == nil {
 		t.Error("empty sweep accepted")
+	}
+}
+
+// TestSweepSharedTraceGeneratesOnce is the issue's acceptance criterion: a
+// >= 4-point sweep whose points differ only in engine parameters performs
+// exactly one trace generation.
+func TestSweepSharedTraceGeneratesOnce(t *testing.T) {
+	r := gzipRunner(t)
+	r.Traces = tracecache.New(tracecache.Config{})
+	// LSQ depth is engine-only: unlike RBSize (which feeds the wrong-path
+	// block length RB+IFQ) it leaves the trace configuration untouched.
+	pts := Grid("lsq", core.DefaultConfig(), []int{2, 4, 8, 16, 32}, func(c *core.Config, v int) {
+		c.LSQSize = v
+	})
+	res, err := r.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range res {
+		if pr.Err != nil {
+			t.Fatalf("%s: %v", pr.Name, pr.Err)
+		}
+	}
+	if got := r.Traces.Generations(); got != 1 {
+		t.Errorf("generations = %d, want 1 for %d points sharing a trace config", got, len(pts))
+	}
+}
+
+// TestSweepCachedMatchesUncached: caching must not change a single counter
+// of any point's result.
+func TestSweepCachedMatchesUncached(t *testing.T) {
+	r := gzipRunner(t)
+	pts := Grid("width", core.DefaultConfig(), []int{2, 4, 8}, func(c *core.Config, v int) {
+		c.Width = v
+		if max := c.Organization.MaxMemPorts(v); c.MemReadPorts > max {
+			c.MemReadPorts = max
+		}
+	})
+	// A point with a different trace key rides along to cover grouping.
+	perfect := core.DefaultConfig()
+	perfect.PerfectBP = true
+	pts = append(pts, Point{Name: "perfectbp", Config: perfect})
+
+	r.DisableCache = true
+	uncached, err := r.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.DisableCache = false
+	r.Traces = tracecache.New(tracecache.Config{})
+	cached, err := r.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range uncached {
+		if uncached[i].Err != nil || cached[i].Err != nil {
+			t.Fatalf("point %d errs: %v / %v", i, uncached[i].Err, cached[i].Err)
+		}
+		if !reflect.DeepEqual(uncached[i].Res, cached[i].Res) {
+			t.Errorf("point %s: cached result differs from uncached", uncached[i].Name)
+		}
+	}
+	if got := r.Traces.Generations(); got != 2 {
+		t.Errorf("generations = %d, want 2 (default + perfect-BP trace)", got)
+	}
+}
+
+// TestSweepUncacheableBudgetFallsBack: Instructions over the cache's cap
+// streams per point and still completes.
+func TestSweepUncacheableBudgetFallsBack(t *testing.T) {
+	r := gzipRunner(t)
+	r.Traces = tracecache.New(tracecache.Config{MaxInstructions: 100}) // below r.Instructions
+	pts := Grid("rb", core.DefaultConfig(), []int{8, 16}, func(c *core.Config, v int) {
+		c.RBSize = v
+	})
+	res, err := r.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range res {
+		if pr.Err != nil {
+			t.Fatalf("%s: %v", pr.Name, pr.Err)
+		}
+	}
+	if got := r.Traces.Generations(); got != 0 {
+		t.Errorf("generations = %d, want 0 (uncacheable budget must stream)", got)
+	}
+}
+
+// TestDisableCacheWinsOverTraces: the documented contract — DisableCache
+// restores streaming regeneration even when a cache is also configured.
+func TestDisableCacheWinsOverTraces(t *testing.T) {
+	r := gzipRunner(t)
+	r.Traces = tracecache.New(tracecache.Config{})
+	r.DisableCache = true
+	pts := Grid("lsq", core.DefaultConfig(), []int{4, 8}, func(c *core.Config, v int) {
+		c.LSQSize = v
+	})
+	res, err := r.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range res {
+		if pr.Err != nil {
+			t.Fatalf("%s: %v", pr.Name, pr.Err)
+		}
+	}
+	if got := r.Traces.Generations(); got != 0 {
+		t.Errorf("generations = %d, want 0 with DisableCache set", got)
 	}
 }

@@ -8,7 +8,7 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/core"
 	"repro/internal/fpga"
-	"repro/internal/funcsim"
+	"repro/internal/tracecache"
 	"repro/internal/workload"
 )
 
@@ -60,7 +60,7 @@ func PredictorSweep(ctx context.Context, opts Options, workloadName string) ([]P
 	for _, pt := range points {
 		cfg := base
 		pt.mod(&cfg)
-		res, err := runProfile(ctx, p, cfg, opts.instructions())
+		res, err := runProfile(ctx, opts.traces(), p, cfg, opts.instructions())
 		if err != nil {
 			return nil, fmt.Errorf("predictor sweep %s: %w", pt.name, err)
 		}
@@ -125,12 +125,12 @@ func WrongPathSweep(ctx context.Context, opts Options, workloadName string) ([]W
 		cfg.DCache = newL1("dl1")
 		tc := cfg.TraceConfig()
 		tc.WrongPathLen = wpl
-		src, err := p.NewSource(tc, opts.instructions())
+		src, startPC, err := tracecache.SourceFor(ctx, opts.traces(), p, tc, opts.instructions())
 		if err != nil {
 			return nil, err
 		}
 		acct := &bitAccounting{src: src}
-		eng, err := core.New(cfg, acct, funcsim.CodeBase)
+		eng, err := core.New(cfg, acct, startPC)
 		if err != nil {
 			return nil, err
 		}

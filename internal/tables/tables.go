@@ -13,9 +13,9 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fpga"
-	"repro/internal/funcsim"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/tracecache"
 	"repro/internal/workload"
 )
 
@@ -25,6 +25,12 @@ func newL1(name string) cache.Model { return cache.New(cache.L1Config32K(name)) 
 // Options bound the simulated instruction budget per benchmark point.
 type Options struct {
 	Instructions uint64 // correct-path instructions per benchmark
+	// Traces memoizes generated traces across every table and figure
+	// generator: the tables iterate configurations over the same five
+	// workloads, so one Options value (or the process-wide default) makes
+	// each distinct (workload, trace config, budget) generate exactly once
+	// across the whole evaluation suite. nil selects tracecache.Shared().
+	Traces *tracecache.Cache
 }
 
 // DefaultOptions simulates 200k instructions per point: enough to warm the
@@ -38,19 +44,29 @@ func (o Options) instructions() uint64 {
 	return o.Instructions
 }
 
+func (o Options) traces() *tracecache.Cache {
+	if o.Traces != nil {
+		return o.Traces
+	}
+	return tracecache.Shared()
+}
+
 // fastReportedMuops is FAST's reported per-benchmark simulation speed in
 // simulated Muops/s (Table 1, last column; perfect branch prediction).
 var fastReportedMuops = map[string]float64{
 	"gzip": 2.95, "bzip2": 3.51, "parser": 2.82, "vortex": 2.19, "vpr": 2.48,
 }
 
-// runProfile simulates one profile under cfg and returns the result.
-func runProfile(ctx context.Context, p workload.Profile, cfg core.Config, limit uint64) (core.Result, error) {
-	src, err := p.NewSource(cfg.TraceConfig(), limit)
+// runProfile simulates one profile under cfg and returns the result. The
+// trace comes from the given cache, so the many table generators that pair
+// the same workload with the same trace-shaping parameters share one
+// generation.
+func runProfile(ctx context.Context, traces *tracecache.Cache, p workload.Profile, cfg core.Config, limit uint64) (core.Result, error) {
+	src, startPC, err := tracecache.SourceFor(ctx, traces, p, cfg.TraceConfig(), limit)
 	if err != nil {
 		return core.Result{}, err
 	}
-	eng, err := core.New(cfg, src, funcsim.CodeBase)
+	eng, err := core.New(cfg, src, startPC)
 	if err != nil {
 		return core.Result{}, err
 	}
@@ -82,7 +98,7 @@ func Table1(ctx context.Context, opts Options) ([]Table1Row, error) {
 		row := Table1Row{Benchmark: p.Name, FASTReported: fastReportedMuops[p.Name]}
 
 		left := core.DefaultConfig()
-		res, err := runProfile(ctx, p, left, opts.instructions())
+		res, err := runProfile(ctx, opts.traces(), p, left, opts.instructions())
 		if err != nil {
 			return nil, fmt.Errorf("table1 left %s: %w", p.Name, err)
 		}
@@ -92,7 +108,7 @@ func Table1(ctx context.Context, opts Options) ([]Table1Row, error) {
 		row.PerfectV5MIPS = fpga.SimulationMIPS(fpga.Virtex5, k, res.IPC())
 
 		right := core.FASTComparisonConfig()
-		res, err = runProfile(ctx, p, right, opts.instructions())
+		res, err = runProfile(ctx, opts.traces(), p, right, opts.instructions())
 		if err != nil {
 			return nil, fmt.Errorf("table1 right %s: %w", p.Name, err)
 		}
@@ -174,7 +190,7 @@ func Table2(ctx context.Context, opts Options) ([]Table2Row, error) {
 	var cacheIPCSum, perfIPCSum float64
 	n := 0
 	for _, p := range workload.Profiles() {
-		res, err := runProfile(ctx, p, right, opts.instructions())
+		res, err := runProfile(ctx, opts.traces(), p, right, opts.instructions())
 		if err != nil {
 			return nil, err
 		}
@@ -244,13 +260,13 @@ func Table3(ctx context.Context, opts Options) ([]Table3Row, error) {
 	k := cfg.MinorCyclesPerMajor()
 	var rows []Table3Row
 	for _, p := range workload.Profiles() {
-		src, err := p.NewSource(cfg.TraceConfig(), opts.instructions())
+		src, startPC, err := tracecache.SourceFor(ctx, opts.traces(), p, cfg.TraceConfig(), opts.instructions())
 		if err != nil {
 			return nil, err
 		}
 		// Tee the stream through an accounting layer to measure bits.
 		acct := &bitAccounting{src: src}
-		eng, err := core.New(cfg, acct, funcsim.CodeBase)
+		eng, err := core.New(cfg, acct, startPC)
 		if err != nil {
 			return nil, err
 		}
@@ -353,7 +369,7 @@ func TraceCompression(ctx context.Context, opts Options) ([]CompressionRow, erro
 	cfg := core.DefaultConfig()
 	var rows []CompressionRow
 	for _, p := range workload.Profiles() {
-		src, err := p.NewSource(cfg.TraceConfig(), opts.instructions())
+		src, _, err := tracecache.SourceFor(ctx, opts.traces(), p, cfg.TraceConfig(), opts.instructions())
 		if err != nil {
 			return nil, err
 		}

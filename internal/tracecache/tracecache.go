@@ -1,0 +1,551 @@
+// Package tracecache memoizes generated workload traces so that every
+// consumer of a trace — sweep points, evaluation tables, lockstep multicore
+// clusters, repeated session runs — pays the functional-simulation cost of
+// a given (workload, trace configuration, instruction budget) exactly once.
+// This is the trace-driven bargain the paper is built on ("traces that are
+// prepared off-line, for example for bulk simulations with varying design
+// parameters"): most points of a design-space sweep differ only in engine
+// parameters (width, queue depths, cache geometry) and share the exact same
+// input trace, so regenerating it per point multiplies the dominant cost of
+// a sweep for no information.
+//
+// The cache is content-addressed: the key is the full workload.Profile
+// value plus the derived funcsim.TraceConfig and the correct-path
+// instruction limit, so two callers get one trace only when every knob that
+// shapes the record stream is identical. Entries are materialized record
+// slices; readers get independent replayable snapshots (fresh cursors over
+// the shared immutable slice), so any number of engines can consume one
+// trace concurrently without coordination. Generation is single-flight:
+// concurrent requests for the same key block on the first generator rather
+// than duplicating work.
+//
+// Memory is bounded by an optional resident-byte budget. Over budget, the
+// least-recently-used entries are evicted; with a spill directory
+// configured they are first written to disk in the delta-compressed
+// container format (internal/trace version 2, built on internal/bitio) and
+// transparently reloaded on the next request, otherwise they are dropped
+// and would regenerate on demand.
+package tracecache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/core"
+	"repro/internal/funcsim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Key identifies one generated trace: the complete workload definition, the
+// trace-generation configuration and the correct-path instruction budget.
+// Every field that influences the record stream is part of the key, so a
+// cache hit is exact by construction. The zero limit (run to HALT) is never
+// cached — see (*Cache).Cacheable.
+type Key struct {
+	Profile workload.Profile
+	Limit   uint64
+	TC      funcsim.TraceConfig
+}
+
+// KeyFor builds the cache key for generating limit correct-path
+// instructions of p under tc. tc is typically core.Config.TraceConfig().
+func KeyFor(p workload.Profile, tc funcsim.TraceConfig, limit uint64) Key {
+	return Key{Profile: p, Limit: limit, TC: tc}
+}
+
+// ID returns the key's content address: a hex digest usable as a file name
+// for the on-disk spill.
+func (k Key) ID() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", k)))
+	return hex.EncodeToString(sum[:16])
+}
+
+// Trace is one cached, fully generated trace. It is immutable: once built
+// (or reloaded from the spill) its record slice is never written again, so
+// snapshots taken by concurrent readers never race. A Trace returned by Get
+// stays valid even after the cache evicts the entry behind it.
+type Trace struct {
+	key     Key
+	startPC uint32
+	recs    []trace.Record
+	tagged  uint64
+	bits    uint64 // raw (version-1) encoded payload bits, sum of BitLen
+}
+
+// Key returns the key the trace was generated under.
+func (t *Trace) Key() Key { return t.key }
+
+// StartPC is where execution starts (the workload program's entry point).
+func (t *Trace) StartPC() uint32 { return t.startPC }
+
+// Records returns the number of records in the trace (correct-path plus
+// tagged wrong-path).
+func (t *Trace) Records() int { return len(t.recs) }
+
+// WrongPath returns the number of tagged (mis-speculated) records.
+func (t *Trace) WrongPath() uint64 { return t.tagged }
+
+// Bits returns the trace's raw encoded size in bits (the version-1
+// container payload, the quantity Table 3 reports per instruction).
+func (t *Trace) Bits() uint64 { return t.bits }
+
+// Source returns a fresh replayable snapshot: an independent cursor over
+// the shared record slice. Each engine must consume its own snapshot;
+// snapshots are cheap and any number may be read concurrently.
+func (t *Trace) Source() *trace.SliceSource { return trace.NewSliceSource(t.recs) }
+
+// Range calls fn for every record in order, stopping at the first error.
+// It is the bulk-export path (trace file writing) and avoids a cursor.
+func (t *Trace) Range(fn func(trace.Record) error) error {
+	for _, r := range t.recs {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recordBytes approximates the resident cost of one record.
+const recordBytes = int64(unsafe.Sizeof(trace.Record{}))
+
+// Config bounds a Cache. The zero value means: no disk spill, the default
+// resident-byte budget and the default per-trace instruction cap.
+type Config struct {
+	// SpillDir, when non-empty, is where evicted entries are written (one
+	// delta-compressed container per key) instead of being dropped. The
+	// directory is created on first use.
+	SpillDir string
+	// MaxResidentBytes bounds the total in-memory record footprint;
+	// 0 selects DefaultMaxResidentBytes, negative means unbounded.
+	MaxResidentBytes int64
+	// MaxInstructions caps the correct-path budget a single cacheable trace
+	// may have; larger requests report Cacheable() == false and callers fall
+	// back to streaming generation. 0 selects DefaultMaxInstructions.
+	MaxInstructions uint64
+}
+
+// DefaultMaxResidentBytes is the default in-memory budget (1 GiB — roughly
+// thirty 1M-instruction traces).
+const DefaultMaxResidentBytes = int64(1) << 30
+
+// DefaultMaxInstructions is the default per-trace correct-path cap. A
+// 4M-instruction trace with the paper's wrong-path inflation is on the
+// order of 150 MB resident, a sane ceiling for implicit caching.
+const DefaultMaxInstructions = uint64(4_000_000)
+
+// Stats is a point-in-time snapshot of cache activity.
+type Stats struct {
+	Generations uint64 // traces generated (cache misses that did the work)
+	Hits        uint64 // requests served from memory
+	SpillWrites uint64 // entries written to the spill directory
+	SpillLoads  uint64 // requests served by reloading a spilled entry
+	Evictions   uint64 // entries pushed out of memory (spilled or dropped)
+
+	Entries  int   // keys currently known (resident or spilled)
+	Resident int64 // bytes of record data currently in memory
+}
+
+// Cache memoizes generated traces. The zero value is not usable; build one
+// with New (or use Shared for the process-wide instance).
+type Cache struct {
+	spillDir string
+	maxBytes int64
+	maxInstr uint64
+
+	mu       sync.Mutex
+	entries  map[Key]*entry
+	lru      *list.List // resident entries, front = most recently used
+	resident int64
+
+	gens        atomic.Uint64
+	hits        atomic.Uint64
+	spillWrites atomic.Uint64
+	spillLoads  atomic.Uint64
+	evictions   atomic.Uint64
+}
+
+// entry is one key's slot. done is closed when generation finishes (tr and
+// err are immutable afterwards, except tr moving to/from the spill under
+// the cache mutex). A failed generation removes the entry from the map
+// before closing done, so waiters retry and the error never sticks.
+type entry struct {
+	key  Key
+	done chan struct{}
+	err  error
+
+	tr    *Trace // nil while spilled
+	bytes int64
+
+	// Post-generation metadata kept across spills so a reload can rebuild
+	// the Trace without recomputing statistics.
+	startPC uint32
+	records uint64
+	tagged  uint64
+	bits    uint64
+
+	spillPath string        // written container, "" until first spill
+	elem      *list.Element // lru position while resident
+}
+
+// New builds a cache bounded by cfg.
+func New(cfg Config) *Cache {
+	if cfg.MaxResidentBytes == 0 {
+		cfg.MaxResidentBytes = DefaultMaxResidentBytes
+	}
+	if cfg.MaxInstructions == 0 {
+		cfg.MaxInstructions = DefaultMaxInstructions
+	}
+	return &Cache{
+		spillDir: cfg.SpillDir,
+		maxBytes: cfg.MaxResidentBytes,
+		maxInstr: cfg.MaxInstructions,
+		entries:  map[Key]*entry{},
+		lru:      list.New(),
+	}
+}
+
+var (
+	sharedOnce  sync.Once
+	sharedCache *Cache
+)
+
+// Shared returns the process-wide cache with default bounds. The public
+// resim Session defaults to it, as do the evaluation tables and the
+// deprecated free functions, so mixed old- and new-style callers in one
+// process share a single set of generated traces.
+func Shared() *Cache {
+	sharedOnce.Do(func() { sharedCache = New(Config{}) })
+	return sharedCache
+}
+
+// Cacheable reports whether a trace with the given correct-path budget is
+// eligible for this cache: bounded (limit != 0 — an unbounded workload run
+// cannot be materialized) and within the per-trace instruction cap.
+// Callers fall back to streaming generation when it returns false.
+func (c *Cache) Cacheable(limit uint64) bool {
+	return limit != 0 && limit <= c.maxInstr
+}
+
+// Generations returns how many traces have been generated so far — the
+// quantity sweeps amortize. Tests assert on it.
+func (c *Cache) Generations() uint64 { return c.gens.Load() }
+
+// Stats snapshots cache activity.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	entries, resident := len(c.entries), c.resident
+	c.mu.Unlock()
+	return Stats{
+		Generations: c.gens.Load(),
+		Hits:        c.hits.Load(),
+		SpillWrites: c.spillWrites.Load(),
+		SpillLoads:  c.spillLoads.Load(),
+		Evictions:   c.evictions.Load(),
+		Entries:     entries,
+		Resident:    resident,
+	}
+}
+
+// ErrUncacheable reports a Get whose limit fails Cacheable.
+var ErrUncacheable = errors.New("tracecache: trace not cacheable (unbounded or over the instruction cap)")
+
+// Get returns the trace for (p, tc, limit), generating it on the first
+// request. Concurrent requests for one key are single-flight: one caller
+// generates while the rest wait. If the generating caller's context is
+// cancelled mid-generation the entry is discarded and a surviving waiter
+// takes over, so one caller's cancellation never poisons the key.
+func (c *Cache) Get(ctx context.Context, p workload.Profile, tc funcsim.TraceConfig, limit uint64) (*Trace, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !c.Cacheable(limit) {
+		return nil, fmt.Errorf("%w: limit %d", ErrUncacheable, limit)
+	}
+	k := KeyFor(p, tc, limit)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		e, ok := c.entries[k]
+		if !ok {
+			e = &entry{key: k, done: make(chan struct{})}
+			c.entries[k] = e
+			c.mu.Unlock()
+			return c.generateInto(ctx, e)
+		}
+		c.mu.Unlock()
+
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if e.err != nil {
+			// The generator failed and removed the slot; loop to retry
+			// under our own context (deterministic failures simply fail
+			// again, cancellation of the old leader does not outlive it).
+			continue
+		}
+
+		c.mu.Lock()
+		if tr := e.tr; tr != nil {
+			c.lru.MoveToFront(e.elem)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return tr, nil
+		}
+		if e.spillPath == "" {
+			// Evicted without a spill (or the spill write failed): the slot
+			// is gone; loop and regenerate.
+			if c.entries[k] == e {
+				delete(c.entries, k)
+			}
+			c.mu.Unlock()
+			continue
+		}
+		// Spilled: reload under the cache mutex. Reloads only happen once a
+		// byte budget is configured and exceeded; simplicity over maximal
+		// concurrency is the right trade there.
+		tr, err := c.reloadLocked(e)
+		c.mu.Unlock()
+		if err != nil {
+			// The spill file was lost or corrupted; reloadLocked dropped the
+			// slot, so treat it as an ordinary miss and regenerate rather
+			// than surfacing a disk hiccup to one unlucky caller.
+			continue
+		}
+		c.spillLoads.Add(1)
+		return tr, nil
+	}
+}
+
+// generateInto runs the trace generator for e's key and publishes the
+// result. It is called without the cache mutex held.
+func (c *Cache) generateInto(ctx context.Context, e *entry) (*Trace, error) {
+	tr, err := generate(ctx, e.key)
+	c.mu.Lock()
+	if err != nil {
+		if c.entries[e.key] == e {
+			delete(c.entries, e.key)
+		}
+		c.mu.Unlock()
+		e.err = err
+		close(e.done)
+		return nil, err
+	}
+	e.tr = tr
+	e.bytes = int64(len(tr.recs)) * recordBytes
+	e.startPC = tr.startPC
+	e.records = uint64(len(tr.recs))
+	e.tagged = tr.tagged
+	e.bits = tr.bits
+	c.insertResidentLocked(e)
+	c.mu.Unlock()
+	close(e.done)
+	c.gens.Add(1)
+	return tr, nil
+}
+
+// generate materializes the full record stream for k, polling ctx every
+// core.CtxCheckInterval records. It drives the exact funcsim pipeline the
+// lazy per-run sources use (Profile.Build -> NewMachine -> Source), so a
+// cached replay is record-for-record identical to an uncached run.
+func generate(ctx context.Context, k Key) (*Trace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	prog, err := k.Profile.Build()
+	if err != nil {
+		return nil, err
+	}
+	m, err := funcsim.NewMachine(prog, 0)
+	if err != nil {
+		return nil, err
+	}
+	src := funcsim.NewSource(m, k.TC, k.Limit)
+
+	capHint := k.Limit + k.Limit/4
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	t := &Trace{key: k, startPC: prog.Entry, recs: make([]trace.Record, 0, capHint)}
+	sinceCheck := 0
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if sinceCheck++; sinceCheck >= core.CtxCheckInterval {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if r.Tag {
+			t.tagged++
+		}
+		t.bits += uint64(r.BitLen())
+		t.recs = append(t.recs, r)
+	}
+}
+
+// SourceFor is the shared cached-or-streaming source selection every trace
+// consumer (session runs, sweep points, multicore cores, table generators)
+// uses: a replayable snapshot from c when c is non-nil and the budget is
+// cacheable, otherwise a streaming source straight from the functional
+// simulator. The returned PC is where the engine should start fetching.
+func SourceFor(ctx context.Context, c *Cache, p workload.Profile, tc funcsim.TraceConfig, limit uint64) (trace.Source, uint32, error) {
+	if c != nil && c.Cacheable(limit) {
+		tr, err := c.Get(ctx, p, tc, limit)
+		if err != nil {
+			return nil, 0, err
+		}
+		return tr.Source(), tr.StartPC(), nil
+	}
+	src, err := p.NewSource(tc, limit)
+	if err != nil {
+		return nil, 0, err
+	}
+	return src, funcsim.CodeBase, nil
+}
+
+// insertResidentLocked accounts a freshly generated or reloaded entry and
+// evicts over-budget entries, least recently used first. Callers hold c.mu.
+func (c *Cache) insertResidentLocked(e *entry) {
+	e.elem = c.lru.PushFront(e)
+	c.resident += e.bytes
+	if c.maxBytes < 0 {
+		return
+	}
+	// Never evict the entry just inserted: a single over-budget trace still
+	// has to serve its requester.
+	for c.resident > c.maxBytes && c.lru.Len() > 1 {
+		victim := c.lru.Back().Value.(*entry)
+		c.evictLocked(victim)
+	}
+}
+
+// evictLocked pushes one resident entry out of memory: spilled to disk when
+// a spill directory is configured (and re-readable later), dropped entirely
+// otherwise (a future request regenerates).
+func (c *Cache) evictLocked(e *entry) {
+	c.lru.Remove(e.elem)
+	e.elem = nil
+	c.resident -= e.bytes
+	c.evictions.Add(1)
+	if c.spillDir != "" {
+		if err := c.spill(e); err == nil {
+			e.tr = nil
+			return
+		}
+		// Spill failed (disk full, permissions): fall through to drop.
+	}
+	e.tr = nil
+	delete(c.entries, e.key)
+}
+
+// spill writes e's records as a delta-compressed container under the spill
+// directory, atomically via a temp file. Already-spilled entries are reused
+// as-is (the content address guarantees the bytes still match).
+func (c *Cache) spill(e *entry) error {
+	if e.spillPath != "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.spillDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(c.spillDir, e.key.ID()+".rstc")
+	tmp, err := os.CreateTemp(c.spillDir, "spill-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	w, err := trace.NewCompressedWriter(tmp, trace.Header{StartPC: e.startPC, Records: e.records})
+	if err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := e.tr.Range(w.Write); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	e.spillPath = path
+	c.spillWrites.Add(1)
+	return nil
+}
+
+// reloadLocked reads a spilled entry back into memory and re-accounts it as
+// resident. Callers hold c.mu. On failure the slot is dropped — but only if
+// e still owns it: a concurrent caller may already have replaced a broken
+// slot with a fresh generating entry, which must not be deleted.
+func (c *Cache) reloadLocked(e *entry) (*Trace, error) {
+	owned := c.entries[e.key] == e
+	dropSlot := func() {
+		if owned {
+			delete(c.entries, e.key)
+		}
+	}
+	f, err := os.Open(e.spillPath)
+	if err != nil {
+		// The spill vanished under us; drop the slot so the next request
+		// regenerates instead of failing forever.
+		dropSlot()
+		return nil, fmt.Errorf("tracecache: spilled trace lost: %w", err)
+	}
+	defer f.Close()
+	src, hdr, err := trace.Open(f)
+	if err != nil {
+		dropSlot()
+		return nil, fmt.Errorf("tracecache: corrupt spill %s: %w", e.spillPath, err)
+	}
+	recs := make([]trace.Record, 0, e.records)
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			dropSlot()
+			return nil, fmt.Errorf("tracecache: corrupt spill %s: %w", e.spillPath, err)
+		}
+		recs = append(recs, r)
+	}
+	if uint64(len(recs)) != e.records {
+		dropSlot()
+		return nil, fmt.Errorf("tracecache: spill %s holds %d records, want %d", e.spillPath, len(recs), e.records)
+	}
+	tr := &Trace{key: e.key, startPC: hdr.StartPC, recs: recs, tagged: e.tagged, bits: e.bits}
+	if owned {
+		// Only a slot that still owns its key re-enters the LRU/resident
+		// bookkeeping; a stale entry (replaced by a newer generation) just
+		// serves its reader and is left for the GC.
+		e.tr = tr
+		c.insertResidentLocked(e)
+	}
+	return tr, nil
+}

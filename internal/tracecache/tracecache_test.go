@@ -1,0 +1,334 @@
+package tracecache
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/funcsim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func gzipProfile(t *testing.T) workload.Profile {
+	t.Helper()
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func defaultTC() funcsim.TraceConfig { return core.DefaultConfig().TraceConfig() }
+
+// drain reads a source to EOF.
+func drain(t *testing.T, src trace.Source) []trace.Record {
+	t.Helper()
+	var recs []trace.Record
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			return recs
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+}
+
+// TestCachedMatchesUncached is the cache's core contract: a cached replay
+// is record-for-record identical to an uncached generation.
+func TestCachedMatchesUncached(t *testing.T) {
+	p := gzipProfile(t)
+	const limit = 6000
+
+	c := New(Config{})
+	tr, err := c.Get(context.Background(), p, defaultTC(), limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := drain(t, tr.Source())
+
+	src, err := p.NewSource(defaultTC(), limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := drain(t, src)
+
+	if len(cached) == 0 || !reflect.DeepEqual(cached, fresh) {
+		t.Fatalf("cached trace differs from regeneration: %d vs %d records", len(cached), len(fresh))
+	}
+	if tr.StartPC() != funcsim.CodeBase {
+		t.Errorf("StartPC = %#x, want %#x", tr.StartPC(), funcsim.CodeBase)
+	}
+	var tagged uint64
+	var bits uint64
+	for _, r := range fresh {
+		if r.Tag {
+			tagged++
+		}
+		bits += uint64(r.BitLen())
+	}
+	if tr.WrongPath() != tagged || tr.Bits() != bits {
+		t.Errorf("stats = (%d wp, %d bits), want (%d, %d)", tr.WrongPath(), tr.Bits(), tagged, bits)
+	}
+}
+
+// TestConcurrentReadersSingleGeneration hammers one key from many
+// goroutines (run under -race): generation must happen exactly once and
+// every reader must see the full identical stream through its own snapshot.
+func TestConcurrentReadersSingleGeneration(t *testing.T) {
+	p := gzipProfile(t)
+	const limit = 4000
+	c := New(Config{})
+
+	const readers = 16
+	lens := make([]int, readers)
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := c.Get(context.Background(), p, defaultTC(), limit)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			lens[i] = len(drain(t, tr.Source()))
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Generations(); got != 1 {
+		t.Fatalf("generations = %d, want 1", got)
+	}
+	for i := 1; i < readers; i++ {
+		if lens[i] != lens[0] || lens[i] == 0 {
+			t.Fatalf("reader %d saw %d records, reader 0 saw %d", i, lens[i], lens[0])
+		}
+	}
+	if st := c.Stats(); st.Hits != readers-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, readers-1)
+	}
+}
+
+// TestSnapshotsAreIndependent interleaves two cursors over one trace.
+func TestSnapshotsAreIndependent(t *testing.T) {
+	p := gzipProfile(t)
+	c := New(Config{})
+	tr, err := c.Get(context.Background(), p, defaultTC(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tr.Source(), tr.Source()
+	// Advance a by 10 records, then check b still starts at the beginning.
+	var first trace.Record
+	for i := 0; i < 10; i++ {
+		r, err := a.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = r
+		}
+	}
+	got, err := b.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, first) {
+		t.Error("second snapshot did not start from the beginning")
+	}
+}
+
+// TestDistinctKeysGenerateSeparately: trace-shaping parameters are part of
+// the key, engine-only parameters are not.
+func TestDistinctKeysGenerateSeparately(t *testing.T) {
+	p := gzipProfile(t)
+	c := New(Config{})
+	ctx := context.Background()
+
+	base := core.DefaultConfig()
+	wide := base
+	wide.Width = 8 // engine-only: same trace key
+	perfect := base
+	perfect.PerfectBP = true // trace-shaping: new key
+	bigRB := base
+	bigRB.RBSize = 32 // changes WrongPathLen: new key
+
+	for _, cfg := range []core.Config{base, wide, perfect, bigRB} {
+		if _, err := c.Get(ctx, p, cfg.TraceConfig(), 2000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Generations(); got != 3 {
+		t.Errorf("generations = %d, want 3 (base==wide, perfect, bigRB)", got)
+	}
+	if base.TraceConfig() != wide.TraceConfig() {
+		t.Error("width changed the trace config")
+	}
+	ka := KeyFor(p, base.TraceConfig(), 2000)
+	kb := KeyFor(p, perfect.TraceConfig(), 2000)
+	if ka.ID() == kb.ID() {
+		t.Error("distinct keys share a content address")
+	}
+}
+
+// TestSpillRoundTrip forces eviction through a tiny budget and checks the
+// spilled trace reloads bit-for-bit from the compressed container.
+func TestSpillRoundTrip(t *testing.T) {
+	p := gzipProfile(t)
+	c := New(Config{SpillDir: t.TempDir(), MaxResidentBytes: 1})
+	ctx := context.Background()
+
+	trA, err := c.Get(ctx, p, defaultTC(), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drain(t, trA.Source())
+
+	// A second key over-budgets the cache and evicts A to disk.
+	if _, err := c.Get(ctx, p, defaultTC(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.SpillWrites == 0 || st.Evictions == 0 {
+		t.Fatalf("expected a spill, stats = %+v", st)
+	}
+
+	trA2, err := c.Get(ctx, p, defaultTC(), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, trA2.Source()); !reflect.DeepEqual(got, want) {
+		t.Fatal("reloaded trace differs from the original")
+	}
+	if got := c.Generations(); got != 2 {
+		t.Errorf("generations = %d, want 2 (reload must not regenerate)", got)
+	}
+	if st := c.Stats(); st.SpillLoads != 1 {
+		t.Errorf("spill loads = %d, want 1", st.SpillLoads)
+	}
+	if trA2.StartPC() != trA.StartPC() || trA2.WrongPath() != trA.WrongPath() || trA2.Bits() != trA.Bits() {
+		t.Error("reloaded trace lost its metadata")
+	}
+}
+
+// TestEvictionWithoutSpillRegenerates: no spill directory means eviction
+// drops the entry and a later request simply regenerates.
+func TestEvictionWithoutSpillRegenerates(t *testing.T) {
+	p := gzipProfile(t)
+	c := New(Config{MaxResidentBytes: 1})
+	ctx := context.Background()
+
+	trA, err := c.Get(ctx, p, defaultTC(), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drain(t, trA.Source())
+	if _, err := c.Get(ctx, p, defaultTC(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	trA2, err := c.Get(ctx, p, defaultTC(), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, trA2.Source()); !reflect.DeepEqual(got, want) {
+		t.Fatal("regenerated trace differs")
+	}
+	if got := c.Generations(); got != 3 {
+		t.Errorf("generations = %d, want 3", got)
+	}
+}
+
+// TestCancelledLeaderDoesNotPoisonKey: a cancelled generation leaves no
+// broken entry behind.
+func TestCancelledLeaderDoesNotPoisonKey(t *testing.T) {
+	p := gzipProfile(t)
+	c := New(Config{})
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Get(cancelled, p, defaultTC(), 2000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	tr, err := c.Get(context.Background(), p, defaultTC(), 2000)
+	if err != nil {
+		t.Fatalf("key poisoned after cancellation: %v", err)
+	}
+	if tr.Records() == 0 {
+		t.Error("empty trace after retry")
+	}
+}
+
+// TestUncacheableLimits: unbounded and over-cap budgets are refused.
+func TestUncacheableLimits(t *testing.T) {
+	p := gzipProfile(t)
+	c := New(Config{MaxInstructions: 100})
+	if c.Cacheable(0) || c.Cacheable(101) || !c.Cacheable(100) {
+		t.Error("Cacheable thresholds wrong")
+	}
+	if _, err := c.Get(context.Background(), p, defaultTC(), 0); !errors.Is(err, ErrUncacheable) {
+		t.Errorf("limit 0: err = %v, want ErrUncacheable", err)
+	}
+	if _, err := c.Get(context.Background(), p, defaultTC(), 101); !errors.Is(err, ErrUncacheable) {
+		t.Errorf("limit 101: err = %v, want ErrUncacheable", err)
+	}
+}
+
+// TestGenerationErrorPropagates: an invalid profile fails every request
+// without wedging the slot.
+func TestGenerationErrorPropagates(t *testing.T) {
+	bad := workload.Profile{Name: "bad", Chase: 1, ListNodes: 1} // Chase needs >= 2 nodes
+	c := New(Config{})
+	for i := 0; i < 2; i++ {
+		if _, err := c.Get(context.Background(), bad, defaultTC(), 1000); err == nil {
+			t.Fatal("invalid profile generated a trace")
+		}
+	}
+	if got := c.Generations(); got != 0 {
+		t.Errorf("generations = %d, want 0", got)
+	}
+}
+
+// TestLostSpillRegenerates: a spill file deleted behind the cache's back
+// (tmp cleaner, disk trouble) must degrade to regeneration, not error.
+func TestLostSpillRegenerates(t *testing.T) {
+	p := gzipProfile(t)
+	dir := t.TempDir()
+	c := New(Config{SpillDir: dir, MaxResidentBytes: 1})
+	ctx := context.Background()
+
+	trA, err := c.Get(ctx, p, defaultTC(), 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drain(t, trA.Source())
+	if _, err := c.Get(ctx, p, defaultTC(), 1000); err != nil { // evicts A to disk
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("no spill written: %v", err)
+	}
+	for _, e := range ents {
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trA2, err := c.Get(ctx, p, defaultTC(), 3000)
+	if err != nil {
+		t.Fatalf("lost spill surfaced as an error: %v", err)
+	}
+	if got := drain(t, trA2.Source()); !reflect.DeepEqual(got, want) {
+		t.Fatal("regenerated trace differs after lost spill")
+	}
+	if got := c.Generations(); got != 3 {
+		t.Errorf("generations = %d, want 3 (regenerate on lost spill)", got)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sweep"
 	"repro/internal/trace"
+	"repro/internal/tracecache"
 	"repro/internal/uarch"
 	"repro/internal/workload"
 )
@@ -81,6 +82,19 @@ type (
 	ObserverFunc = core.ObserverFunc
 	// Progress is one periodic snapshot delivered to an Observer.
 	Progress = core.Progress
+	// TraceCache memoizes generated workload traces: every consumer of the
+	// same (workload, trace configuration, instruction budget) — sweep
+	// points, repeated runs, homogeneous multicore clusters, table
+	// regeneration — pays the generation cost once and replays private
+	// snapshots. Sessions default to SharedTraceCache(); see WithTraceCache.
+	TraceCache = tracecache.Cache
+	// TraceCacheConfig bounds a TraceCache: in-memory budget, per-trace
+	// instruction cap and an optional on-disk spill directory (evicted
+	// traces are written as delta-compressed containers and reloaded on
+	// demand).
+	TraceCacheConfig = tracecache.Config
+	// TraceCacheStats is a point-in-time snapshot of cache activity.
+	TraceCacheStats = tracecache.Stats
 )
 
 // The three internal pipeline organizations (paper Figures 2-4).
@@ -118,6 +132,16 @@ func NewL1Cache(cfg CacheConfig) (CacheModel, error) {
 	}
 	return cache.New(cfg), nil
 }
+
+// NewTraceCache builds a private trace cache bounded by cfg. Pass it to
+// sessions via WithTraceCache when the process-wide default (shared memory
+// budget, no spill) is not what you want.
+func NewTraceCache(cfg TraceCacheConfig) *TraceCache { return tracecache.New(cfg) }
+
+// SharedTraceCache returns the process-wide trace cache every Session (and
+// the deprecated free functions) uses by default, so mixed old- and
+// new-style callers in one process share one set of generated traces.
+func SharedTraceCache() *TraceCache { return tracecache.Shared() }
 
 // Workloads returns the five SPECINT CPU2000 stand-in profiles in Table 1
 // row order (gzip, bzip2, parser, vortex, vpr).
@@ -180,8 +204,9 @@ func Simulate(cfg Config, src Source, startPC uint32) (Result, error) {
 // Deprecated: use New and (*Session).WriteTrace.
 func WriteWorkloadTrace(w io.Writer, cfg Config, name string, limit uint64) (TraceStats, error) {
 	// Historical behavior: only the trace-generation fields of cfg are
-	// consumed; engine-side fields are not validated.
-	return writeTrace(context.Background(), w, cfg.TraceConfig(), name, limit, false)
+	// consumed; engine-side fields are not validated. Routed through the
+	// shared trace cache so mixed old/new callers never double-generate.
+	return writeTrace(context.Background(), w, tracecache.Shared(), cfg.TraceConfig(), name, limit, false)
 }
 
 // WriteCompressedWorkloadTrace is WriteWorkloadTrace with the delta-coded
@@ -190,7 +215,7 @@ func WriteWorkloadTrace(w io.Writer, cfg Config, name string, limit uint64) (Tra
 //
 // Deprecated: use New and (*Session).WriteTrace with compress = true.
 func WriteCompressedWorkloadTrace(w io.Writer, cfg Config, name string, limit uint64) (TraceStats, error) {
-	return writeTrace(context.Background(), w, cfg.TraceConfig(), name, limit, true)
+	return writeTrace(context.Background(), w, tracecache.Shared(), cfg.TraceConfig(), name, limit, true)
 }
 
 // SimulateTraceFile opens a trace container previously produced by

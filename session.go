@@ -12,6 +12,7 @@ import (
 	"repro/internal/multicore"
 	"repro/internal/sweep"
 	"repro/internal/trace"
+	"repro/internal/tracecache"
 	"repro/internal/workload"
 )
 
@@ -30,6 +31,9 @@ type Session struct {
 	// runs never share tag state or statistics. A later WithICache /
 	// WithDCache / WithConfig option clears the corresponding side.
 	il1, dl1 *CacheConfig
+	// traces memoizes generated workload traces across runs, sweeps and
+	// clusters; nil disables caching (streaming regeneration per run).
+	traces *tracecache.Cache
 }
 
 // settings is the mutable state the functional options operate on before
@@ -42,6 +46,10 @@ type settings struct {
 	// the organization's limit so e.g. New(WithWidth(2)) stays valid under
 	// the Optimized organization.
 	portsSet bool
+	traces   *tracecache.Cache
+	// tracesSet distinguishes WithTraceCache(nil) — caching explicitly off —
+	// from the default of the process-wide shared cache.
+	tracesSet bool
 }
 
 // Option configures a Session under construction. Options are applied in
@@ -68,7 +76,10 @@ func New(opts ...Option) (*Session, error) {
 	if err := s.cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Session{cfg: s.cfg, il1: s.il1, dl1: s.dl1}, nil
+	if !s.tracesSet {
+		s.traces = tracecache.Shared()
+	}
+	return &Session{cfg: s.cfg, il1: s.il1, dl1: s.dl1, traces: s.traces}, nil
 }
 
 // WithConfig replaces the whole configuration; apply it first when combining
@@ -209,6 +220,21 @@ func WithObserver(obs Observer, everyCycles uint64) Option {
 	}
 }
 
+// WithTraceCache selects the trace cache the session's runs, sweeps and
+// clusters share. Sessions default to the process-wide shared cache
+// (resim.SharedTraceCache), so every session — and the deprecated free
+// functions, which build sessions internally — reuses one set of generated
+// traces. Pass a private cache to isolate a session (its own memory budget
+// or spill directory), or nil to disable caching entirely and regenerate
+// the trace on every run (streaming, nothing materialized).
+func WithTraceCache(tc *TraceCache) Option {
+	return func(s *settings) error {
+		s.traces = tc
+		s.tracesSet = true
+		return nil
+	}
+}
+
 // Config returns the session's validated configuration. When the session
 // was built with WithL1Caches the returned Config carries newly built cache
 // instances, owned by the caller.
@@ -228,19 +254,22 @@ func (s *Session) engineConfig() Config {
 	return cfg
 }
 
-// RunWorkload generates the named synthetic workload's trace on the fly
-// (the functional-simulator coupling of the paper's future work) and
-// simulates up to limit correct-path instructions through the engine.
+// RunWorkload simulates up to limit correct-path instructions of the named
+// synthetic workload through the engine. The trace comes from the session's
+// trace cache when the budget is cacheable — repeated runs (and concurrent
+// sessions sharing the cache) replay one generated trace — and is otherwise
+// generated on the fly (the functional-simulator coupling of the paper's
+// future work).
 func (s *Session) RunWorkload(ctx context.Context, name string, limit uint64) (Result, error) {
 	p, err := workload.ByName(name)
 	if err != nil {
 		return Result{}, err
 	}
-	src, err := p.NewSource(s.cfg.TraceConfig(), limit)
+	src, startPC, err := tracecache.SourceFor(ctx, s.traces, p, s.cfg.TraceConfig(), limit)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.RunSource(ctx, src, funcsim.CodeBase)
+	return s.RunSource(ctx, src, startPC)
 }
 
 // RunSource simulates an arbitrary record source starting at startPC.
@@ -274,20 +303,54 @@ func (s *Session) RunTrace(ctx context.Context, path string) (Result, error) {
 // sim-bpred. The context is polled periodically; a cancelled write returns
 // ctx.Err().
 func (s *Session) WriteTrace(ctx context.Context, w io.Writer, name string, limit uint64, compress bool) (TraceStats, error) {
-	return writeTrace(ctx, w, s.cfg.TraceConfig(), name, limit, compress)
+	return writeTrace(ctx, w, s.traces, s.cfg.TraceConfig(), name, limit, compress)
 }
 
 // writeTrace is the shared trace-writing loop. It takes the derived
 // trace-generation configuration directly so the deprecated free-function
 // wrappers can keep their historical behavior of not validating the
-// engine-side Config fields a trace write never consumes.
-func writeTrace(ctx context.Context, w io.Writer, tc funcsim.TraceConfig, name string, limit uint64, compress bool) (TraceStats, error) {
+// engine-side Config fields a trace write never consumes. A cacheable write
+// goes through the trace cache — writing the same workload twice (raw then
+// compressed, say) generates once — and encodes the memoized records;
+// uncacheable budgets stream straight from the functional simulator.
+func writeTrace(ctx context.Context, w io.Writer, traces *tracecache.Cache, tc funcsim.TraceConfig, name string, limit uint64, compress bool) (TraceStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	p, err := workload.ByName(name)
 	if err != nil {
 		return TraceStats{}, err
+	}
+	if traces != nil && traces.Cacheable(limit) {
+		tr, err := traces.Get(ctx, p, tc, limit)
+		if err != nil {
+			return TraceStats{}, err
+		}
+		sink, err := newTraceSink(w, trace.Header{StartPC: tr.StartPC()}, compress)
+		if err != nil {
+			return TraceStats{}, err
+		}
+		var sinceCheck int
+		if err := tr.Range(func(r trace.Record) error {
+			if sinceCheck++; sinceCheck >= core.CtxCheckInterval {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			return sink.Write(r)
+		}); err != nil {
+			return TraceStats{}, err
+		}
+		if err := sink.Close(); err != nil {
+			return TraceStats{}, err
+		}
+		return TraceStats{
+			Records:      sink.Records(),
+			WrongPath:    tr.WrongPath(),
+			Bits:         sink.BitsWritten(),
+			BitsPerInstr: sink.BitsPerRecord(),
+		}, nil
 	}
 	prog, err := p.Build()
 	if err != nil {
@@ -297,19 +360,11 @@ func writeTrace(ctx context.Context, w io.Writer, tc funcsim.TraceConfig, name s
 	if err != nil {
 		return TraceStats{}, err
 	}
-	var (
-		sink   traceSink
-		tagged uint64
-	)
-	hdr := trace.Header{StartPC: prog.Entry}
-	if compress {
-		sink, err = trace.NewCompressedWriter(w, hdr)
-	} else {
-		sink, err = trace.NewWriter(w, hdr)
-	}
+	sink, err := newTraceSink(w, trace.Header{StartPC: prog.Entry}, compress)
 	if err != nil {
 		return TraceStats{}, err
 	}
+	var tagged uint64
 	tr := funcsim.NewTracer(m, tc)
 	var sinceCheck int
 	if _, err := tr.Run(limit, func(r trace.Record) error {
@@ -337,6 +392,14 @@ func writeTrace(ctx context.Context, w io.Writer, tc funcsim.TraceConfig, name s
 	}, nil
 }
 
+// newTraceSink opens the raw or delta-compressed container writer on w.
+func newTraceSink(w io.Writer, hdr trace.Header, compress bool) (traceSink, error) {
+	if compress {
+		return trace.NewCompressedWriter(w, hdr)
+	}
+	return trace.NewWriter(w, hdr)
+}
+
 // Sweep simulates every design point over the named workload in parallel
 // across host cores (the paper's bulk design-space exploration use case);
 // results come back in point order, deterministic regardless of
@@ -349,7 +412,15 @@ func (s *Session) Sweep(ctx context.Context, workloadName string, instructions u
 	if err != nil {
 		return nil, err
 	}
-	r := sweep.Runner{Workload: p, Instructions: instructions, Observer: s.cfg.Observer}
+	r := sweep.Runner{
+		Workload:     p,
+		Instructions: instructions,
+		Observer:     s.cfg.Observer,
+		Traces:       s.traces,
+		// WithTraceCache(nil) turns caching off session-wide; without the
+		// flag the runner would build its own private cache.
+		DisableCache: s.traces == nil,
+	}
 	return r.Run(ctx, points)
 }
 
@@ -389,12 +460,15 @@ func (s *Session) Multicore(ctx context.Context, opts MulticoreOptions) (Multico
 				return MulticoreResult{}, err
 			}
 		}
-		src, err := p.NewSource(coreCfg.TraceConfig(), opts.Limit)
+		// Homogeneous clusters (the same workload on several cores, all
+		// under the session's one configuration) share a single generated
+		// trace: every core replays its own snapshot from the cache.
+		src, startPC, err := tracecache.SourceFor(ctx, s.traces, p, coreCfg.TraceConfig(), opts.Limit)
 		if err != nil {
 			return MulticoreResult{}, err
 		}
 		specs = append(specs, multicore.CoreSpec{
-			Name: name, Config: coreCfg, Source: src, StartPC: funcsim.CodeBase,
+			Name: name, Config: coreCfg, Source: src, StartPC: startPC,
 		})
 	}
 	cl, err := multicore.New(specs)

@@ -1,6 +1,7 @@
 package resim_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"os"
@@ -498,5 +499,185 @@ func TestSessionTraceRoundTrip(t *testing.T) {
 	}
 	if offline.Counters != online.Counters {
 		t.Error("offline trace run differs from on-the-fly run")
+	}
+}
+
+// --- trace cache integration -----------------------------------------------
+
+// TestRunWorkloadCacheGeneratesOnce: repeated runs through one session share
+// a single generated trace and produce identical results.
+func TestRunWorkloadCacheGeneratesOnce(t *testing.T) {
+	priv := resim.NewTraceCache(resim.TraceCacheConfig{})
+	ses, err := resim.New(resim.WithTraceCache(priv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ses.RunWorkload(context.Background(), "gzip", 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ses.RunWorkload(context.Background(), "gzip", 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priv.Generations() != 1 {
+		t.Errorf("generations = %d, want 1", priv.Generations())
+	}
+	if a.Counters != b.Counters {
+		t.Error("repeated cached runs disagree")
+	}
+}
+
+// TestRunWorkloadCachedMatchesUncached: the cache must be invisible in the
+// result — WithTraceCache(nil) disables it and every counter still matches.
+func TestRunWorkloadCachedMatchesUncached(t *testing.T) {
+	cached, err := resim.New(resim.WithTraceCache(resim.NewTraceCache(resim.TraceCacheConfig{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := resim.New(resim.WithTraceCache(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cached.RunWorkload(context.Background(), "parser", 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plain.RunWorkload(context.Background(), "parser", 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters != b.Counters {
+		t.Error("cached run differs from uncached run")
+	}
+}
+
+// TestMulticoreHomogeneousSharesTrace: a homogeneous cluster generates its
+// workload trace once and each core replays a private snapshot.
+func TestMulticoreHomogeneousSharesTrace(t *testing.T) {
+	priv := resim.NewTraceCache(resim.TraceCacheConfig{})
+	ses, err := resim.New(resim.WithTraceCache(priv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := resim.MulticoreOptions{Workloads: []string{"gzip", "gzip", "gzip"}, Limit: 6000}
+	res, err := ses.Multicore(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if priv.Generations() != 1 {
+		t.Errorf("generations = %d, want 1 for a homogeneous cluster", priv.Generations())
+	}
+	if len(res.PerCore) != 3 {
+		t.Fatalf("cores = %d", len(res.PerCore))
+	}
+	// Identical cores over identical snapshots behave identically.
+	for i := 1; i < len(res.PerCore); i++ {
+		if res.PerCore[i].Counters != res.PerCore[0].Counters {
+			t.Errorf("core %d diverged from core 0", i)
+		}
+	}
+	// And the cached cluster matches an uncached one.
+	plain, err := resim.New(resim.WithTraceCache(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := plain.Multicore(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.PerCore {
+		if res.PerCore[i].Counters != res2.PerCore[i].Counters {
+			t.Errorf("core %d: cached cluster differs from uncached", i)
+		}
+	}
+}
+
+// TestWriteTraceCachedBytesIdentical: trace files written through the cache
+// are byte-for-byte what the streaming path writes, and writing the same
+// workload in both container formats costs one generation.
+func TestWriteTraceCachedBytesIdentical(t *testing.T) {
+	priv := resim.NewTraceCache(resim.TraceCacheConfig{})
+	cached, err := resim.New(resim.WithTraceCache(priv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := resim.New(resim.WithTraceCache(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, compress := range []bool{false, true} {
+		var a, b bytes.Buffer
+		sa, err := cached.WriteTrace(ctx, &a, "vpr", 5000, compress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := plain.WriteTrace(ctx, &b, "vpr", 5000, compress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("compress=%t: cached container differs from streamed", compress)
+		}
+		if sa != sb {
+			t.Errorf("compress=%t: stats differ: %+v vs %+v", compress, sa, sb)
+		}
+	}
+	if priv.Generations() != 1 {
+		t.Errorf("generations = %d, want 1 across raw+compressed writes", priv.Generations())
+	}
+}
+
+// TestSweepThroughSessionSharesCache: the session's cache carries across
+// separate Sweep calls, and a sweep over engine-only knobs generates once.
+func TestSweepThroughSessionSharesCache(t *testing.T) {
+	priv := resim.NewTraceCache(resim.TraceCacheConfig{})
+	ses, err := resim.New(resim.WithTraceCache(priv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := resim.SweepGrid("lsq", resim.DefaultConfig(), []int{4, 8, 16, 32}, func(c *resim.Config, v int) {
+		c.LSQSize = v
+	})
+	ctx := context.Background()
+	res, err := ses.Sweep(ctx, "gzip", 7000, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range res {
+		if pr.Err != nil {
+			t.Fatalf("%s: %v", pr.Name, pr.Err)
+		}
+	}
+	if priv.Generations() != 1 {
+		t.Errorf("generations = %d, want 1 after first sweep", priv.Generations())
+	}
+	if _, err := ses.Sweep(ctx, "gzip", 7000, pts[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if priv.Generations() != 1 {
+		t.Errorf("generations = %d, want still 1 after second sweep", priv.Generations())
+	}
+}
+
+// TestDeprecatedWrappersShareProcessCache: old free-function callers and
+// Session callers meet in the process-wide cache, so mixed code never
+// double-generates. The unusual limit keeps this test's key unique.
+func TestDeprecatedWrappersShareProcessCache(t *testing.T) {
+	const limit = 7321
+	before := resim.SharedTraceCache().Generations()
+	if _, err := resim.SimulateWorkload(resim.DefaultConfig(), "gzip", limit); err != nil {
+		t.Fatal(err)
+	}
+	ses, err := resim.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses.RunWorkload(context.Background(), "gzip", limit); err != nil {
+		t.Fatal(err)
+	}
+	if got := resim.SharedTraceCache().Generations() - before; got != 1 {
+		t.Errorf("generations across wrapper + session = %d, want 1", got)
 	}
 }
