@@ -10,6 +10,7 @@ import (
 	"context"
 	"io"
 	"testing"
+	"time"
 
 	resim "repro"
 	"repro/internal/baseline"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/fpga"
 	"repro/internal/funcsim"
 	"repro/internal/sched"
+	"repro/internal/sweepd"
 	"repro/internal/tables"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -561,6 +563,55 @@ func BenchmarkSweepWarmCache(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := ses.Sweep(context.Background(), "gzip", benchInstrs, pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pr := range res {
+			if pr.Err != nil {
+				b.Fatal(pr.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepRemoteLoopback measures the sharded sweep service end to
+// end over localhost TCP: a coordinator plus two workers (each with its own
+// warm trace cache) serving the standard 4-point sweep through
+// Session.SweepRemote. The delta against BenchmarkSweepWarmCache is the
+// full service overhead — framing, JSON, scheduling, result streaming.
+// Smoke-run in CI; not yet gated against the committed baseline.
+func BenchmarkSweepRemoteLoopback(b *testing.B) {
+	coord := sweepd.NewCoordinator()
+	addr, err := coord.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer coord.Close()
+	wctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	for i := 0; i < 2; i++ {
+		go sweepd.Work(wctx, addr, sweepd.WorkerOptions{}) //nolint:errcheck
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.WorkerCount() < 2 {
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d of 2 workers registered", coord.WorkerCount())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ses, err := resim.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := benchSweepPoints()
+	// Warm the workers' caches outside the timed region, like the local
+	// warm-cache benchmark.
+	if _, err := ses.SweepRemote(context.Background(), addr, "gzip", benchInstrs, pts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ses.SweepRemote(context.Background(), addr, "gzip", benchInstrs, pts)
 		if err != nil {
 			b.Fatal(err)
 		}

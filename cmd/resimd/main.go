@@ -1,0 +1,141 @@
+// Resimd runs one node of the sharded sweep service: the coordinator that
+// accepts sweep jobs and shards their design points across workers by
+// trace key, or a worker that simulates assigned key-groups and streams
+// per-point results back.
+//
+// A minimal two-worker cluster on one machine:
+//
+//	resimd -role coordinator -listen :9090
+//	resimd -role worker -coordinator localhost:9090 -name w1
+//	resimd -role worker -coordinator localhost:9090 -name w2
+//
+// Clients submit sweeps with resim.Session.SweepRemote (or a session built
+// with resim.WithCoordinator); see the README's "Distributed sweeps"
+// section and examples/distsweep.
+//
+// Both roles maintain a trace cache. A coordinator whose -spill directory
+// already holds delta-compressed trace containers (for example written by
+// earlier local sweeps with the same spill directory) ships them to
+// workers with the assignment, so a warm coordinator saves every worker
+// the generation cost.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sweepd"
+	"repro/internal/tracecache"
+)
+
+func main() {
+	var (
+		role        = flag.String("role", "", "node role: coordinator or worker (required)")
+		listen      = flag.String("listen", ":9090", "coordinator: address to listen on")
+		coordinator = flag.String("coordinator", "", "worker: coordinator address to register with (required for workers)")
+		name        = flag.String("name", "", "worker: name shown in coordinator logs (default: hostname)")
+		parallelism = flag.Int("parallelism", 0, "worker: concurrent engines per assigned key-group (0 = GOMAXPROCS)")
+		spill       = flag.String("spill", "", "trace-cache spill directory (evicted traces persist as containers)")
+		cacheMB     = flag.Int64("cache-mb", 0, "trace-cache resident budget in MiB (0 = default 1 GiB)")
+		retry       = flag.Duration("retry", 5*time.Second, "worker: reconnect delay after losing the coordinator (0 = exit instead)")
+		verbose     = flag.Bool("v", false, "log per-point worker progress")
+	)
+	flag.Parse()
+
+	cacheCfg := tracecache.Config{SpillDir: *spill}
+	if *cacheMB > 0 {
+		cacheCfg.MaxResidentBytes = *cacheMB << 20
+	}
+	traces := tracecache.New(cacheCfg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch *role {
+	case "coordinator":
+		runCoordinator(ctx, *listen, traces)
+	case "worker":
+		if *coordinator == "" {
+			log.Fatal("resimd: -role worker requires -coordinator host:port")
+		}
+		runWorker(ctx, *coordinator, sweepd.WorkerOptions{
+			Name:        workerName(*name),
+			Parallelism: *parallelism,
+			Traces:      traces,
+			Observer:    progressLogger(*verbose),
+			Logf:        log.Printf,
+		}, *retry)
+	default:
+		fmt.Fprintln(os.Stderr, "resimd: -role must be coordinator or worker")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runCoordinator(ctx context.Context, listen string, traces *tracecache.Cache) {
+	coord := sweepd.NewCoordinator()
+	coord.Traces = traces
+	coord.Logf = log.Printf
+	go func() {
+		<-ctx.Done()
+		coord.Close()
+	}()
+	addr, err := coord.Start(listen)
+	if err != nil {
+		log.Fatalf("resimd: %v", err)
+	}
+	log.Printf("resimd: coordinator listening on %s", addr)
+	<-ctx.Done()
+	coord.Close()
+	log.Printf("resimd: coordinator stopped")
+}
+
+func runWorker(ctx context.Context, addr string, opts sweepd.WorkerOptions, retry time.Duration) {
+	for {
+		err := sweepd.Work(ctx, addr, opts)
+		if ctx.Err() != nil {
+			log.Printf("resimd: worker stopped")
+			return
+		}
+		if retry <= 0 {
+			log.Fatalf("resimd: worker: %v", err)
+		}
+		log.Printf("resimd: worker lost coordinator (%v), retrying in %s", err, retry)
+		select {
+		case <-time.After(retry):
+		case <-ctx.Done():
+			log.Printf("resimd: worker stopped")
+			return
+		}
+	}
+}
+
+func workerName(flagName string) string {
+	if flagName != "" {
+		return flagName
+	}
+	host, err := os.Hostname()
+	if err != nil {
+		return fmt.Sprintf("pid%d", os.Getpid())
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// progressLogger reports the worker's own per-point progress through the
+// standard Observer hook.
+func progressLogger(verbose bool) core.Observer {
+	if !verbose {
+		return nil
+	}
+	return core.ObserverFunc(func(p core.Progress) {
+		log.Printf("resimd: point %d done: %d cycles, %d committed, IPC %.3f (%d/%d in group)",
+			p.Core, p.Cycles, p.Committed, p.IPC, p.Done, p.Total)
+	})
+}

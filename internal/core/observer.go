@@ -8,6 +8,14 @@ type Progress struct {
 	Cycles    uint64
 	Committed uint64
 	IPC       float64
+	// Done and Total report sweep-level completion: after this callback,
+	// Done of Total design points have finished. Sweeps (local, loopback
+	// and remote) populate both; single-engine runs and clusters leave
+	// them zero. They are what a coordinator forwards to clients so a
+	// dashboard can render "completed points / total" while shards are
+	// still in flight.
+	Done  int
+	Total int
 	// Final marks the last callback of a run (delivered once, after the
 	// simulation drains or hits its cycle budget; not delivered on error or
 	// cancellation).

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -81,6 +82,40 @@ func (o *Occupancy) EmptyFrac() float64 {
 
 // Samples returns the number of recorded samples.
 func (o *Occupancy) Samples() uint64 { return o.samples }
+
+// occupancyJSON is the wire form of an Occupancy: the accumulator state is
+// unexported to keep Sample the only mutation path in-process, but a
+// distributed sweep has to ship completed occupancy statistics between
+// hosts, so the JSON codec exposes it losslessly.
+type occupancyJSON struct {
+	Name    string `json:"name,omitempty"`
+	Desc    string `json:"desc,omitempty"`
+	Cap     int    `json:"cap,omitempty"`
+	Samples uint64 `json:"samples,omitempty"`
+	Sum     uint64 `json:"sum,omitempty"`
+	Full    uint64 `json:"full,omitempty"`
+	Empty   uint64 `json:"empty,omitempty"`
+}
+
+// MarshalJSON encodes the complete accumulator state, so a decoded
+// Occupancy reports the same Mean/FullFrac/EmptyFrac as the original.
+func (o Occupancy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(occupancyJSON{
+		Name: o.Name, Desc: o.Desc, Cap: o.Cap,
+		Samples: o.samples, Sum: o.sum, Full: o.full, Empty: o.empty,
+	})
+}
+
+// UnmarshalJSON restores an Occupancy encoded by MarshalJSON.
+func (o *Occupancy) UnmarshalJSON(b []byte) error {
+	var j occupancyJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*o = Occupancy{Name: j.Name, Desc: j.Desc, Cap: j.Cap,
+		samples: j.Samples, sum: j.Sum, full: j.Full, empty: j.Empty}
+	return nil
+}
 
 // Registry holds an ordered collection of counters, occupancies and derived
 // formulas and can render a sim-outorder-like report.

@@ -57,12 +57,20 @@ type Runner struct {
 	// Parallelism bounds concurrent simulations; 0 uses GOMAXPROCS.
 	Parallelism int
 	// Observer, when non-nil, receives one Progress callback per completed
-	// point: Core is the point's index, the counters are that point's, and
-	// Final marks the last point to finish. Callbacks are serialized. It is
-	// the sweep's single reporting channel: per-point Config.Observer fields
-	// are ignored, so a base configuration carrying an observer does not
-	// double-report through every derived point.
+	// point: Core is the point's index, the counters are that point's,
+	// Done/Total carry sweep completion, and Final marks the last point to
+	// finish. Callbacks are serialized. It is the sweep's single reporting
+	// channel: per-point Config.Observer fields are ignored, so a base
+	// configuration carrying an observer does not double-report through
+	// every derived point.
 	Observer core.Observer
+	// OnResult, when non-nil, receives each point's full result as it
+	// completes — the streaming hook the sharded sweep service builds on:
+	// a worker forwards every finished point over the wire without waiting
+	// for the whole sweep to drain. Callbacks are serialized with Observer
+	// callbacks (OnResult first) and arrive in completion order, which is
+	// not point order; the returned slice is still point-ordered.
+	OnResult func(index int, res Result)
 	// Traces memoizes generated traces across points (and across runs, when
 	// the caller shares one cache between sweeps). nil gives the run a
 	// private cache, so points sharing a trace configuration still generate
@@ -139,18 +147,25 @@ func (r Runner) Run(ctx context.Context, points []Point) ([]Result, error) {
 			defer wg.Done()
 			for idx := range work {
 				results[idx] = r.runOne(ctx, points[idx], shared, traces)
-				if r.Observer != nil {
+				if r.Observer != nil || r.OnResult != nil {
 					mu.Lock()
 					done++
-					r.Observer.Progress(core.Progress{
-						Core:      idx,
-						Cycles:    results[idx].Res.Cycles,
-						Committed: results[idx].Res.Committed,
-						IPC:       results[idx].Res.IPC(),
-						// Per the Observer contract, Final marks successful
-						// completion only — never a cancelled sweep.
-						Final: done == len(points) && ctx.Err() == nil,
-					})
+					if r.OnResult != nil {
+						r.OnResult(idx, results[idx])
+					}
+					if r.Observer != nil {
+						r.Observer.Progress(core.Progress{
+							Core:      idx,
+							Cycles:    results[idx].Res.Cycles,
+							Committed: results[idx].Res.Committed,
+							IPC:       results[idx].Res.IPC(),
+							Done:      done,
+							Total:     len(points),
+							// Per the Observer contract, Final marks successful
+							// completion only — never a cancelled sweep.
+							Final: done == len(points) && ctx.Err() == nil,
+						})
+					}
 					mu.Unlock()
 				}
 			}
@@ -250,6 +265,28 @@ func ptrOf(v any) uintptr {
 		return 0
 	}
 	return rv.Pointer()
+}
+
+// ClearSharedPipeTracers returns the points with any PipeTracer instance
+// referenced by more than one point cleared, copying on write (the caller's
+// slice and configs are never mutated). Callers that split one sweep across
+// several Runners — the sharded sweep scheduler puts each trace-key group
+// in its own Runner — need this up front: a tracer shared across groups
+// looks unique within each group, so the per-Runner protection below cannot
+// see the sharing, but the groups' engines still run concurrently.
+func ClearSharedPipeTracers(points []Point) []Point {
+	shared := sharedTracers(points, 2) // force the n>1 scan regardless of par
+	if shared == nil {
+		return points
+	}
+	out := make([]Point, len(points))
+	copy(out, points)
+	for i := range out {
+		if shared[ptrOf(out[i].Config.PipeTracer)] {
+			out[i].Config.PipeTracer = nil
+		}
+	}
+	return out
 }
 
 // sharedTracers identifies PipeTracer instances referenced by more than one

@@ -201,3 +201,88 @@ func TestDisableCacheWinsOverTraces(t *testing.T) {
 		t.Errorf("generations = %d, want 0 with DisableCache set", got)
 	}
 }
+
+// TestOnResultStreamsEveryPoint: the per-point streaming hook delivers each
+// full result exactly once (serialized, in completion order), matching the
+// point-ordered slice Run returns — the contract the sharded sweep service
+// workers rely on.
+func TestOnResultStreamsEveryPoint(t *testing.T) {
+	r := gzipRunner(t)
+	base := core.DefaultConfig()
+	pts := Grid("rb", base, []int{8, 16, 32}, func(c *core.Config, v int) { c.RBSize = v })
+
+	streamed := make(map[int]Result, len(pts))
+	var progress []core.Progress
+	r.OnResult = func(i int, res Result) {
+		if _, dup := streamed[i]; dup {
+			t.Errorf("point %d streamed twice", i)
+		}
+		streamed[i] = res // serialized with Observer callbacks; no lock needed
+	}
+	r.Observer = core.ObserverFunc(func(p core.Progress) { progress = append(progress, p) })
+
+	got, err := r.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(pts) {
+		t.Fatalf("streamed %d results, want %d", len(streamed), len(pts))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(streamed[i], got[i]) {
+			t.Errorf("streamed result %d differs from returned result", i)
+		}
+	}
+	if len(progress) != len(pts) {
+		t.Fatalf("observer calls = %d, want %d", len(progress), len(pts))
+	}
+	seen := map[int]bool{}
+	for k, p := range progress {
+		if p.Total != len(pts) {
+			t.Errorf("Progress.Total = %d, want %d", p.Total, len(pts))
+		}
+		if p.Done != k+1 {
+			t.Errorf("Progress.Done = %d at callback %d, want %d", p.Done, k, k+1)
+		}
+		seen[p.Core] = true
+	}
+	if len(seen) != len(pts) {
+		t.Errorf("observer reported %d distinct points, want %d", len(seen), len(pts))
+	}
+}
+
+// TestClearSharedPipeTracers: a tracer instance referenced by several
+// points is cleared (copy-on-write), a unique one is kept — the up-front
+// sanitization the sharded scheduler applies before splitting a sweep into
+// per-group Runners that could no longer see the sharing.
+func TestClearSharedPipeTracers(t *testing.T) {
+	shared := &countingTracer{}
+	unique := &countingTracer{}
+	base := core.DefaultConfig()
+	pts := Grid("rb", base, []int{8, 16, 32}, func(c *core.Config, v int) { c.RBSize = v })
+	pts[0].Config.PipeTracer = shared
+	pts[1].Config.PipeTracer = shared
+	pts[2].Config.PipeTracer = unique
+
+	out := ClearSharedPipeTracers(pts)
+	if out[0].Config.PipeTracer != nil || out[1].Config.PipeTracer != nil {
+		t.Error("shared tracer survived across points")
+	}
+	if out[2].Config.PipeTracer != core.PipeTracer(unique) {
+		t.Error("unique tracer was cleared")
+	}
+	// The caller's points are untouched.
+	if pts[0].Config.PipeTracer != core.PipeTracer(shared) || pts[1].Config.PipeTracer != core.PipeTracer(shared) {
+		t.Error("input slice was mutated")
+	}
+	// No sharing at all: the input comes back as-is, no copy.
+	solo := Grid("rb", base, []int{8, 16}, func(c *core.Config, v int) { c.RBSize = v })
+	if got := ClearSharedPipeTracers(solo); &got[0] != &solo[0] {
+		t.Error("tracer-free sweep was needlessly copied")
+	}
+}
+
+type countingTracer struct{ n int }
+
+func (c *countingTracer) Fetched(int64, int64, uint32, string, bool) { c.n++ }
+func (c *countingTracer) Stage(int64, int64, string)                 { c.n++ }

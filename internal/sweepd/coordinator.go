@@ -1,0 +1,416 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sweep"
+	"repro/internal/tracecache"
+)
+
+// Coordinator is the sweep service's control plane: it accepts worker
+// registrations and client job submissions on one listener, shards each
+// job's points into trace-key groups, assigns every group to a single
+// worker (shipping the group's trace from its own cache when it already
+// holds the container), streams per-point results back to the client as
+// they finish, and requeues a dead worker's unfinished groups on the
+// survivors.
+type Coordinator struct {
+	// Traces, when non-nil, is the coordinator's trace cache: groups whose
+	// trace it already holds (resident or spilled — e.g. warmed by local
+	// runs sharing the cache, or a populated SpillDir) are shipped to the
+	// assigned worker as delta-compressed containers, so the worker seeds
+	// its cache instead of regenerating.
+	Traces *tracecache.Cache
+	// Logf, when non-nil, receives service log lines.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	workers map[*remoteWorker]struct{}
+	conns   map[net.Conn]struct{}
+	ln      net.Listener
+	closed  bool
+
+	callSeq atomic.Uint64
+	wg      sync.WaitGroup
+}
+
+// NewCoordinator builds an idle coordinator; start it with Serve or
+// ListenAndServe.
+func NewCoordinator() *Coordinator {
+	return &Coordinator{
+		workers: make(map[*remoteWorker]struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// WorkerCount reports currently registered workers (tests poll it while
+// bringing a cluster up).
+func (c *Coordinator) WorkerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Addr returns the listener address once serving ("" before).
+func (c *Coordinator) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (c *Coordinator) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.Serve(ln)
+}
+
+// Start listens on addr (":0" for an ephemeral port), serves in the
+// background and returns the bound address — the test and example
+// entry point.
+func (c *Coordinator) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go c.Serve(ln) //nolint:errcheck // background accept loop ends at Close
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts connections on ln until Close (or a listener error).
+func (c *Coordinator) Serve(ln net.Listener) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		ln.Close()
+		return errors.New("sweepd: coordinator closed")
+	}
+	c.ln = ln
+	c.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		c.conns[conn] = struct{}{}
+		c.wg.Add(1)
+		c.mu.Unlock()
+		go func() {
+			defer c.wg.Done()
+			defer func() {
+				c.mu.Lock()
+				delete(c.conns, conn)
+				c.mu.Unlock()
+				conn.Close()
+			}()
+			c.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener, tears down every connection and waits for the
+// handlers to drain.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	ln := c.ln
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// handleConn performs the hello handshake and dispatches on the peer role.
+func (c *Coordinator) handleConn(conn net.Conn) {
+	w := newWire(conn)
+	hello, err := handshake(w, roleCoordinator, "", roleWorker, roleClient)
+	if err != nil {
+		c.logf("sweepd: handshake failed from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	switch hello.Role {
+	case roleWorker:
+		c.serveWorker(w, hello.Name)
+	case roleClient:
+		c.serveClient(w)
+	}
+}
+
+// serveWorker registers the connection as a worker and pumps its messages
+// until it disconnects; pending assignments then fail over to survivors.
+func (c *Coordinator) serveWorker(w *wire, name string) {
+	rw := &remoteWorker{c: c, w: w, name: name, calls: make(map[uint64]*groupCall)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.workers[rw] = struct{}{}
+	c.mu.Unlock()
+	c.logf("sweepd: worker %q registered from %s", name, w.conn.RemoteAddr())
+	err := rw.readLoop()
+	c.mu.Lock()
+	delete(c.workers, rw)
+	c.mu.Unlock()
+	rw.fail(err)
+	c.logf("sweepd: worker %q gone: %v", name, err)
+}
+
+// snapshotWorkers returns the live workers a job will run on. Workers that
+// register later serve later jobs; workers that die mid-job are handled by
+// the scheduler's requeue.
+func (c *Coordinator) snapshotWorkers() []Worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := make([]Worker, 0, len(c.workers))
+	for rw := range c.workers {
+		ws = append(ws, rw)
+	}
+	return ws
+}
+
+// serveClient receives one job, runs it over the registered workers and
+// streams results until done. The job is aborted if the client disconnects.
+func (c *Coordinator) serveClient(w *wire) {
+	m, err := w.recv()
+	if err != nil {
+		return
+	}
+	if m.Type != msgJob || m.Job == nil {
+		w.send(&Message{Type: msgDone, Done: &Done{Err: fmt.Sprintf("expected job, got %q", m.Type)}}) //nolint:errcheck
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		// The only traffic a client sends after the job is a disconnect;
+		// use the read side as the cancellation signal.
+		for {
+			if _, err := w.recv(); err != nil {
+				cancel()
+				return
+			}
+		}
+	}()
+
+	fail := func(err error) {
+		w.send(&Message{Type: msgDone, Done: &Done{Err: errString(err)}}) //nolint:errcheck
+	}
+	job, err := jobFromWire(m.Job)
+	if err != nil {
+		fail(err)
+		return
+	}
+	workers := c.snapshotWorkers()
+	if len(workers) == 0 {
+		fail(errors.New("sweepd: no workers registered"))
+		return
+	}
+	c.logf("sweepd: job: %d points over %d workers (%s, %d instructions)",
+		len(job.Points), len(workers), job.Profile.Name, job.Instructions)
+	emit := func(pr PointResult, done, total int) {
+		wr := &WireResult{Index: pr.Index, Name: pr.Result.Name, Done: done, Total: total}
+		if pr.Result.Err != nil {
+			wr.Err = pr.Result.Err.Error()
+		} else {
+			wr.Res = wireRunResultOf(pr.Result.Res)
+		}
+		if err := w.send(&Message{Type: msgResult, Result: wr}); err != nil {
+			cancel() // client gone; stop burning worker time
+		}
+	}
+	_, err = Run(ctx, job, workers, emit)
+	fail(err) // err == nil sends the clean Done
+}
+
+// groupCall is one in-flight assignment on a remote worker.
+type groupCall struct {
+	job  *Job
+	emit func(PointResult)
+	done chan error // buffered; receives exactly one completion
+}
+
+// remoteWorker proxies a registered worker connection behind the Worker
+// interface, multiplexing concurrent assignments (possibly from several
+// jobs) over the single connection by call ID.
+type remoteWorker struct {
+	c    *Coordinator
+	w    *wire
+	name string
+
+	mu      sync.Mutex
+	calls   map[uint64]*groupCall
+	dead    bool
+	deadErr error
+}
+
+// RunGroup implements Worker: ship the assignment, stream results into
+// emit, and return when the worker reports the group closed (or dies).
+func (rw *remoteWorker) RunGroup(ctx context.Context, job *Job, indices []int, emit func(PointResult)) error {
+	call := &groupCall{job: job, emit: emit, done: make(chan error, 1)}
+	id := rw.c.callSeq.Add(1)
+
+	rw.mu.Lock()
+	if rw.dead {
+		err := rw.deadErr
+		rw.mu.Unlock()
+		return err
+	}
+	rw.calls[id] = call
+	rw.mu.Unlock()
+	defer func() {
+		rw.mu.Lock()
+		delete(rw.calls, id)
+		rw.mu.Unlock()
+	}()
+
+	asg, err := rw.assignment(id, job, indices)
+	if err != nil {
+		// Serialization failure is deterministic, not a worker fault — but a
+		// point that cannot cross the wire cannot run remotely at all, so
+		// surface it as this worker's death; if every worker refuses, the
+		// job fails with the cause attached.
+		return err
+	}
+	if err := rw.w.send(&Message{Type: msgAssign, Assign: asg}); err != nil {
+		rw.fail(err)
+		return err
+	}
+	select {
+	case err := <-call.done:
+		return err
+	case <-ctx.Done():
+		// Tell the worker to stop simulating; best effort.
+		rw.w.send(&Message{Type: msgCancel, Cancel: &Cancel{Call: id}}) //nolint:errcheck
+		return ctx.Err()
+	}
+}
+
+// assignment builds the wire form of one key-group, attaching the trace
+// container when the coordinator's cache already holds it.
+func (rw *remoteWorker) assignment(id uint64, job *Job, indices []int) (*Assignment, error) {
+	asg := &Assignment{Call: id, Profile: job.Profile, Instructions: job.Instructions,
+		Points: make([]WirePoint, len(indices))}
+	for i, idx := range indices {
+		spec, err := SpecOf(job.Points[idx].Config)
+		if err != nil {
+			return nil, fmt.Errorf("sweepd: point %d (%s): %w", idx, job.Points[idx].Name, err)
+		}
+		asg.Points[i] = WirePoint{Index: idx, Name: job.Points[idx].Name, Config: spec}
+	}
+	if tc := rw.c.Traces; tc != nil && tc.Cacheable(job.Instructions) {
+		key := tracecache.KeyFor(job.Profile, job.Points[indices[0]].Config.TraceConfig(), job.Instructions)
+		asg.KeyID = key.ID()
+		var buf bytes.Buffer
+		if ok, err := tc.ExportContainer(key, &buf); ok && err == nil {
+			asg.Trace = buf.Bytes()
+			rw.c.logf("sweepd: shipping trace %s (%d container bytes) to worker %q", asg.KeyID, buf.Len(), rw.name)
+		}
+	}
+	return asg, nil
+}
+
+// readLoop pumps worker messages until the connection fails.
+func (rw *remoteWorker) readLoop() error {
+	for {
+		m, err := rw.w.recv()
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case msgResult:
+			r := m.Result
+			if r == nil {
+				continue
+			}
+			rw.mu.Lock()
+			call := rw.calls[r.Call]
+			rw.mu.Unlock()
+			if call == nil || r.Index < 0 || r.Index >= len(call.job.Points) {
+				continue // late result for a finished/cancelled call
+			}
+			res := sweep.Result{Point: call.job.Points[r.Index]}
+			if r.Err != "" {
+				res.Err = errors.New(r.Err)
+			} else if r.Res != nil {
+				res.Res = r.Res.Result(call.job.Points[r.Index].Config)
+			}
+			call.emit(PointResult{Index: r.Index, Result: res})
+		case msgGroupEnd:
+			ge := m.GroupEnd
+			if ge == nil {
+				continue
+			}
+			rw.mu.Lock()
+			call := rw.calls[ge.Call]
+			rw.mu.Unlock()
+			if call == nil {
+				continue
+			}
+			var err error
+			if ge.Err != "" {
+				err = errors.New(ge.Err)
+			}
+			select {
+			case call.done <- err:
+			default:
+			}
+		}
+	}
+}
+
+// fail marks the worker dead and completes every pending call with err, so
+// the scheduler requeues their remainders.
+func (rw *remoteWorker) fail(err error) {
+	if err == nil {
+		err = errors.New("sweepd: worker connection closed")
+	}
+	rw.mu.Lock()
+	rw.dead = true
+	rw.deadErr = err
+	calls := make([]*groupCall, 0, len(rw.calls))
+	for _, call := range rw.calls {
+		calls = append(calls, call)
+	}
+	rw.mu.Unlock()
+	for _, call := range calls {
+		select {
+		case call.done <- err:
+		default:
+		}
+	}
+}

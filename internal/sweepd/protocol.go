@@ -1,0 +1,333 @@
+// Wire protocol for the sharded sweep service. Everything that crosses the
+// network is defined in this file: length-prefixed JSON envelopes over TCP,
+// with the engine configuration shipped as the declarative configfile
+// schema (plus the fields that schema omits) rather than live Go values —
+// cache models travel as geometry, observers and pipe tracers never travel
+// at all. Trace payloads ride along as delta-compressed containers (the
+// tracecache spill format), base64-coded by JSON.
+//
+// Compatibility: protoVersion gates the envelope shape, and the trace-key
+// content address (tracecache.Key.ID()) gates routing — a golden test pins
+// the latter so an accidental key-format change fails loudly instead of
+// silently splitting coordinator and worker caches across versions.
+package sweepd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/configfile"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/uarch"
+	"repro/internal/workload"
+)
+
+// protoVersion is bumped on any incompatible change to the wire types.
+const protoVersion = 1
+
+// maxMessageBytes bounds one framed message; a 4M-instruction shipped
+// trace container is on the order of 10 MB, so 1 GiB is generous headroom
+// while still rejecting a corrupt length prefix immediately.
+const maxMessageBytes = 1 << 30
+
+// Roles sent in the hello handshake.
+const (
+	roleWorker      = "worker"
+	roleClient      = "client"
+	roleCoordinator = "coordinator"
+)
+
+// Message types.
+const (
+	msgHello    = "hello"     // both directions, first message on a connection
+	msgJob      = "job"       // client -> coordinator: submit a sweep
+	msgAssign   = "assign"    // coordinator -> worker: run one key-group
+	msgCancel   = "cancel"    // coordinator -> worker: abort one assignment
+	msgResult   = "result"    // worker -> coordinator -> client: one point done
+	msgGroupEnd = "group_end" // worker -> coordinator: assignment finished
+	msgDone     = "done"      // coordinator -> client: job finished
+)
+
+// Message is the single wire envelope; Type selects which payload field is
+// populated.
+type Message struct {
+	Type     string      `json:"type"`
+	Hello    *Hello      `json:"hello,omitempty"`
+	Job      *WireJob    `json:"job,omitempty"`
+	Assign   *Assignment `json:"assign,omitempty"`
+	Cancel   *Cancel     `json:"cancel,omitempty"`
+	Result   *WireResult `json:"result,omitempty"`
+	GroupEnd *GroupEnd   `json:"group_end,omitempty"`
+	Done     *Done       `json:"done,omitempty"`
+}
+
+// Hello opens every connection.
+type Hello struct {
+	Proto int    `json:"proto"`
+	Role  string `json:"role"`
+	Name  string `json:"name,omitempty"`
+}
+
+// ConfigSpec is the wire form of core.Config: the configfile schema plus
+// the engine fields that schema does not carry. Live hooks (PipeTracer,
+// Observer) and custom cache models have no wire form — remote sweeps
+// reject points that need them.
+type ConfigSpec struct {
+	configfile.File
+	FUs       uarch.FUConfig `json:"fus"`
+	MaxCycles uint64         `json:"max_cycles,omitempty"`
+}
+
+// SpecOf converts an engine configuration for the wire. It fails on
+// configurations a remote worker cannot reconstruct: custom cache models
+// (anything but the built-in set-associative cache) and pipeline tracers.
+func SpecOf(cfg core.Config) (ConfigSpec, error) {
+	if cfg.PipeTracer != nil {
+		return ConfigSpec{}, fmt.Errorf("sweepd: a PipeTracer cannot cross the network; clear it or sweep locally")
+	}
+	f := configfile.FromConfig(cfg)
+	if cfg.ICache != nil && f.ICache == nil {
+		return ConfigSpec{}, fmt.Errorf("sweepd: custom instruction-cache model %T is not serializable for a remote sweep", cfg.ICache)
+	}
+	if cfg.DCache != nil && f.DCache == nil {
+		return ConfigSpec{}, fmt.Errorf("sweepd: custom data-cache model %T is not serializable for a remote sweep", cfg.DCache)
+	}
+	return ConfigSpec{File: f, FUs: cfg.FUs, MaxCycles: cfg.MaxCycles}, nil
+}
+
+// Config materializes the spec into a validated engine configuration.
+// Materialization is deterministic, so a coordinator and its workers derive
+// identical trace keys from the same spec.
+func (s ConfigSpec) Config() (core.Config, error) {
+	cfg, err := s.File.ToConfig()
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg.FUs = s.FUs
+	cfg.MaxCycles = s.MaxCycles
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}
+
+// WirePoint is one design point on the wire. Index is the point's position
+// in the submitted job, the identity results are keyed by.
+type WirePoint struct {
+	Index  int        `json:"index"`
+	Name   string     `json:"name"`
+	Config ConfigSpec `json:"config"`
+}
+
+// WireJob is a client's sweep submission.
+type WireJob struct {
+	Profile      workload.Profile `json:"profile"`
+	Instructions uint64           `json:"instructions"`
+	Points       []WirePoint      `json:"points"`
+}
+
+// wireJobOf converts an in-process job for submission, validating every
+// point is expressible on the wire.
+func wireJobOf(job *Job) (*WireJob, error) {
+	wj := &WireJob{Profile: job.Profile, Instructions: job.Instructions,
+		Points: make([]WirePoint, len(job.Points))}
+	for i, pt := range job.Points {
+		spec, err := SpecOf(pt.Config)
+		if err != nil {
+			return nil, fmt.Errorf("point %d (%s): %w", i, pt.Name, err)
+		}
+		wj.Points[i] = WirePoint{Index: i, Name: pt.Name, Config: spec}
+	}
+	return wj, nil
+}
+
+// jobFromWire materializes a received job. Point order follows the wire
+// order; each point's Index must equal its position.
+func jobFromWire(wj *WireJob) (*Job, error) {
+	job := &Job{Profile: wj.Profile, Instructions: wj.Instructions,
+		Points: make([]sweep.Point, len(wj.Points))}
+	for i, wp := range wj.Points {
+		if wp.Index != i {
+			return nil, fmt.Errorf("sweepd: point %d arrived with index %d", i, wp.Index)
+		}
+		cfg, err := wp.Config.Config()
+		if err != nil {
+			return nil, fmt.Errorf("sweepd: point %d (%s): %w", i, wp.Name, err)
+		}
+		job.Points[i] = sweep.Point{Name: wp.Name, Config: cfg}
+	}
+	return job, nil
+}
+
+// Assignment hands one key-group to a worker. Call identifies the
+// assignment for results, completion and cancellation. Trace, when
+// non-empty, is the group's generated trace as a delta-compressed container
+// — shipped from the coordinator's cache so the worker can seed its own
+// instead of regenerating.
+type Assignment struct {
+	Call         uint64           `json:"call"`
+	KeyID        string           `json:"key_id"`
+	Profile      workload.Profile `json:"profile"`
+	Instructions uint64           `json:"instructions"`
+	Points       []WirePoint      `json:"points"`
+	Trace        []byte           `json:"trace,omitempty"`
+}
+
+// Cancel aborts one in-flight assignment on a worker.
+type Cancel struct {
+	Call uint64 `json:"call"`
+}
+
+// WireRunResult is core.Result without the live Config (reconstructed from
+// the point's spec on the receiving side).
+type WireRunResult struct {
+	core.Counters
+	ICache cache.Stats     `json:"icache"`
+	DCache cache.Stats     `json:"dcache"`
+	IFQ    stats.Occupancy `json:"ifq"`
+	RB     stats.Occupancy `json:"rb"`
+	LSQ    stats.Occupancy `json:"lsq"`
+}
+
+// wireRunResultOf strips a result for the wire.
+func wireRunResultOf(r core.Result) *WireRunResult {
+	return &WireRunResult{Counters: r.Counters,
+		ICache: r.ICache, DCache: r.DCache, IFQ: r.IFQ, RB: r.RB, LSQ: r.LSQ}
+}
+
+// Result rebuilds the engine result around the receiver-side configuration.
+func (w *WireRunResult) Result(cfg core.Config) core.Result {
+	return core.Result{Counters: w.Counters,
+		ICache: w.ICache, DCache: w.DCache, IFQ: w.IFQ, RB: w.RB, LSQ: w.LSQ,
+		Config: cfg}
+}
+
+// WireResult reports one completed point. Worker -> coordinator it carries
+// Call; coordinator -> client it instead carries the job-wide progress
+// counters Done/Total (the coordinator-side progress the client forwards to
+// its session observer).
+type WireResult struct {
+	Call  uint64         `json:"call,omitempty"`
+	Index int            `json:"index"`
+	Name  string         `json:"name,omitempty"`
+	Err   string         `json:"err,omitempty"`
+	Res   *WireRunResult `json:"res,omitempty"`
+	Done  int            `json:"done,omitempty"`
+	Total int            `json:"total,omitempty"`
+}
+
+// GroupEnd closes one assignment. A non-empty Err means the worker could
+// not finish the group (shutdown mid-run); the coordinator requeues the
+// remainder elsewhere.
+type GroupEnd struct {
+	Call uint64 `json:"call"`
+	Err  string `json:"err,omitempty"`
+}
+
+// Done closes a client job.
+type Done struct {
+	Err string `json:"err,omitempty"`
+}
+
+// wire frames messages over one connection: a 4-byte big-endian length
+// prefix followed by the JSON envelope. Reads are single-consumer; writes
+// are mutex-serialized so result streams from concurrent assignments
+// interleave whole messages.
+type wire struct {
+	conn net.Conn
+	br   *bufio.Reader
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+}
+
+func newWire(conn net.Conn) *wire {
+	return &wire{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+func (w *wire) send(m *Message) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxMessageBytes {
+		return fmt.Errorf("sweepd: message of %d bytes exceeds the %d-byte frame limit", len(payload), maxMessageBytes)
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(payload)))
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	if _, err := w.bw.Write(prefix[:]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+func (w *wire) recv() (*Message, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(w.br, prefix[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > maxMessageBytes {
+		return nil, fmt.Errorf("sweepd: frame of %d bytes exceeds the %d-byte limit", n, maxMessageBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(w.br, payload); err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("sweepd: corrupt frame: %w", err)
+	}
+	return &m, nil
+}
+
+func (w *wire) Close() error { return w.conn.Close() }
+
+// handshake sends our hello and validates the peer's.
+func handshake(w *wire, role, name string, wantRoles ...string) (*Hello, error) {
+	if err := w.send(&Message{Type: msgHello, Hello: &Hello{Proto: protoVersion, Role: role, Name: name}}); err != nil {
+		return nil, err
+	}
+	m, err := w.recv()
+	if err != nil {
+		return nil, err
+	}
+	if m.Type != msgHello || m.Hello == nil {
+		return nil, fmt.Errorf("sweepd: expected hello, got %q", m.Type)
+	}
+	if m.Hello.Proto != protoVersion {
+		return nil, fmt.Errorf("sweepd: protocol version %d, want %d", m.Hello.Proto, protoVersion)
+	}
+	if len(wantRoles) > 0 {
+		ok := false
+		for _, r := range wantRoles {
+			if m.Hello.Role == r {
+				ok = true
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("sweepd: unexpected peer role %q", m.Hello.Role)
+		}
+	}
+	return m.Hello, nil
+}
+
+// errString flattens an error for the wire.
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

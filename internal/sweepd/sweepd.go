@@ -1,0 +1,376 @@
+// Package sweepd is the sharded sweep service: coordinator/worker
+// design-space exploration across processes and hosts. It scales the
+// paper's bulk-simulation use case ("bulk simulations with varying design
+// parameters") past one machine by sharding a sweep's design points across
+// workers and streaming per-point results back as they finish.
+//
+// The scheduling unit is the trace key-group: every point whose (workload,
+// derived trace configuration, instruction budget) hashes to the same
+// tracecache.Key.ID() is routed to one worker, so each distinct trace is
+// generated — or received as a shipped delta-compressed container — exactly
+// once per host, no matter how many points replay it. Within a group the
+// worker runs points through the ordinary sweep machinery against its own
+// shared trace cache; across groups the scheduler fans out over every live
+// worker and requeues a dead worker's unfinished points on a survivor.
+//
+// The same scheduler serves three surfaces: the in-process loopback mode
+// (LoopbackWorker — used by Session.Sweep and by tests), the network
+// coordinator (Coordinator + cmd/resimd), and the client (RunRemote behind
+// Session.SweepRemote). Local and remote sweeps therefore share one code
+// path for grouping, assignment, requeue and result ordering.
+package sweepd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+	"repro/internal/tracecache"
+	"repro/internal/workload"
+)
+
+// Job is one sweep job: the resolved workload profile, the per-point
+// correct-path instruction budget, and the design points. Points keep their
+// input order; results are always returned in that order.
+type Job struct {
+	Profile      workload.Profile
+	Instructions uint64
+	Points       []sweep.Point
+}
+
+// Group is one trace-key shard of a job: the indices of every point sharing
+// one generated trace. The whole group is assigned to a single worker so
+// the trace is produced once per host and replayed by the rest.
+type Group struct {
+	Key     tracecache.Key
+	KeyID   string
+	Indices []int
+}
+
+// Groups shards the job's points by trace key, preserving first-seen order.
+// The key is a stable content address (tracecache.Key.ID()), so a
+// coordinator and its workers — potentially different processes — agree on
+// the routing unit by construction.
+func (j *Job) Groups() []Group {
+	byID := make(map[string]int, len(j.Points))
+	var gs []Group
+	for i := range j.Points {
+		k := tracecache.KeyFor(j.Profile, j.Points[i].Config.TraceConfig(), j.Instructions)
+		id := k.ID()
+		gi, ok := byID[id]
+		if !ok {
+			gi = len(gs)
+			byID[id] = gi
+			gs = append(gs, Group{Key: k, KeyID: id})
+		}
+		gs[gi].Indices = append(gs[gi].Indices, i)
+	}
+	return gs
+}
+
+// PointResult is one completed design point, tagged with its index in the
+// job's point list.
+type PointResult struct {
+	Index  int
+	Result sweep.Result
+}
+
+// Worker runs assigned key-groups. Implementations: LoopbackWorker
+// (in-process) and the coordinator's per-connection remote worker proxy.
+type Worker interface {
+	// RunGroup simulates the points of job selected by indices and calls
+	// emit once per completed point, in completion order. A non-nil error
+	// means the worker died mid-group: results already emitted stand, the
+	// remainder is requeued on a live worker, and this worker receives no
+	// further groups.
+	RunGroup(ctx context.Context, job *Job, indices []int, emit func(PointResult)) error
+}
+
+// groupState tracks one group through assignment, partial completion and
+// requeue. A group is owned by at most one worker at a time (it is either
+// queued or held), so the done map is the only shared state, guarded by the
+// scheduler mutex.
+type groupState struct {
+	g    Group
+	done map[int]bool
+}
+
+// Run schedules the job's key-groups across workers and returns results in
+// point order regardless of shard or worker completion order. emit, when
+// non-nil, is called once per completed point (serialized) with the running
+// completed/total counts — the coordinator-side progress stream. On worker
+// failure the group's unfinished points are requeued on a live worker; when
+// no live worker remains the job fails. Cancelling the context aborts
+// in-flight groups and returns ctx.Err() once every worker has drained.
+func Run(ctx context.Context, job *Job, workers []Worker, emit func(res PointResult, done, total int)) ([]sweep.Result, error) {
+	if len(job.Points) == 0 {
+		return nil, fmt.Errorf("sweepd: no design points")
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("sweepd: no workers")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	groups := job.Groups()
+	total := len(job.Points)
+	results := make([]sweep.Result, total)
+
+	// Each group is either in the queue or held by exactly one worker, so
+	// capacity len(groups) makes every requeue send non-blocking.
+	queue := make(chan *groupState, len(groups))
+	for _, g := range groups {
+		queue <- &groupState{g: g, done: make(map[int]bool, len(g.Indices))}
+	}
+
+	var (
+		mu        sync.Mutex
+		completed int
+		open      = len(groups) // groups not yet fully completed
+		live      = len(workers)
+		failErr   error
+	)
+	// finishGroupLocked marks gs fully done; the last group closes the queue
+	// so idle workers drain. Callers hold mu.
+	closeOnce := sync.Once{}
+	finishGroupLocked := func() {
+		open--
+		if open == 0 {
+			closeOnce.Do(func() { close(queue) })
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w Worker) {
+			defer wg.Done()
+			for {
+				var gs *groupState
+				var ok bool
+				select {
+				case <-runCtx.Done():
+					return
+				case gs, ok = <-queue:
+					if !ok {
+						return
+					}
+				}
+				mu.Lock()
+				rem := gs.remainingLocked()
+				mu.Unlock()
+				err := w.RunGroup(runCtx, job, rem, func(pr PointResult) {
+					mu.Lock()
+					defer mu.Unlock()
+					if pr.Index < 0 || pr.Index >= total || gs.done[pr.Index] {
+						// Out-of-range or duplicate (a requeued group rerunning
+						// a point whose result message was lost): results are
+						// deterministic, so first write wins and the rest drop.
+						return
+					}
+					gs.done[pr.Index] = true
+					results[pr.Index] = pr.Result
+					completed++
+					if emit != nil && runCtx.Err() == nil {
+						emit(pr, completed, total)
+					}
+				})
+				mu.Lock()
+				finished := len(gs.done) == len(gs.g.Indices)
+				if err == nil && finished {
+					finishGroupLocked()
+					mu.Unlock()
+					continue
+				}
+				if err == nil {
+					// A worker must either finish its group or report failure;
+					// returning early without doing so is treated as death so a
+					// buggy worker cannot requeue-loop forever.
+					err = errors.New("sweepd: worker returned without completing its group")
+				}
+				if runCtx.Err() != nil {
+					mu.Unlock()
+					return
+				}
+				// Worker died. Its finished results stand; the remainder is
+				// requeued for a surviving worker and this worker retires.
+				live--
+				if finished {
+					finishGroupLocked()
+					mu.Unlock()
+					return
+				}
+				if live == 0 {
+					if failErr == nil {
+						failErr = fmt.Errorf("sweepd: worker failed with no live workers left to requeue on: %w", err)
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				mu.Unlock()
+				queue <- gs
+				return
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	mu.Lock()
+	err := failErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// remainingLocked returns the group's not-yet-completed indices. Callers
+// hold the scheduler mutex.
+func (gs *groupState) remainingLocked() []int {
+	rem := make([]int, 0, len(gs.g.Indices)-len(gs.done))
+	for _, i := range gs.g.Indices {
+		if !gs.done[i] {
+			rem = append(rem, i)
+		}
+	}
+	return rem
+}
+
+// errKilled reports a LoopbackWorker torn down by Kill.
+var errKilled = errors.New("sweepd: worker killed")
+
+// abortedResult reports a point result produced by cancellation rather than
+// simulation: its error is the context's, so rerunning it elsewhere can
+// still produce the real outcome. Genuine per-point failures (invalid
+// configurations, engine errors) are deterministic and never context
+// errors.
+func abortedResult(res sweep.Result) bool {
+	return errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded)
+}
+
+// LoopbackOptions configures one in-process worker.
+type LoopbackOptions struct {
+	// Parallelism bounds concurrent engines within one assigned group;
+	// 0 uses GOMAXPROCS.
+	Parallelism int
+	// Traces is the worker's shared trace cache — the stand-in for one
+	// host's cache. nil (with DisableCache false) gives the worker a
+	// private cache, the loopback analog of a fresh remote host.
+	Traces *tracecache.Cache
+	// DisableCache streams every point's trace from the functional
+	// simulator instead of materializing it (Session-level WithTraceCache(nil)).
+	DisableCache bool
+	// Observer, when non-nil, receives the worker's own per-point progress
+	// (Core is the point's job-wide index) — what a remote worker logs
+	// locally while the coordinator streams results to the client.
+	Observer core.Observer
+}
+
+// LoopbackWorker runs key-groups in-process through the standard sweep
+// machinery against its own trace cache. It is the loopback transport of
+// the sweep service: Session.Sweep uses a pool of them when no coordinator
+// address is configured, and tests use Kill to exercise the requeue path
+// without a network.
+type LoopbackWorker struct {
+	opts     LoopbackOptions
+	traces   *tracecache.Cache
+	killed   chan struct{}
+	killOnce sync.Once
+}
+
+// NewLoopbackWorker builds one in-process worker.
+func NewLoopbackWorker(opts LoopbackOptions) *LoopbackWorker {
+	w := &LoopbackWorker{opts: opts, traces: opts.Traces, killed: make(chan struct{})}
+	if w.traces == nil && !opts.DisableCache {
+		// A private per-worker cache, like a remote host's: groups assigned
+		// to this worker share it across RunGroup calls.
+		w.traces = tracecache.New(tracecache.Config{})
+	}
+	return w
+}
+
+// Traces returns the worker's trace cache (nil when caching is disabled) —
+// tests assert generation counts per simulated host through it.
+func (w *LoopbackWorker) Traces() *tracecache.Cache { return w.traces }
+
+// Kill tears the worker down, aborting any in-flight group (its completed
+// points stand; the scheduler requeues the rest) and refusing future
+// assignments — the loopback equivalent of a worker host dying.
+func (w *LoopbackWorker) Kill() {
+	w.killOnce.Do(func() { close(w.killed) })
+}
+
+// RunGroup implements Worker.
+func (w *LoopbackWorker) RunGroup(ctx context.Context, job *Job, indices []int, emit func(PointResult)) error {
+	select {
+	case <-w.killed:
+		return errKilled
+	default:
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-w.killed:
+			cancel()
+		case <-stop:
+		}
+	}()
+
+	pts := make([]sweep.Point, len(indices))
+	for i, idx := range indices {
+		pts[i] = job.Points[idx]
+	}
+	r := sweep.Runner{
+		Workload:     job.Profile,
+		Instructions: job.Instructions,
+		Parallelism:  w.opts.Parallelism,
+		Traces:       w.traces,
+		DisableCache: w.opts.DisableCache,
+		OnResult: func(i int, res sweep.Result) {
+			select {
+			case <-w.killed:
+				// A dead host's unsent results never arrive: once killed,
+				// the worker emits nothing more and the scheduler reruns
+				// the remainder elsewhere.
+				return
+			default:
+			}
+			if abortedResult(res) {
+				// A point cut short by cancellation is not a real outcome:
+				// withhold it so the scheduler requeues the point instead
+				// of recording a poisoned result.
+				return
+			}
+			emit(PointResult{Index: indices[i], Result: res})
+		},
+	}
+	if w.opts.Observer != nil {
+		r.Observer = core.ObserverFunc(func(p core.Progress) {
+			if p.Core >= 0 && p.Core < len(indices) {
+				p.Core = indices[p.Core]
+			}
+			w.opts.Observer.Progress(p)
+		})
+	}
+	if _, err := r.Run(gctx, pts); err != nil {
+		select {
+		case <-w.killed:
+			return fmt.Errorf("%w: %v", errKilled, err)
+		default:
+		}
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+	"repro/internal/tracecache"
+)
+
+// WorkerOptions configures one network worker process.
+type WorkerOptions struct {
+	// Name identifies the worker in coordinator logs.
+	Name string
+	// Parallelism bounds concurrent engines within one assigned group;
+	// 0 uses GOMAXPROCS.
+	Parallelism int
+	// Traces is the worker's shared trace cache — every group this worker
+	// runs generates (or seeds, when the coordinator ships a container)
+	// each distinct trace once into it. nil builds a private default cache.
+	Traces *tracecache.Cache
+	// Observer, when non-nil, receives the worker's own per-point progress
+	// through the standard Observer hook: Core is remapped to the point's
+	// job-wide index, Done/Total count within the assigned group.
+	Observer core.Observer
+	// Logf, when non-nil, receives worker log lines.
+	Logf func(format string, args ...any)
+}
+
+// Work dials the coordinator at addr, registers as a worker and serves
+// key-group assignments until the context is cancelled or the connection
+// fails. Each assignment runs through the ordinary sweep machinery against
+// the worker's shared trace cache, streaming one result message per
+// completed point.
+func Work(ctx context.Context, addr string, opts WorkerOptions) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Traces == nil {
+		opts.Traces = tracecache.New(tracecache.Config{})
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	w := newWire(conn)
+	defer w.Close()
+	if _, err := handshake(w, roleWorker, opts.Name, roleCoordinator); err != nil {
+		return err
+	}
+	logf("sweepd worker %q: registered with %s", opts.Name, addr)
+
+	// Tear the connection down on cancellation so the blocking recv returns.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			w.Close()
+		case <-stop:
+		}
+	}()
+
+	var (
+		mu      sync.Mutex
+		cancels = make(map[uint64]context.CancelFunc)
+		wg      sync.WaitGroup
+	)
+	defer wg.Wait()
+	for {
+		m, err := w.recv()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		switch m.Type {
+		case msgAssign:
+			asg := m.Assign
+			if asg == nil {
+				continue
+			}
+			actx, cancel := context.WithCancel(ctx)
+			mu.Lock()
+			cancels[asg.Call] = cancel
+			mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					mu.Lock()
+					delete(cancels, asg.Call)
+					mu.Unlock()
+					cancel()
+				}()
+				serveAssignment(actx, w, asg, opts, logf)
+			}()
+		case msgCancel:
+			if m.Cancel == nil {
+				continue
+			}
+			mu.Lock()
+			if cancel := cancels[m.Cancel.Call]; cancel != nil {
+				cancel()
+			}
+			mu.Unlock()
+		}
+	}
+}
+
+// serveAssignment runs one key-group and streams its results back.
+func serveAssignment(ctx context.Context, w *wire, asg *Assignment, opts WorkerOptions, logf func(string, ...any)) {
+	end := func(err error) {
+		w.send(&Message{Type: msgGroupEnd, GroupEnd: &GroupEnd{Call: asg.Call, Err: errString(err)}}) //nolint:errcheck
+	}
+	pts := make([]sweep.Point, len(asg.Points))
+	for i, wp := range asg.Points {
+		cfg, err := wp.Config.Config()
+		if err != nil {
+			// A point the worker cannot materialize is a deterministic
+			// per-point failure, reported as an ordinary errored result so
+			// the job completes instead of bouncing between workers.
+			fail := fmt.Errorf("sweepd: materialize point %d (%s): %w", wp.Index, wp.Name, err)
+			for _, p := range asg.Points {
+				w.send(&Message{Type: msgResult, Result: &WireResult{ //nolint:errcheck
+					Call: asg.Call, Index: p.Index, Name: p.Name, Err: fail.Error(),
+				}})
+			}
+			end(nil)
+			return
+		}
+		pts[i] = sweep.Point{Name: wp.Name, Config: cfg}
+	}
+	if len(pts) == 0 {
+		end(nil)
+		return
+	}
+
+	// Seed the shipped trace, if any, under the key this worker derives
+	// from its own materialized configuration — the same derivation the
+	// sweep runner uses to look it up, so a key mismatch is impossible.
+	if len(asg.Trace) > 0 && opts.Traces.Cacheable(asg.Instructions) {
+		key := tracecache.KeyFor(asg.Profile, pts[0].Config.TraceConfig(), asg.Instructions)
+		if _, err := opts.Traces.Seed(key, bytes.NewReader(asg.Trace)); err != nil {
+			logf("sweepd worker %q: seeding shipped trace %s failed (will regenerate): %v", opts.Name, asg.KeyID, err)
+		} else {
+			logf("sweepd worker %q: seeded shipped trace %s", opts.Name, asg.KeyID)
+		}
+	}
+
+	r := sweep.Runner{
+		Workload:     asg.Profile,
+		Instructions: asg.Instructions,
+		Parallelism:  opts.Parallelism,
+		Traces:       opts.Traces,
+		OnResult: func(i int, res sweep.Result) {
+			if abortedResult(res) {
+				// Cut short by cancellation — withhold so the coordinator
+				// requeues the point rather than recording the abort.
+				return
+			}
+			wr := &WireResult{Call: asg.Call, Index: asg.Points[i].Index, Name: res.Name}
+			if res.Err != nil {
+				wr.Err = res.Err.Error()
+			} else {
+				wr.Res = wireRunResultOf(res.Res)
+			}
+			w.send(&Message{Type: msgResult, Result: wr}) //nolint:errcheck
+		},
+	}
+	if opts.Observer != nil {
+		r.Observer = core.ObserverFunc(func(p core.Progress) {
+			if p.Core >= 0 && p.Core < len(asg.Points) {
+				p.Core = asg.Points[p.Core].Index
+			}
+			opts.Observer.Progress(p)
+		})
+	}
+	_, err := r.Run(ctx, pts)
+	end(err)
+	logf("sweepd worker %q: group %d done (%d points, err=%v)", opts.Name, asg.Call, len(pts), err)
+}

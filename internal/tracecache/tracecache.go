@@ -116,6 +116,24 @@ func (t *Trace) Range(fn func(trace.Record) error) error {
 	return nil
 }
 
+// WriteContainer writes the trace as a delta-compressed container (the
+// version-2 format of internal/trace) — the same bytes the spill path
+// writes, and the shipping format the sharded sweep service uses to move a
+// generated trace between hosts. Read it back with (*Cache).Seed or
+// trace.Open.
+func (t *Trace) WriteContainer(w io.Writer) error {
+	cw, err := trace.NewCompressedWriter(w, trace.Header{
+		StartPC: t.startPC, Records: uint64(len(t.recs)),
+	})
+	if err != nil {
+		return err
+	}
+	if err := t.Range(cw.Write); err != nil {
+		return err
+	}
+	return cw.Close()
+}
+
 // recordBytes approximates the resident cost of one record.
 const recordBytes = int64(unsafe.Sizeof(trace.Record{}))
 
@@ -148,6 +166,7 @@ const DefaultMaxInstructions = uint64(4_000_000)
 type Stats struct {
 	Generations uint64 // traces generated (cache misses that did the work)
 	Hits        uint64 // requests served from memory
+	Seeds       uint64 // entries installed from shipped containers (Seed)
 	SpillWrites uint64 // entries written to the spill directory
 	SpillLoads  uint64 // requests served by reloading a spilled entry
 	Evictions   uint64 // entries pushed out of memory (spilled or dropped)
@@ -170,6 +189,7 @@ type Cache struct {
 
 	gens        atomic.Uint64
 	hits        atomic.Uint64
+	seeds       atomic.Uint64
 	spillWrites atomic.Uint64
 	spillLoads  atomic.Uint64
 	evictions   atomic.Uint64
@@ -249,6 +269,7 @@ func (c *Cache) Stats() Stats {
 	return Stats{
 		Generations: c.gens.Load(),
 		Hits:        c.hits.Load(),
+		Seeds:       c.seeds.Load(),
 		SpillWrites: c.spillWrites.Load(),
 		SpillLoads:  c.spillLoads.Load(),
 		Evictions:   c.evictions.Load(),
@@ -424,6 +445,115 @@ func SourceFor(ctx context.Context, c *Cache, p workload.Profile, tc funcsim.Tra
 	return src, funcsim.CodeBase, nil
 }
 
+// ExportContainer writes the delta-compressed container for k to w when the
+// cache already holds the trace — resident, spilled, or sitting in the
+// spill directory under k's content address from an earlier process (a
+// restarted coordinator finds containers its predecessor spilled, and a
+// spill directory synced from another host works the same way) — and
+// reports whether it did. It never generates: shipping a trace to a remote
+// worker is an optimization, and a cold key simply regenerates on the
+// receiving host. An in-flight generation is treated as absent rather than
+// waited for.
+func (c *Cache) ExportContainer(k Key, w io.Writer) (bool, error) {
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.mu.Unlock()
+		if c.spillDir != "" {
+			// The container file name is the key's content address, so a
+			// file left by another cache instance is exactly k's bytes.
+			return copySpillFile(filepath.Join(c.spillDir, k.ID()+".rstc"), w)
+		}
+		return false, nil
+	}
+	select {
+	case <-e.done:
+	default: // still generating
+		c.mu.Unlock()
+		return false, nil
+	}
+	if e.err != nil {
+		c.mu.Unlock()
+		return false, nil
+	}
+	tr, spillPath := e.tr, e.spillPath
+	c.mu.Unlock()
+	if tr != nil {
+		// The record slice is immutable once published, so encoding outside
+		// the lock never races with concurrent readers or eviction.
+		return true, tr.WriteContainer(w)
+	}
+	if spillPath != "" {
+		// Spill files are content-addressed and written atomically, so the
+		// bytes on disk are exactly the container we would re-encode.
+		return copySpillFile(spillPath, w)
+	}
+	return false, nil
+}
+
+// copySpillFile streams one on-disk container to w; a missing file behaves
+// like a cold key.
+func copySpillFile(path string, w io.Writer) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, nil // lost or never-written spill: cold key
+	}
+	defer f.Close()
+	if _, err := io.Copy(w, f); err != nil {
+		return true, err
+	}
+	return true, nil
+}
+
+// Seed installs the trace for k from a shipped container (the bytes written
+// by ExportContainer or found under a spill directory), so a worker that
+// receives a trace over the network never pays the generation cost. The
+// decoded trace is returned either way; if the key is already present —
+// resident, spilled or mid-generation — the cache is left untouched and the
+// existing entry wins, keeping Seed safe to call concurrently with Get.
+func (c *Cache) Seed(k Key, r io.Reader) (*Trace, error) {
+	src, hdr, err := trace.Open(r)
+	if err != nil {
+		return nil, fmt.Errorf("tracecache: seed container: %w", err)
+	}
+	t := &Trace{key: k, startPC: hdr.StartPC}
+	if hdr.Records > 0 {
+		t.recs = make([]trace.Record, 0, hdr.Records)
+	}
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tracecache: seed container: %w", err)
+		}
+		if rec.Tag {
+			t.tagged++
+		}
+		t.bits += uint64(rec.BitLen())
+		t.recs = append(t.recs, rec)
+	}
+	c.mu.Lock()
+	if _, ok := c.entries[k]; ok {
+		c.mu.Unlock()
+		return t, nil
+	}
+	e := &entry{key: k, done: make(chan struct{})}
+	close(e.done)
+	e.tr = t
+	e.bytes = int64(len(t.recs)) * recordBytes
+	e.startPC = t.startPC
+	e.records = uint64(len(t.recs))
+	e.tagged = t.tagged
+	e.bits = t.bits
+	c.entries[k] = e
+	c.insertResidentLocked(e)
+	c.mu.Unlock()
+	c.seeds.Add(1)
+	return t, nil
+}
+
 // insertResidentLocked accounts a freshly generated or reloaded entry and
 // evicts over-budget entries, least recently used first. Callers hold c.mu.
 func (c *Cache) insertResidentLocked(e *entry) {
@@ -475,16 +605,7 @@ func (c *Cache) spill(e *entry) error {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	w, err := trace.NewCompressedWriter(tmp, trace.Header{StartPC: e.startPC, Records: e.records})
-	if err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := e.tr.Range(w.Write); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := w.Close(); err != nil {
+	if err := e.tr.WriteContainer(tmp); err != nil {
 		tmp.Close()
 		return err
 	}

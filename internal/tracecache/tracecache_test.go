@@ -1,6 +1,7 @@
 package tracecache
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/bpred"
 	"repro/internal/core"
 	"repro/internal/funcsim"
 	"repro/internal/trace"
@@ -330,5 +332,158 @@ func TestLostSpillRegenerates(t *testing.T) {
 	}
 	if got := c.Generations(); got != 3 {
 		t.Errorf("generations = %d, want 3 (regenerate on lost spill)", got)
+	}
+}
+
+// TestKeyIDGolden pins the trace-key content address for a fully explicit
+// profile and trace configuration. The sharded sweep service routes points
+// to workers — and ships trace containers between hosts — keyed on this
+// value, so an accidental change to the key format (or to any field that
+// feeds it) would silently split coordinator and worker caches across
+// versions. If this test fails, the key derivation changed: bump the sweep
+// service protocol version and update the constant deliberately.
+func TestKeyIDGolden(t *testing.T) {
+	p := workload.Profile{
+		Name:        "golden",
+		Description: "pinned profile for the Key.ID golden test",
+		Seed:        42,
+		Stream:      8,
+		Arith:       4,
+		Branchy:     4,
+		Chains:      2,
+		Stride:      4,
+		ArrayBytes:  1024,
+		BranchData:  256,
+		BranchBias:  0.5,
+	}
+	tc := funcsim.TraceConfig{
+		Predictor: bpred.Config{
+			Dir:        bpred.DirTwoLevel,
+			BHTSize:    4,
+			HistLen:    8,
+			PHTSize:    4096,
+			BimodSize:  2048,
+			BTBEntries: 512,
+			BTBAssoc:   1,
+			RASSize:    16,
+		},
+		WrongPathLen: 20,
+	}
+	const want = "cfbefb8492574ea3bae6f0adaa44fbc1"
+	if got := KeyFor(p, tc, 10_000).ID(); got != want {
+		t.Fatalf("Key.ID() = %s, want the pinned %s\n"+
+			"The trace-key content address changed: cross-version coordinator/worker\n"+
+			"routing and shipped-container reuse would break. If intentional, update\n"+
+			"the golden and bump the sweepd protocol version.", got, want)
+	}
+}
+
+// TestExportSeedRoundTrip ships a generated trace between two caches as a
+// delta-compressed container — the sweep service's trace-shipping path —
+// and verifies the seeded copy is record-identical and costs the receiving
+// cache no generation.
+func TestExportSeedRoundTrip(t *testing.T) {
+	p := gzipProfile(t)
+	const limit = 5000
+	k := KeyFor(p, defaultTC(), limit)
+
+	src := New(Config{})
+	tr, err := src.Get(context.Background(), p, defaultTC(), limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	ok, err := src.ExportContainer(k, &buf)
+	if err != nil || !ok {
+		t.Fatalf("ExportContainer = %v, %v; want true, nil", ok, err)
+	}
+
+	dst := New(Config{})
+	seeded, err := dst.Seed(k, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.StartPC() != tr.StartPC() || seeded.Records() != tr.Records() ||
+		seeded.WrongPath() != tr.WrongPath() || seeded.Bits() != tr.Bits() {
+		t.Fatalf("seeded trace metadata differs: %d/%d/%d/%d vs %d/%d/%d/%d",
+			seeded.StartPC(), seeded.Records(), seeded.WrongPath(), seeded.Bits(),
+			tr.StartPC(), tr.Records(), tr.WrongPath(), tr.Bits())
+	}
+	if !reflect.DeepEqual(drain(t, seeded.Source()), drain(t, tr.Source())) {
+		t.Fatal("seeded records differ from the generated originals")
+	}
+
+	// The seeded cache serves Get without generating.
+	got, err := dst.Get(context.Background(), p, defaultTC(), limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(drain(t, got.Source()), drain(t, tr.Source())) {
+		t.Fatal("post-seed Get records differ")
+	}
+	st := dst.Stats()
+	if st.Generations != 0 || st.Seeds != 1 || st.Hits != 1 {
+		t.Fatalf("stats after seed+get = %+v; want 0 generations, 1 seed, 1 hit", st)
+	}
+
+	// Exporting a key the cache does not hold reports false without error.
+	var sink bytes.Buffer
+	ok, err = src.ExportContainer(KeyFor(p, defaultTC(), limit+1), &sink)
+	if err != nil || ok {
+		t.Fatalf("ExportContainer(cold key) = %v, %v; want false, nil", ok, err)
+	}
+
+	// Seeding an already-present key leaves the cache untouched.
+	if _, err := dst.Seed(k, bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if st := dst.Stats(); st.Seeds != 1 || st.Entries != 1 {
+		t.Fatalf("re-seed changed the cache: %+v", st)
+	}
+}
+
+// TestExportContainerFromSpill ships a trace that has already been evicted
+// to the spill directory (the coordinator's usual state for older keys).
+func TestExportContainerFromSpill(t *testing.T) {
+	p := gzipProfile(t)
+	const limit = 4000
+	dir := t.TempDir()
+	// A tiny budget forces the entry to spill on the next insert.
+	c := New(Config{SpillDir: dir, MaxResidentBytes: 1})
+	tr, err := c.Get(context.Background(), p, defaultTC(), limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drain(t, tr.Source())
+	// A second, different key evicts (and spills) the first.
+	if _, err := c.Get(context.Background(), p, defaultTC(), limit+1); err != nil {
+		t.Fatal(err)
+	}
+	k := KeyFor(p, defaultTC(), limit)
+	var buf bytes.Buffer
+	ok, err := c.ExportContainer(k, &buf)
+	if err != nil || !ok {
+		t.Fatalf("ExportContainer(spilled) = %v, %v; want true, nil", ok, err)
+	}
+	dst := New(Config{})
+	seeded, err := dst.Seed(k, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(drain(t, seeded.Source()), want) {
+		t.Fatal("spill-exported records differ")
+	}
+
+	// A fresh cache over the same spill directory — a restarted coordinator
+	// — finds the container by content address despite an empty entry map.
+	fresh := New(Config{SpillDir: dir})
+	var buf2 bytes.Buffer
+	ok, err = fresh.ExportContainer(k, &buf2)
+	if err != nil || !ok {
+		t.Fatalf("ExportContainer(fresh cache, populated spill dir) = %v, %v; want true, nil", ok, err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("restart-path container bytes differ from the live-path container")
 	}
 }

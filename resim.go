@@ -23,10 +23,19 @@
 //	fmt.Printf("IPC %.2f -> %.1f simulation MIPS on Virtex-5\n",
 //		res.IPC(), resim.SimulationMIPS(resim.Virtex5, ses.Config(), res))
 //
-// The cmd/resim, cmd/tracegen and cmd/resim-bench tools and the examples/
-// directory exercise this API; internal packages carry the implementation.
-// The pre-Session free functions (SimulateWorkload, RunSweep, ...) remain
-// as deprecated wrappers over a Session.
+// Design-space sweeps also run distributed: cmd/resimd serves a
+// coordinator/worker sweep service over TCP, (*Session).SweepRemote (or a
+// session built WithCoordinator) submits sweeps to it, and points are
+// sharded across worker hosts by trace key so every distinct trace is
+// generated — or shipped as a delta-compressed container — exactly once
+// per host. Local Sweep calls run the same scheduler over an in-process
+// loopback worker pool, so local and remote sweeps share semantics,
+// result ordering and progress reporting.
+//
+// The cmd/resim, cmd/tracegen, cmd/resim-bench and cmd/resimd tools and
+// the examples/ directory exercise this API; internal packages carry the
+// implementation. The pre-Session free functions (SimulateWorkload,
+// RunSweep, ...) remain as deprecated wrappers over a Session.
 package resim
 
 import (
@@ -317,4 +326,4 @@ func AggregateMIPS(dev Device, cfg Config, res MulticoreResult) float64 {
 }
 
 // Version identifies this reproduction.
-const Version = "1.1.0"
+const Version = "1.2.0"

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/funcsim"
 	"repro/internal/multicore"
 	"repro/internal/sweep"
+	"repro/internal/sweepd"
 	"repro/internal/trace"
 	"repro/internal/tracecache"
 	"repro/internal/workload"
@@ -34,6 +36,10 @@ type Session struct {
 	// traces memoizes generated workload traces across runs, sweeps and
 	// clusters; nil disables caching (streaming regeneration per run).
 	traces *tracecache.Cache
+	// coordAddr, when non-empty, routes Sweep through the sweepd
+	// coordinator at that address instead of the in-process loopback
+	// scheduler (WithCoordinator).
+	coordAddr string
 }
 
 // settings is the mutable state the functional options operate on before
@@ -50,6 +56,7 @@ type settings struct {
 	// tracesSet distinguishes WithTraceCache(nil) — caching explicitly off —
 	// from the default of the process-wide shared cache.
 	tracesSet bool
+	coordAddr string
 }
 
 // Option configures a Session under construction. Options are applied in
@@ -79,7 +86,7 @@ func New(opts ...Option) (*Session, error) {
 	if !s.tracesSet {
 		s.traces = tracecache.Shared()
 	}
-	return &Session{cfg: s.cfg, il1: s.il1, dl1: s.dl1, traces: s.traces}, nil
+	return &Session{cfg: s.cfg, il1: s.il1, dl1: s.dl1, traces: s.traces, coordAddr: s.coordAddr}, nil
 }
 
 // WithConfig replaces the whole configuration; apply it first when combining
@@ -231,6 +238,19 @@ func WithTraceCache(tc *TraceCache) Option {
 	return func(s *settings) error {
 		s.traces = tc
 		s.tracesSet = true
+		return nil
+	}
+}
+
+// WithCoordinator routes the session's Sweep calls through the sharded
+// sweep service coordinator at addr (host:port, as served by
+// `resimd -role coordinator`): points are sharded by trace key across the
+// coordinator's registered workers and results stream back in point order,
+// exactly as SweepRemote. The empty address restores the default
+// in-process loopback scheduler. Other run modes are unaffected.
+func WithCoordinator(addr string) Option {
+	return func(s *settings) error {
+		s.coordAddr = addr
 		return nil
 	}
 }
@@ -401,27 +421,106 @@ func newTraceSink(w io.Writer, hdr trace.Header, compress bool) (traceSink, erro
 }
 
 // Sweep simulates every design point over the named workload in parallel
-// across host cores (the paper's bulk design-space exploration use case);
-// results come back in point order, deterministic regardless of
-// parallelism. Each point carries its own full configuration — derive them
-// with SweepGrid. The session's observer, when set, receives one callback
-// per completed point; cancelling the context aborts in-flight engines and
-// returns ctx.Err() once every worker has drained.
+// (the paper's bulk design-space exploration use case); results come back
+// in point order, deterministic regardless of parallelism. Each point
+// carries its own full configuration — derive them with SweepGrid. The
+// session's observer, when set, receives one callback per completed point
+// (Progress.Done / Progress.Total carry sweep completion); cancelling the
+// context aborts in-flight engines and returns ctx.Err() once every worker
+// has drained.
+//
+// Sweeps run on the sharded sweep scheduler (internal/sweepd): points are
+// grouped by trace key so every distinct trace is generated exactly once,
+// and key-groups fan out across an in-process loopback worker pool sharing
+// the session's trace cache. A session built WithCoordinator instead ships
+// the same job to that coordinator's worker fleet — the local and remote
+// paths share one scheduler, so semantics and result ordering are
+// identical either way.
 func (s *Session) Sweep(ctx context.Context, workloadName string, instructions uint64, points []SweepPoint) ([]SweepResult, error) {
+	if s.coordAddr != "" {
+		return s.SweepRemote(ctx, s.coordAddr, workloadName, instructions, points)
+	}
+	// A tracer shared across points in different key-groups would be
+	// invisible to the per-group Runner's sharing scan while the groups'
+	// engines run concurrently, so clear cross-point sharing up front
+	// (mirroring the historical single-Runner behavior: only when the
+	// sweep actually runs in parallel).
+	maxProcs := runtime.GOMAXPROCS(0)
+	if maxProcs > 1 && len(points) > 1 {
+		points = sweep.ClearSharedPipeTracers(points)
+	}
+	job, err := s.sweepJob(workloadName, instructions, points)
+	if err != nil {
+		return nil, err
+	}
+	// One loopback worker per key-group up to the host's parallelism, all
+	// sharing the session's cache: the cache still generates each distinct
+	// trace once. Every worker gets the full host parallelism rather than a
+	// static 1/nw share — groups finish at different times, and a worker
+	// idling on a small group must not strand cores the big group could
+	// use; the modest goroutine oversubscription while several groups are
+	// in flight is cheaper than the stranding.
+	nw := len(job.Groups())
+	if nw > maxProcs {
+		nw = maxProcs
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	workers := make([]sweepd.Worker, nw)
+	for i := range workers {
+		workers[i] = sweepd.NewLoopbackWorker(sweepd.LoopbackOptions{
+			Parallelism:  maxProcs,
+			Traces:       s.traces,
+			DisableCache: s.traces == nil,
+		})
+	}
+	return sweepd.Run(ctx, job, workers, s.sweepEmit())
+}
+
+// SweepRemote runs the sweep through the sweepd coordinator at addr — the
+// client side of the sharded sweep service (cmd/resimd). The signature,
+// result ordering and observer behavior match Sweep: results return in
+// point order regardless of which worker host finished what, and the
+// session's observer receives one callback per completed point with the
+// coordinator-side Done/Total counters as they stream in. Points must be
+// expressible on the wire: custom cache models and pipe tracers cannot
+// cross the network and fail fast before dialing.
+func (s *Session) SweepRemote(ctx context.Context, addr, workloadName string, instructions uint64, points []SweepPoint) ([]SweepResult, error) {
+	job, err := s.sweepJob(workloadName, instructions, points)
+	if err != nil {
+		return nil, err
+	}
+	return sweepd.RunRemote(ctx, addr, job, s.cfg.Observer)
+}
+
+// sweepJob resolves a sweep invocation into a scheduler job.
+func (s *Session) sweepJob(workloadName string, instructions uint64, points []SweepPoint) (*sweepd.Job, error) {
 	p, err := workload.ByName(workloadName)
 	if err != nil {
 		return nil, err
 	}
-	r := sweep.Runner{
-		Workload:     p,
-		Instructions: instructions,
-		Observer:     s.cfg.Observer,
-		Traces:       s.traces,
-		// WithTraceCache(nil) turns caching off session-wide; without the
-		// flag the runner would build its own private cache.
-		DisableCache: s.traces == nil,
+	return &sweepd.Job{Profile: p, Instructions: instructions, Points: points}, nil
+}
+
+// sweepEmit adapts the session observer to the scheduler's per-point
+// emission, preserving the Sweep observer contract: one serialized callback
+// per completed point, Final exactly once on successful completion.
+func (s *Session) sweepEmit() func(sweepd.PointResult, int, int) {
+	if s.cfg.Observer == nil {
+		return nil
 	}
-	return r.Run(ctx, points)
+	return func(pr sweepd.PointResult, done, total int) {
+		s.cfg.Observer.Progress(core.Progress{
+			Core:      pr.Index,
+			Cycles:    pr.Result.Res.Cycles,
+			Committed: pr.Result.Res.Committed,
+			IPC:       pr.Result.Res.IPC(),
+			Done:      done,
+			Total:     total,
+			Final:     done == total,
+		})
+	}
 }
 
 // Multicore runs one ReSim instance per workload in lockstep major cycles —

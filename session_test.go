@@ -663,12 +663,19 @@ func TestSweepThroughSessionSharesCache(t *testing.T) {
 
 // TestDeprecatedWrappersShareProcessCache: old free-function callers and
 // Session callers meet in the process-wide cache, so mixed code never
-// double-generates. The unusual limit keeps this test's key unique.
+// double-generates. The wrapper run may itself hit an entry cached by an
+// earlier test (or a previous -count iteration), so the assertion is that
+// the session run adds no generation beyond the wrapper's, not an absolute
+// count.
 func TestDeprecatedWrappersShareProcessCache(t *testing.T) {
 	const limit = 7321
 	before := resim.SharedTraceCache().Generations()
 	if _, err := resim.SimulateWorkload(resim.DefaultConfig(), "gzip", limit); err != nil {
 		t.Fatal(err)
+	}
+	afterWrapper := resim.SharedTraceCache().Generations()
+	if d := afterWrapper - before; d > 1 {
+		t.Errorf("wrapper run generated %d traces, want at most 1", d)
 	}
 	ses, err := resim.New()
 	if err != nil {
@@ -677,7 +684,7 @@ func TestDeprecatedWrappersShareProcessCache(t *testing.T) {
 	if _, err := ses.RunWorkload(context.Background(), "gzip", limit); err != nil {
 		t.Fatal(err)
 	}
-	if got := resim.SharedTraceCache().Generations() - before; got != 1 {
-		t.Errorf("generations across wrapper + session = %d, want 1", got)
+	if got := resim.SharedTraceCache().Generations(); got != afterWrapper {
+		t.Errorf("session run after the wrapper added %d generations, want 0 (shared cache)", got-afterWrapper)
 	}
 }

@@ -1,0 +1,225 @@
+package resim_test
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	resim "repro"
+	"repro/internal/sweepd"
+	"repro/internal/tracecache"
+)
+
+// startCluster brings up a coordinator and n resimd-style workers (each
+// with its own trace cache, standing in for distinct hosts) on localhost.
+func startCluster(t *testing.T, n int) (string, []*tracecache.Cache) {
+	t.Helper()
+	coord := sweepd.NewCoordinator()
+	addr, err := coord.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	wctx, stop := context.WithCancel(context.Background())
+	t.Cleanup(stop)
+	caches := make([]*tracecache.Cache, n)
+	for i := range caches {
+		caches[i] = tracecache.New(tracecache.Config{})
+		go sweepd.Work(wctx, addr, sweepd.WorkerOptions{Traces: caches[i]}) //nolint:errcheck
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.WorkerCount() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d workers registered", coord.WorkerCount(), n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return addr, caches
+}
+
+// acceptancePoints is a 4-point sweep with exactly 2 distinct trace keys:
+// RB size feeds the wrong-path block length (and so the key), LSQ size is
+// engine-only.
+func acceptancePoints(base resim.Config) []resim.SweepPoint {
+	var pts []resim.SweepPoint
+	for _, rb := range []int{8, 16} {
+		for _, lsq := range []int{4, 8} {
+			cfg := base
+			cfg.RBSize = rb
+			cfg.LSQSize = lsq
+			pts = append(pts, resim.SweepPoint{Name: "pt", Config: cfg})
+		}
+	}
+	return pts
+}
+
+// TestSweepRemoteMatchesSweep is the PR's acceptance criterion: a 4-point
+// sweep with 2 distinct trace keys served through SweepRemote against a
+// 2-worker loopback cluster performs exactly 2 trace generations total
+// (asserted via tracecache.Stats) and returns results byte-identical to
+// Session.Sweep on the same points.
+func TestSweepRemoteMatchesSweep(t *testing.T) {
+	const instrs = 8000
+	ctx := context.Background()
+	addr, caches := startCluster(t, 2)
+
+	local, err := resim.New(resim.WithTraceCache(resim.NewTraceCache(resim.TraceCacheConfig{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := acceptancePoints(resim.DefaultConfig())
+	want, err := local.Sweep(ctx, "gzip", instrs, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remote, err := resim.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := remote.SweepRemote(ctx, addr, "gzip", instrs, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("SweepRemote results are not byte-identical to Sweep results\nremote: %.400s\nlocal:  %.400s",
+			gotJSON, wantJSON)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("SweepRemote results differ structurally from Sweep results")
+	}
+
+	var gens uint64
+	for _, c := range caches {
+		gens += c.Stats().Generations
+	}
+	if gens != 2 {
+		t.Fatalf("cluster performed %d trace generations for 2 distinct trace keys, want exactly 2", gens)
+	}
+}
+
+// TestWithCoordinatorRoutesSweep: a session built WithCoordinator runs its
+// plain Sweep calls through the remote service transparently.
+func TestWithCoordinatorRoutesSweep(t *testing.T) {
+	const instrs = 6000
+	ctx := context.Background()
+	addr, caches := startCluster(t, 1)
+
+	ses, err := resim.New(resim.WithCoordinator(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := acceptancePoints(ses.Config())
+	res, err := ses.Sweep(ctx, "gzip", instrs, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(pts) {
+		t.Fatalf("got %d results, want %d", len(res), len(pts))
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("point %d: %v", i, r.Err)
+		}
+	}
+	// Proof the job really ran on the remote worker: its cache did the
+	// generations, two distinct keys' worth.
+	if gens := caches[0].Stats().Generations; gens != 2 {
+		t.Fatalf("remote worker performed %d generations, want 2", gens)
+	}
+}
+
+// TestSweepObserverDoneTotal: the local Sweep path reports sweep completion
+// through the extended Progress fields — done counts 1..N against a fixed
+// total, with exactly one Final.
+func TestSweepObserverDoneTotal(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		dones  []int
+		totals []int
+		finals int
+	)
+	ses, err := resim.New(resim.WithObserver(resim.ObserverFunc(func(p resim.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		dones = append(dones, p.Done)
+		totals = append(totals, p.Total)
+		if p.Final {
+			finals++
+		}
+	}), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := acceptancePoints(ses.Config())
+	if _, err := ses.Sweep(context.Background(), "gzip", 5000, pts); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !reflect.DeepEqual(dones, []int{1, 2, 3, 4}) {
+		t.Errorf("done sequence = %v, want [1 2 3 4]", dones)
+	}
+	for _, tot := range totals {
+		if tot != len(pts) {
+			t.Errorf("total = %d, want %d", tot, len(pts))
+		}
+	}
+	if finals != 1 {
+		t.Errorf("final callbacks = %d, want exactly 1", finals)
+	}
+}
+
+// TestSweepRemoteForwardsObserver: SweepRemote feeds the session observer
+// the coordinator-side progress stream.
+func TestSweepRemoteForwardsObserver(t *testing.T) {
+	addr, _ := startCluster(t, 2)
+	var (
+		mu     sync.Mutex
+		calls  int
+		finals int
+		lastD  int
+	)
+	ses, err := resim.New(resim.WithObserver(resim.ObserverFunc(func(p resim.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if p.Done <= lastD {
+			// Done strictly increases: one callback per newly completed point.
+			// (Guarded here rather than asserting the exact sequence so the
+			// failure mode is readable.)
+			finals = -1000
+		}
+		lastD = p.Done
+		if p.Final {
+			finals++
+		}
+	}), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := acceptancePoints(ses.Config())
+	if _, err := ses.SweepRemote(context.Background(), addr, "gzip", 5000, pts); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != len(pts) {
+		t.Errorf("observer calls = %d, want one per point (%d)", calls, len(pts))
+	}
+	if finals != 1 {
+		t.Errorf("final callbacks = %d, want exactly 1 (and monotonic Done)", finals)
+	}
+}
