@@ -579,7 +579,7 @@ func BenchmarkSweepWarmCache(b *testing.B) {
 // warm trace cache) serving the standard 4-point sweep through
 // Session.SweepRemote. The delta against BenchmarkSweepWarmCache is the
 // full service overhead — framing, JSON, scheduling, result streaming.
-// Smoke-run in CI; not yet gated against the committed baseline.
+// Gated in CI against the committed BENCH_baseline.json entry.
 func BenchmarkSweepRemoteLoopback(b *testing.B) {
 	coord := sweepd.NewCoordinator()
 	addr, err := coord.Start("127.0.0.1:0")
@@ -620,6 +620,64 @@ func BenchmarkSweepRemoteLoopback(b *testing.B) {
 				b.Fatal(pr.Err)
 			}
 		}
+	}
+}
+
+// BenchmarkCheckpointOverhead measures the engine running with periodic
+// state serialization (every 8192 cycles, a far tighter cadence than the
+// 65536-cycle default) against BenchmarkEngineTraceDriven's plain run — the
+// delta is the full checkpoint cost: capture of every subsystem plus the
+// versioned JSON encoding. Reported metrics: checkpoints taken per run and
+// encoded bytes per checkpoint.
+func BenchmarkCheckpointOverhead(b *testing.B) {
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	tc := funcsim.TraceConfig{Predictor: cfg.Predictor, WrongPathLen: cfg.WrongPathLen()}
+	src, err := p.NewSource(tc, benchInstrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var recs []trace.Record
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+	slice := trace.NewSliceSource(recs)
+	var ckpts, bytes int
+	cfg.CheckpointEvery = 8192
+	cfg.CheckpointSink = func(cp *core.Checkpoint) error {
+		data, err := cp.Encode()
+		if err != nil {
+			return err
+		}
+		ckpts++
+		bytes += len(data)
+		return nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ckpts, bytes = 0, 0
+		slice.Reset()
+		eng, err := core.New(cfg, slice, funcsim.CodeBase)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ckpts), "checkpoints")
+	if ckpts > 0 {
+		b.ReportMetric(float64(bytes)/float64(ckpts), "bytes_per_ckpt")
 	}
 }
 

@@ -1,0 +1,53 @@
+package resim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// Checkpoint is a complete serialized engine state: pipeline and fetch
+// state, queue contents, branch-predictor tables, cache arrays, statistics
+// accumulators and the trace-reader position, in a versioned,
+// self-describing encoding. Engines are deterministic, so a run restored
+// from a checkpoint over the same input finishes with byte-identical
+// statistics to an uninterrupted run. Capture checkpoints with
+// WithCheckpointEvery and resume with ResumeFrom; cmd/resim exposes the
+// same pair as -checkpoint and -resume.
+type Checkpoint = core.Checkpoint
+
+// SaveCheckpoint writes cp to path atomically (temp file + rename), so a
+// reader — including a resume after this process is killed mid-write —
+// always sees a complete checkpoint, never a torn one.
+func SaveCheckpoint(path string, cp *Checkpoint) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("resim: save checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := cp.EncodeTo(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resim: save checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("resim: save checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("resim: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint (or any
+// Checkpoint.EncodeTo output), validating the encoding version.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("resim: load checkpoint: %w", err)
+	}
+	defer f.Close()
+	return core.ReadCheckpoint(f)
+}

@@ -11,6 +11,16 @@
 //
 // With -config, the JSON file is loaded first and explicit structure flags
 // override its fields.
+//
+// Long runs can checkpoint and resume: -checkpoint FILE saves the complete
+// engine state at every -checkpoint-every cycle boundary (atomically;
+// latest wins), and a later invocation with the same workload/trace and
+// configuration plus -resume FILE continues from the saved cycle. Engines
+// are deterministic, so the resumed run's final statistics are
+// byte-identical to an uninterrupted run's:
+//
+//	resim -workload gzip -n 50000000 -checkpoint gzip.ckpt   # Ctrl-C midway
+//	resim -workload gzip -n 50000000 -resume gzip.ckpt
 package main
 
 import (
@@ -45,6 +55,9 @@ func main() {
 		readPorts = flag.Int("read-ports", 0, "memory read ports (0 = auto)")
 		report    = flag.Bool("report", true, "print the full statistics report")
 		progress  = flag.Bool("progress", false, "report progress to stderr while simulating")
+		ckptPath  = flag.String("checkpoint", "", "periodically save the engine state to this file (atomic; latest wins)")
+		ckptEvery = flag.Uint64("checkpoint-every", 0, "cycles between checkpoints (0 = the observer default, 65536)")
+		resumeCkp = flag.String("resume", "", "resume from a checkpoint file written by -checkpoint (same workload/trace and configuration)")
 	)
 	flag.Parse()
 
@@ -124,6 +137,23 @@ func main() {
 	}
 
 	opts := []resim.Option{resim.WithConfig(cfg)}
+	if *ckptEvery > 0 && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "resim: -checkpoint-every has no effect without -checkpoint FILE")
+	}
+	if *ckptPath != "" {
+		path := *ckptPath
+		opts = append(opts, resim.WithCheckpointEvery(*ckptEvery, func(cp *resim.Checkpoint) error {
+			return resim.SaveCheckpoint(path, cp)
+		}))
+	}
+	if *resumeCkp != "" {
+		cp, err := resim.LoadCheckpoint(*resumeCkp)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "resim: resuming from %s at cycle %d\n", *resumeCkp, cp.Cycles())
+		opts = append(opts, resim.ResumeFrom(cp))
+	}
 	if *progress {
 		opts = append(opts, resim.WithObserver(resim.ObserverFunc(func(p resim.Progress) {
 			fmt.Fprintf(os.Stderr, "resim: %d cycles, %d committed, IPC %.3f\n",

@@ -45,6 +45,7 @@ func main() {
 		spill       = flag.String("spill", "", "trace-cache spill directory (evicted traces persist as containers)")
 		cacheMB     = flag.Int64("cache-mb", 0, "trace-cache resident budget in MiB (0 = default 1 GiB)")
 		retry       = flag.Duration("retry", 5*time.Second, "worker: reconnect delay after losing the coordinator (0 = exit instead)")
+		ckptEvery   = flag.Uint64("checkpoint-every", 0, "worker: cycles between engine checkpoints shipped to the coordinator (0 = 65536); requeued groups resume from them")
 		verbose     = flag.Bool("v", false, "log per-point worker progress")
 	)
 	flag.Parse()
@@ -66,11 +67,12 @@ func main() {
 			log.Fatal("resimd: -role worker requires -coordinator host:port")
 		}
 		runWorker(ctx, *coordinator, sweepd.WorkerOptions{
-			Name:        workerName(*name),
-			Parallelism: *parallelism,
-			Traces:      traces,
-			Observer:    progressLogger(*verbose),
-			Logf:        log.Printf,
+			Name:            workerName(*name),
+			Parallelism:     *parallelism,
+			Traces:          traces,
+			Observer:        progressLogger(*verbose),
+			CheckpointEvery: *ckptEvery,
+			Logf:            log.Printf,
 		}, *retry)
 	default:
 		fmt.Fprintln(os.Stderr, "resimd: -role must be coordinator or worker")

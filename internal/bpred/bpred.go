@@ -424,12 +424,106 @@ func (p *Predictor) Reset() {
 		p.meta[i] = 2
 	}
 	for i := range p.btbValid {
+		// Tags and targets are cleared too (not just invalidated) so a reset
+		// predictor is bit-identical to a newly built one — the property the
+		// engine's exhaustive per-run Reset and checkpoint tests pin.
 		p.btbValid[i] = false
+		p.btbTags[i] = 0
+		p.btbTgts[i] = 0
 	}
 	for i := range p.btbLRU {
 		p.btbLRU[i] = 0
 	}
+	for i := range p.ras {
+		p.ras[i] = 0
+	}
 	p.rasTop, p.rasCnt = 0, 0
+}
+
+// State is the predictor's complete mutable state in a self-describing,
+// serializable form (every table the generated hardware would hold in BRAM).
+// Capture it with (*Predictor).State and reinstall it with SetState; the
+// round trip is lossless, so a restored predictor produces bit-identical
+// predictions — the property engine checkpoint/resume is built on.
+type State struct {
+	BHT  []uint32 `json:"bht,omitempty"`
+	PHT  []uint8  `json:"pht,omitempty"`
+	Bim  []uint8  `json:"bim,omitempty"`
+	Meta []uint8  `json:"meta,omitempty"`
+
+	BTBTags  []uint32 `json:"btb_tags,omitempty"`
+	BTBTgts  []uint32 `json:"btb_tgts,omitempty"`
+	BTBValid []bool   `json:"btb_valid,omitempty"`
+	BTBLRU   []uint8  `json:"btb_lru,omitempty"`
+
+	RAS    []uint32 `json:"ras,omitempty"`
+	RASTop int      `json:"ras_top,omitempty"`
+	RASCnt int      `json:"ras_cnt,omitempty"`
+}
+
+// State captures the predictor's mutable state. The returned slices are
+// copies; mutating them does not affect the predictor.
+func (p *Predictor) State() State {
+	return State{
+		BHT: cp(p.bht), PHT: cp(p.pht), Bim: cp(p.bim), Meta: cp(p.meta),
+		BTBTags: cp(p.btbTags), BTBTgts: cp(p.btbTgts),
+		BTBValid: cp(p.btbValid), BTBLRU: cp(p.btbLRU),
+		RAS: cp(p.ras), RASTop: p.rasTop, RASCnt: p.rasCnt,
+	}
+}
+
+// SetState restores state captured from a predictor with the same
+// configuration. Table geometry is validated field by field so a checkpoint
+// taken under a different predictor configuration fails loudly.
+func (p *Predictor) SetState(s State) error {
+	check := func(name string, got, want int) error {
+		if got != want {
+			return fmt.Errorf("bpred: restore %s has %d entries, predictor holds %d", name, got, want)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name      string
+		got, want int
+	}{
+		{"BHT", len(s.BHT), len(p.bht)},
+		{"PHT", len(s.PHT), len(p.pht)},
+		{"bimodal", len(s.Bim), len(p.bim)},
+		{"meta", len(s.Meta), len(p.meta)},
+		{"BTB tags", len(s.BTBTags), len(p.btbTags)},
+		{"BTB targets", len(s.BTBTgts), len(p.btbTgts)},
+		{"BTB valid", len(s.BTBValid), len(p.btbValid)},
+		{"BTB LRU", len(s.BTBLRU), len(p.btbLRU)},
+		{"RAS", len(s.RAS), len(p.ras)},
+	} {
+		if err := check(c.name, c.got, c.want); err != nil {
+			return err
+		}
+	}
+	if len(p.ras) > 0 && (s.RASTop < 0 || s.RASTop >= len(p.ras) || s.RASCnt < 0 || s.RASCnt > len(p.ras)) {
+		return fmt.Errorf("bpred: restore RAS top %d / count %d out of range for %d entries", s.RASTop, s.RASCnt, len(p.ras))
+	}
+	copy(p.bht, s.BHT)
+	copy(p.pht, s.PHT)
+	copy(p.bim, s.Bim)
+	copy(p.meta, s.Meta)
+	copy(p.btbTags, s.BTBTags)
+	copy(p.btbTgts, s.BTBTgts)
+	copy(p.btbValid, s.BTBValid)
+	copy(p.btbLRU, s.BTBLRU)
+	copy(p.ras, s.RAS)
+	p.rasTop, p.rasCnt = s.RASTop, s.RASCnt
+	return nil
+}
+
+// cp returns a copy of s (nil stays nil, so State omits absent tables).
+func cp[T any](s []T) []T {
+	if s == nil {
+		return nil
+	}
+	out := make([]T, len(s))
+	copy(out, s)
+	return out
 }
 
 // Describe emits a VHDL-entity-like summary of the generated predictor,

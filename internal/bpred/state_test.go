@@ -1,0 +1,108 @@
+package bpred
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// stateTestConfig is a deliberately tiny predictor so the golden encoding
+// stays reviewable.
+func stateTestConfig() Config {
+	return Config{
+		Dir: DirTwoLevel, BHTSize: 2, HistLen: 2, PHTSize: 8,
+		BTBEntries: 4, BTBAssoc: 2, RASSize: 2,
+	}
+}
+
+// trainDeterministic applies a fixed stimulus that touches every table: the
+// direction predictor, the BTB (including a replacement) and the RAS.
+func trainDeterministic(p *Predictor) {
+	for i := 0; i < 6; i++ {
+		pc := uint32(0x1000 + 4*i)
+		p.PredictDir(pc)
+		p.UpdateDir(pc, i%2 == 0)
+		p.UpdateBTB(pc, pc+0x40)
+	}
+	p.PushRAS(0x2004)
+	p.PushRAS(0x2008)
+	p.PopRAS()
+}
+
+// TestStateRoundTrip: State -> JSON -> SetState reproduces bit-identical
+// prediction behavior and re-captures to the identical state.
+func TestStateRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{
+		stateTestConfig(),
+		Default(),
+		{Dir: DirCombined, BHTSize: 4, HistLen: 3, PHTSize: 16, BimodSize: 8,
+			MetaSize: 8, BTBEntries: 8, BTBAssoc: 1, RASSize: 4},
+		{Dir: DirBimodal, BimodSize: 16, BTBEntries: 0, RASSize: 0},
+	} {
+		orig := New(cfg)
+		trainDeterministic(orig)
+		data, err := json.Marshal(orig.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded State
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		restored := New(cfg)
+		if err := restored.SetState(decoded); err != nil {
+			t.Fatalf("%v: %v", cfg.Dir, err)
+		}
+		if !reflect.DeepEqual(restored.State(), orig.State()) {
+			t.Errorf("%v: state round trip not lossless", cfg.Dir)
+		}
+		// Behavioral equivalence: identical predictions and RAS pops.
+		for i := 0; i < 8; i++ {
+			pc := uint32(0x1000 + 4*i)
+			if restored.PredictDir(pc) != orig.PredictDir(pc) {
+				t.Errorf("%v: direction prediction diverged at %#x", cfg.Dir, pc)
+			}
+			tgtA, hitA := orig.LookupBTB(pc)
+			tgtB, hitB := restored.LookupBTB(pc)
+			if tgtA != tgtB || hitA != hitB {
+				t.Errorf("%v: BTB lookup diverged at %#x", cfg.Dir, pc)
+			}
+		}
+		ra, oka := orig.PopRAS()
+		rb, okb := restored.PopRAS()
+		if ra != rb || oka != okb {
+			t.Errorf("%v: RAS pop diverged: %#x/%t vs %#x/%t", cfg.Dir, ra, oka, rb, okb)
+		}
+	}
+}
+
+// TestStateGoldenEncoding pins the serialized form of a known trained
+// predictor byte for byte — an accidental encoding change (field rename,
+// table reorder) breaks stored checkpoints and must fail loudly here.
+func TestStateGoldenEncoding(t *testing.T) {
+	p := New(stateTestConfig())
+	trainDeterministic(p)
+	data, err := json.Marshal(p.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"bht":[3,0],"pht":"AwADAgICAwI=","btb_tags":[514,513,514,513],"btb_tgts":[4176,4168,4180,4172],"btb_valid":[true,true,true,true],"btb_lru":"AQE=","ras":[8196,8200],"ras_top":1,"ras_cnt":1}`
+	if string(data) != golden {
+		t.Errorf("state encoding changed:\ngot  %s\nwant %s", data, golden)
+	}
+}
+
+// TestSetStateRejectsMismatchedGeometry: state from one configuration
+// cannot silently restore into another.
+func TestSetStateRejectsMismatchedGeometry(t *testing.T) {
+	st := New(stateTestConfig()).State()
+	bigger := stateTestConfig()
+	bigger.PHTSize = 16
+	if err := New(bigger).SetState(st); err == nil {
+		t.Error("SetState accepted state from a smaller PHT")
+	}
+	st.RASTop = 5
+	if err := New(stateTestConfig()).SetState(st); err == nil {
+		t.Error("SetState accepted an out-of-range RAS top")
+	}
+}

@@ -185,10 +185,13 @@ func (c *Cache) Access(addr uint32, write bool) (bool, int) {
 // Stats implements Model.
 func (c *Cache) Stats() Stats { return c.st }
 
-// Reset implements Model.
+// Reset implements Model. Tags are cleared too (not just invalidated) so a
+// reset cache is bit-identical to a newly built one — the property the
+// engine's exhaustive per-run Reset and checkpoint tests pin.
 func (c *Cache) Reset() {
 	for i := range c.valid {
 		c.valid[i] = false
+		c.tags[i] = 0
 		c.lastUsed[i] = 0
 	}
 	c.tick = 0

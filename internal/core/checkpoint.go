@@ -1,0 +1,326 @@
+// Checkpoint/resume for the timing engine. ReSim's engines are
+// deterministic — the same configuration over the same record stream
+// reproduces every counter bit for bit — so a run interrupted at a known
+// cycle can resume from serialized state instead of restarting from cycle 0
+// (the property cycle-accurate simulators like FastSim-generated models and
+// ChampSim's warmup/restore state rely on). A Checkpoint is the complete
+// per-run state: pipeline and fetch state, reorder-buffer/LSQ/IFQ contents,
+// rename and functional-unit occupancy, branch-predictor tables, cache
+// arrays, the statistics accumulators and the trace-reader position, in a
+// versioned, self-describing JSON encoding.
+//
+// The contract, pinned by tests at every layer: an uninterrupted run and a
+// run checkpointed at a cycle boundary, torn down, and resumed over an
+// identical record stream produce byte-identical final statistics.
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// CheckpointVersion is the current checkpoint encoding version; decoding
+// rejects other versions.
+const CheckpointVersion = 1
+
+// CheckpointedInst is the serialized form of one in-flight instruction —
+// the union of the IFQ, reorder-buffer and LSQ entry fields. Structures use
+// the fields they carry and leave the rest zero.
+type CheckpointedInst struct {
+	Seq        int64        `json:"seq"`
+	Rec        trace.Record `json:"rec"`
+	PC         uint32       `json:"pc,omitempty"`
+	ActualNext uint32       `json:"actual_next,omitempty"`
+	WrongPath  bool         `json:"wrong_path,omitempty"`
+	Mispred    bool         `json:"mispred,omitempty"`
+
+	// Reorder-buffer fields.
+	State      uint8 `json:"state,omitempty"`
+	Src1Seq    int64 `json:"src1_seq,omitempty"`
+	Src2Seq    int64 `json:"src2_seq,omitempty"`
+	Src1Rdy    bool  `json:"src1_rdy,omitempty"`
+	Src2Rdy    bool  `json:"src2_rdy,omitempty"`
+	CompleteAt int64 `json:"complete_at,omitempty"`
+
+	// LSQ fields.
+	Store     bool   `json:"store,omitempty"`
+	Addr      uint32 `json:"addr,omitempty"`
+	Size      uint32 `json:"size,omitempty"`
+	EAKnownAt int64  `json:"ea_known_at,omitempty"`
+	MemReady  bool   `json:"mem_ready,omitempty"`
+	Forwarded bool   `json:"forwarded,omitempty"`
+	MemIssued bool   `json:"mem_issued,omitempty"`
+}
+
+// Checkpoint is a complete serialized engine state, captured between major
+// cycles. Restore it into a fresh engine with Restore; the engine must use
+// the same configuration (guarded by ConfigDigest) over an identical record
+// stream (re-attached at TracePos).
+type Checkpoint struct {
+	Version      int    `json:"version"`
+	ConfigDigest string `json:"config_digest"`
+	// Input names the record stream the checkpointed run consumed, in
+	// whatever form the capturing layer can identify it (the resim Session
+	// stamps "workload:<name>/n=<limit>" or "trace:<file>"). The engine
+	// cannot derive it from its Source, so core.Restore does not check it;
+	// layers that know their input validate it before restoring, turning a
+	// resume against the wrong stream into a loud error instead of a
+	// silently wrong simulation.
+	Input string `json:"input,omitempty"`
+
+	// Cycle and fetch state.
+	Now           int64  `json:"now"`
+	Seq           int64  `json:"seq"`
+	FetchPC       uint32 `json:"fetch_pc"`
+	FetchResumeAt int64  `json:"fetch_resume_at"`
+	Mode          uint8  `json:"mode"`
+	SrcDone       bool   `json:"src_done"`
+	LastCommitAt  int64  `json:"last_commit_at"`
+
+	// TracePos is how many records the run has irrevocably taken from its
+	// source; a resumed run re-attaches to an identical source (for example
+	// a fresh tracecache snapshot) by skipping this many records.
+	TracePos uint64 `json:"trace_pos"`
+
+	Counters Counters `json:"counters"`
+
+	// Structure contents, oldest first.
+	IFQ []CheckpointedInst `json:"ifq"`
+	ROB []CheckpointedInst `json:"rob"`
+	LSQ []CheckpointedInst `json:"lsq"`
+
+	Rename []int64   `json:"rename"`
+	FUBusy [][]int64 `json:"fu_busy"`
+
+	BPred  *bpred.State `json:"bpred,omitempty"`
+	ICache *cache.State `json:"icache,omitempty"`
+	DCache *cache.State `json:"dcache,omitempty"`
+
+	// Statistics accumulators (the occupancy side of the stats registry;
+	// plain counters live in Counters).
+	IFQOcc stats.Occupancy `json:"ifq_occ"`
+	RBOcc  stats.Occupancy `json:"rb_occ"`
+	LSQOcc stats.Occupancy `json:"lsq_occ"`
+}
+
+// Cycles returns the major-cycle number the checkpoint was captured at.
+func (cp *Checkpoint) Cycles() uint64 { return cp.Counters.Cycles }
+
+// EncodeTo writes the checkpoint's versioned JSON form to w.
+func (cp *Checkpoint) EncodeTo(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(cp)
+}
+
+// Encode returns the checkpoint's serialized bytes (the EncodeTo encoding).
+func (cp *Checkpoint) Encode() ([]byte, error) {
+	return json.Marshal(cp)
+}
+
+// ReadCheckpoint decodes a checkpoint written by EncodeTo or Encode,
+// rejecting unknown versions.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("core: decode checkpoint: %w", err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, this build reads %d", cp.Version, CheckpointVersion)
+	}
+	return &cp, nil
+}
+
+// DecodeCheckpoint decodes serialized checkpoint bytes (Encode's output).
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	return ReadCheckpoint(bytes.NewReader(data))
+}
+
+// CheckpointDigest fingerprints the configuration fields that shape
+// simulated behavior — a checkpoint only restores into an engine whose
+// digest matches, so resuming under a silently different machine fails
+// loudly. Run hooks (observers, tracers, sinks) and MaxCycles are excluded:
+// they do not alter simulated state, and a resumed run may legitimately
+// extend its cycle budget. Cache models are validated separately, by the
+// geometry carried in the serialized cache state itself.
+func (c Config) CheckpointDigest() string {
+	id := fmt.Sprintf("v%d w=%d ifq=%d rb=%d lsq=%d fus=%#v rp=%d wp=%d mf=%d mp=%d pbp=%t pred=%#v org=%d",
+		CheckpointVersion, c.Width, c.IFQSize, c.RBSize, c.LSQSize, c.FUs,
+		c.MemReadPorts, c.MemWritePorts, c.MisfetchPenalty, c.MispredPenalty,
+		c.PerfectBP, c.Predictor, c.Organization)
+	sum := sha256.Sum256([]byte(id))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Checkpoint captures the engine's complete per-run state. It must be
+// called between major cycles (never from inside Cycle); RunContext invokes
+// it at checkpoint-interval boundaries. It fails when the memory system
+// uses a custom cache model with no serializable state.
+func (e *Engine) Checkpoint() (*Checkpoint, error) {
+	ic, err := cache.CaptureState(e.icache)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint instruction cache: %w", err)
+	}
+	dc, err := cache.CaptureState(e.dcache)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint data cache: %w", err)
+	}
+	cp := &Checkpoint{
+		Version:      CheckpointVersion,
+		ConfigDigest: e.cfg.CheckpointDigest(),
+
+		Now:           e.now,
+		Seq:           e.seq,
+		FetchPC:       e.fetchPC,
+		FetchResumeAt: e.fetchResumeAt,
+		Mode:          uint8(e.mode),
+		SrcDone:       e.srcDone,
+		LastCommitAt:  e.lastCommitAt,
+		TracePos:      e.src.Pos(),
+
+		Counters: e.c,
+
+		Rename: e.rt.Producers(),
+		FUBusy: e.fus.BusyUntil(),
+
+		ICache: ic,
+		DCache: dc,
+
+		IFQOcc: e.ifqOcc,
+		RBOcc:  e.rbOcc,
+		LSQOcc: e.lsqOcc,
+	}
+	for _, fi := range e.ifq.Snapshot() {
+		cp.IFQ = append(cp.IFQ, CheckpointedInst{
+			Seq: fi.seq, Rec: fi.rec, PC: fi.pc, ActualNext: fi.actualNext,
+			WrongPath: fi.wrongPath, Mispred: fi.mispred,
+		})
+	}
+	for _, en := range e.rob.Snapshot() {
+		cp.ROB = append(cp.ROB, CheckpointedInst{
+			Seq: en.seq, Rec: en.rec, PC: en.pc, ActualNext: en.actualNext,
+			WrongPath: en.wrongPath, Mispred: en.mispred,
+			State: uint8(en.state), Src1Seq: en.src1Seq, Src2Seq: en.src2Seq,
+			Src1Rdy: en.src1Rdy, Src2Rdy: en.src2Rdy, CompleteAt: en.completeAt,
+		})
+	}
+	for _, lq := range e.lsq.Snapshot() {
+		cp.LSQ = append(cp.LSQ, CheckpointedInst{
+			Seq: lq.seq, Store: lq.store, Addr: lq.addr, Size: lq.size,
+			EAKnownAt: lq.eaKnownAt, MemReady: lq.memReady,
+			Forwarded: lq.forwarded, MemIssued: lq.memIssued,
+		})
+	}
+	if e.bp != nil {
+		st := e.bp.State()
+		cp.BPred = &st
+	}
+	return cp, nil
+}
+
+// Restore builds an engine from cfg over src and installs the checkpointed
+// state: src must yield the identical record stream the checkpointed run
+// consumed (the same trace file, or a tracecache snapshot of the same key) —
+// Restore skips the already-consumed prefix and the engine continues from
+// cp.Now exactly as the original would have. cfg must carry the same
+// simulated-machine parameters (ConfigDigest) and equally parameterized
+// cache models; run hooks (Observer, PipeTracer, CheckpointSink) may differ.
+func Restore(cfg Config, src trace.Source, cp *Checkpoint) (*Engine, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("core: nil checkpoint")
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, this build reads %d", cp.Version, CheckpointVersion)
+	}
+	if got := cfg.CheckpointDigest(); got != cp.ConfigDigest {
+		return nil, fmt.Errorf("core: checkpoint was taken under a different configuration (digest %s, engine %s)",
+			cp.ConfigDigest, got)
+	}
+	e, err := New(cfg, src, cp.FetchPC)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.src.Skip(cp.TracePos); err != nil {
+		return nil, fmt.Errorf("core: re-attach trace at record %d: %w", cp.TracePos, err)
+	}
+
+	if cp.Mode > uint8(fmStarved) {
+		return nil, fmt.Errorf("core: checkpoint fetch mode %d unknown", cp.Mode)
+	}
+	e.now = cp.Now
+	e.seq = cp.Seq
+	e.fetchPC = cp.FetchPC
+	e.fetchResumeAt = cp.FetchResumeAt
+	e.mode = fetchMode(cp.Mode)
+	e.srcDone = cp.SrcDone
+	e.lastCommitAt = cp.LastCommitAt
+	e.c = cp.Counters
+
+	ifq := make([]fetchedInst, len(cp.IFQ))
+	for i, ci := range cp.IFQ {
+		ifq[i] = fetchedInst{seq: ci.Seq, rec: ci.Rec, pc: ci.PC,
+			actualNext: ci.ActualNext, wrongPath: ci.WrongPath, mispred: ci.Mispred}
+	}
+	if err := e.ifq.SetContents(ifq); err != nil {
+		return nil, fmt.Errorf("core: restore IFQ: %w", err)
+	}
+	rob := make([]robEntry, len(cp.ROB))
+	for i, ci := range cp.ROB {
+		if ci.State > uint8(stCompleted) {
+			return nil, fmt.Errorf("core: restore ROB seq %d: instruction state %d unknown", ci.Seq, ci.State)
+		}
+		rob[i] = robEntry{seq: ci.Seq, rec: ci.Rec, pc: ci.PC,
+			actualNext: ci.ActualNext, wrongPath: ci.WrongPath, mispred: ci.Mispred,
+			state: instState(ci.State), src1Seq: ci.Src1Seq, src2Seq: ci.Src2Seq,
+			src1Rdy: ci.Src1Rdy, src2Rdy: ci.Src2Rdy, completeAt: ci.CompleteAt}
+	}
+	if err := e.rob.SetContents(rob); err != nil {
+		return nil, fmt.Errorf("core: restore reorder buffer: %w", err)
+	}
+	lsq := make([]lsqEntry, len(cp.LSQ))
+	for i, ci := range cp.LSQ {
+		lsq[i] = lsqEntry{seq: ci.Seq, store: ci.Store, addr: ci.Addr, size: ci.Size,
+			eaKnownAt: ci.EAKnownAt, memReady: ci.MemReady,
+			forwarded: ci.Forwarded, memIssued: ci.MemIssued}
+	}
+	if err := e.lsq.SetContents(lsq); err != nil {
+		return nil, fmt.Errorf("core: restore LSQ: %w", err)
+	}
+
+	if err := e.rt.SetProducers(cp.Rename); err != nil {
+		return nil, fmt.Errorf("core: restore rename table: %w", err)
+	}
+	if err := e.fus.SetBusyUntil(cp.FUBusy); err != nil {
+		return nil, fmt.Errorf("core: restore functional units: %w", err)
+	}
+
+	switch {
+	case e.bp == nil && cp.BPred != nil:
+		return nil, fmt.Errorf("core: checkpoint carries predictor state but the engine runs perfect branch prediction")
+	case e.bp != nil && cp.BPred == nil:
+		return nil, fmt.Errorf("core: checkpoint has no predictor state for the engine's simulated predictor")
+	case e.bp != nil:
+		if err := e.bp.SetState(*cp.BPred); err != nil {
+			return nil, fmt.Errorf("core: restore branch predictor: %w", err)
+		}
+	}
+	if err := cache.RestoreState(e.icache, cp.ICache); err != nil {
+		return nil, fmt.Errorf("core: restore instruction cache: %w", err)
+	}
+	if err := cache.RestoreState(e.dcache, cp.DCache); err != nil {
+		return nil, fmt.Errorf("core: restore data cache: %w", err)
+	}
+
+	e.ifqOcc = cp.IFQOcc
+	e.rbOcc = cp.RBOcc
+	e.lsqOcc = cp.LSQOcc
+	return e, nil
+}

@@ -66,6 +66,16 @@ type Config struct {
 	// (0 = DefaultObserverInterval).
 	Observer         Observer
 	ObserverInterval uint64
+	// CheckpointSink, when non-nil, receives the engine's serialized state
+	// (a complete Checkpoint) at every CheckpointEvery-cycle boundary of
+	// RunContext (0 = DefaultObserverInterval). A sink error aborts the run.
+	// Like Observer and PipeTracer this is a per-run hook, not part of the
+	// simulated machine: it never affects simulated state, cannot cross the
+	// sweep-service wire, and is excluded from the checkpoint ConfigDigest.
+	// The func type would break the otherwise JSON-able Config (results
+	// embed their Config), so it is explicitly untagged for encoding.
+	CheckpointSink  func(*Checkpoint) error `json:"-"`
+	CheckpointEvery uint64
 }
 
 // PipeTracer observes instruction flow through the simulated pipeline.

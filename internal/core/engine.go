@@ -127,8 +127,9 @@ type Counters struct {
 // Engine is a ReSim instance: a trace-driven timing simulation of one
 // out-of-order processor.
 type Engine struct {
-	cfg Config
-	src *trace.Buffered
+	cfg     Config
+	src     *trace.Buffered
+	startPC uint32 // fetch PC a fresh run starts at (Reset re-arms to it)
 
 	bp     *bpred.Predictor
 	icache cache.Model
@@ -173,6 +174,7 @@ func New(cfg Config, src trace.Source, startPC uint32) (*Engine, error) {
 	e := &Engine{
 		cfg:     cfg,
 		src:     trace.NewBuffered(src),
+		startPC: startPC,
 		icache:  cfg.ICache,
 		dcache:  cfg.DCache,
 		ifq:     uarch.NewRing[fetchedInst](cfg.IFQSize),
@@ -258,10 +260,29 @@ func (e *Engine) Run() (Result, error) {
 // RunContext is Run with cooperative cancellation: the context is polled
 // every CtxCheckInterval major cycles, and a cancelled run returns the
 // statistics accumulated so far together with ctx.Err(). When cfg.Observer
-// is set it receives a Progress callback every cfg.ObserverInterval cycles
-// and a final one when the run drains.
+// is set it receives a Progress callback at every cfg.ObserverInterval
+// cycle boundary, a final one when the run drains, and a last non-Final
+// snapshot when the run is cancelled or fails. When cfg.CheckpointSink is
+// set the engine additionally serializes its complete state at every
+// cfg.CheckpointEvery boundary (0 = DefaultObserverInterval) and hands the
+// Checkpoint to the sink.
 func (e *Engine) RunContext(ctx context.Context) (Result, error) {
-	err := Drive(ctx, e.cfg.Observer, e.cfg.ObserverInterval,
+	var ckptEvery uint64
+	var ckpt func() error
+	if e.cfg.CheckpointSink != nil {
+		ckptEvery = e.cfg.CheckpointEvery
+		if ckptEvery == 0 {
+			ckptEvery = DefaultObserverInterval
+		}
+		ckpt = func() error {
+			cp, err := e.Checkpoint()
+			if err != nil {
+				return err
+			}
+			return e.cfg.CheckpointSink(cp)
+		}
+	}
+	err := DriveCheckpointed(ctx, e.cfg.Observer, e.cfg.ObserverInterval, ckptEvery, ckpt,
 		func() uint64 { return e.c.Cycles },
 		func() bool {
 			return e.Done() || (e.cfg.MaxCycles != 0 && e.c.Cycles >= e.cfg.MaxCycles)
@@ -274,11 +295,33 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 // Drive is the run loop shared by Engine.RunContext and the multicore
 // cluster: it calls step until done reports true, polling the context
 // every CtxCheckInterval simulated cycles and delivering Progress
-// callbacks every interval cycles (0 = DefaultObserverInterval) plus a
-// final one on completion, so cancellation cadence and observer semantics
-// live in exactly one place. Cancellation and step errors end the loop
-// without a final callback.
+// callbacks at every interval-cycle boundary (0 = DefaultObserverInterval)
+// plus a final one on completion, so cancellation cadence and observer
+// semantics live in exactly one place.
+//
+// Callback boundaries are absolute multiples of the interval (cycle N fires
+// the callback covering boundary N when N % interval == 0, or the first
+// cycle at or past it for step functions that advance more than one cycle),
+// not offsets from wherever the previous poll happened to land — so the
+// callback cycle sequence is deterministic across runs and, for a resumed
+// run starting at a boundary, identical to the uninterrupted run's.
+//
+// Cancellation and step errors deliver one last non-Final progress snapshot
+// (so observers see the state the returned statistics describe) and end the
+// loop; the Final callback marks successful completion only.
 func Drive(ctx context.Context, obs Observer, interval uint64,
+	cycles func() uint64, done func() bool, step func() error,
+	progress func(final bool) Progress) error {
+	return DriveCheckpointed(ctx, obs, interval, 0, nil, cycles, done, step, progress)
+}
+
+// DriveCheckpointed is Drive with a checkpoint hook: when checkpoint is
+// non-nil it is additionally invoked between steps at every ckptEvery-cycle
+// boundary (absolute multiples, like observer callbacks, so checkpoint
+// cycles are deterministic across runs). A checkpoint error ends the loop
+// like a step error.
+func DriveCheckpointed(ctx context.Context, obs Observer, interval, ckptEvery uint64,
+	checkpoint func() error,
 	cycles func() uint64, done func() bool, step func() error,
 	progress func(final bool) Progress) error {
 	if ctx == nil {
@@ -290,21 +333,40 @@ func Drive(ctx context.Context, obs Observer, interval uint64,
 	if interval == 0 {
 		interval = DefaultObserverInterval
 	}
+	// snapshot delivers the last non-Final callback of an interrupted run.
+	snapshot := func() {
+		if obs != nil {
+			obs.Progress(progress(false))
+		}
+	}
 	nextCheck := cycles() + CtxCheckInterval
-	nextObs := cycles() + interval
+	nextObs := nextBoundary(cycles(), interval)
+	var nextCkpt uint64
+	if checkpoint != nil && ckptEvery > 0 {
+		nextCkpt = nextBoundary(cycles(), ckptEvery)
+	}
 	for !done() {
 		if err := step(); err != nil {
+			snapshot()
 			return err
 		}
 		c := cycles()
 		if c >= nextCheck {
 			nextCheck = c + CtxCheckInterval
 			if err := ctx.Err(); err != nil {
+				snapshot()
+				return err
+			}
+		}
+		if checkpoint != nil && ckptEvery > 0 && c >= nextCkpt {
+			nextCkpt = nextBoundary(c, ckptEvery)
+			if err := checkpoint(); err != nil {
+				snapshot()
 				return err
 			}
 		}
 		if obs != nil && c >= nextObs {
-			nextObs = c + interval
+			nextObs = nextBoundary(c, interval)
 			obs.Progress(progress(false))
 		}
 	}
@@ -312,6 +374,11 @@ func Drive(ctx context.Context, obs Observer, interval uint64,
 		obs.Progress(progress(true))
 	}
 	return nil
+}
+
+// nextBoundary returns the first multiple of interval strictly after c.
+func nextBoundary(c, interval uint64) uint64 {
+	return (c/interval + 1) * interval
 }
 
 // progress snapshots the counters an Observer sees.
@@ -326,6 +393,45 @@ func (e *Engine) progress(final bool) Progress {
 // Result snapshots the current statistics; usable mid-run by callers that
 // drive Cycle directly (e.g. the multicore cluster).
 func (e *Engine) Result() Result { return e.result() }
+
+// Reset re-arms the engine for a fresh run over src starting at startPC,
+// clearing every per-run field: cycle/sequence counters, fetch state
+// (including fetchResumeAt and the fetch mode), queue contents, rename and
+// functional-unit occupancy, predictor tables, cache arrays (models
+// installed via Config.ICache/DCache are reset in place — callers sharing a
+// model across engines must not Reset concurrently with its other users),
+// event counters and occupancy accumulators. A second run on a reset engine
+// is bit-identical to a run on a newly built one. This enumeration is the
+// explicit statement of what "per-run state" means; the checkpoint test
+// comparing a reset engine's serialized state against a virgin engine's
+// keeps it in lockstep with Checkpoint/Restore, so a new per-run field
+// missed here (or there) fails that test instead of drifting silently.
+func (e *Engine) Reset(src trace.Source, startPC uint32) {
+	e.src = trace.NewBuffered(src)
+	e.startPC = startPC
+	e.now = 0
+	e.seq = 0
+	e.fetchPC = startPC
+	e.fetchResumeAt = 0
+	e.mode = fmNormal
+	e.srcDone = false
+	e.lastCommitAt = 0
+	e.c = Counters{}
+	e.ifq.Clear()
+	e.rob.Clear()
+	e.lsq.Clear()
+	e.rt.Reset()
+	e.fus.Reset()
+	e.ports.NewCycle()
+	if e.bp != nil {
+		e.bp.Reset()
+	}
+	e.icache.Reset()
+	e.dcache.Reset()
+	e.ifqOcc.Reset()
+	e.rbOcc.Reset()
+	e.lsqOcc.Reset()
+}
 
 // ---------------------------------------------------------------------------
 // Commit

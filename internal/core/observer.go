@@ -16,9 +16,11 @@ type Progress struct {
 	// still in flight.
 	Done  int
 	Total int
-	// Final marks the last callback of a run (delivered once, after the
-	// simulation drains or hits its cycle budget; not delivered on error or
-	// cancellation).
+	// Final marks the last callback of a successful run (delivered once,
+	// after the simulation drains or hits its cycle budget). Cancelled or
+	// errored runs instead deliver one last non-Final snapshot before
+	// returning, so observers always see the state the returned statistics
+	// describe and never hang on a stale interval.
 	Final bool
 }
 

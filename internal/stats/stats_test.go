@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -99,5 +100,45 @@ func TestCounterSet(t *testing.T) {
 	c.Set(99)
 	if c.Value() != 99 {
 		t.Errorf("Set: value = %d", c.Value())
+	}
+}
+
+// TestOccupancyJSONGolden pins the occupancy wire/checkpoint form byte for
+// byte: engine checkpoints and sweepd results both ship it, so an
+// accidental encoding change must fail loudly here.
+func TestOccupancyJSONGolden(t *testing.T) {
+	o := Occupancy{Name: "RB_occupancy", Desc: "reorder buffer", Cap: 16}
+	for _, n := range []int{0, 4, 16, 16, 7} {
+		o.Sample(n)
+	}
+	data, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"name":"RB_occupancy","desc":"reorder buffer","cap":16,"samples":5,"sum":43,"full":2,"empty":1}`
+	if string(data) != golden {
+		t.Errorf("occupancy encoding changed:\ngot  %s\nwant %s", data, golden)
+	}
+	var back Occupancy
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Mean() != o.Mean() || back.FullFrac() != o.FullFrac() || back.EmptyFrac() != o.EmptyFrac() || back.Samples() != o.Samples() {
+		t.Errorf("occupancy round trip lost accumulator state: %+v vs %+v", back, o)
+	}
+}
+
+// TestOccupancyReset: the per-run reset clears the accumulator but keeps
+// the identity fields.
+func TestOccupancyReset(t *testing.T) {
+	o := Occupancy{Name: "IFQ_occupancy", Desc: "ifq", Cap: 4}
+	o.Sample(4)
+	o.Sample(0)
+	o.Reset()
+	if o.Samples() != 0 || o.Mean() != 0 || o.FullFrac() != 0 || o.EmptyFrac() != 0 {
+		t.Errorf("Reset left accumulator state: %+v", o)
+	}
+	if o.Name != "IFQ_occupancy" || o.Desc != "ifq" || o.Cap != 4 {
+		t.Errorf("Reset clobbered identity fields: %+v", o)
 	}
 }

@@ -82,6 +82,33 @@ type Runner struct {
 	// way because cached replays are record-for-record equal to
 	// regeneration.
 	DisableCache bool
+	// CheckpointEvery, with OnCheckpoint, enables periodic engine-state
+	// capture: each point's engine serializes a complete core.Checkpoint at
+	// every CheckpointEvery-cycle boundary and hands it to OnCheckpoint with
+	// the point's index. Callbacks arrive from concurrent point engines (one
+	// goroutine per in-flight point, in cycle order within a point);
+	// OnCheckpoint must be safe for concurrent use. Points whose cache
+	// models cannot be serialized (custom Model implementations) silently
+	// run without capture — checkpointing is an optimization, never a
+	// correctness requirement. Per-point Config.CheckpointSink fields are
+	// always cleared, like per-point Observers.
+	CheckpointEvery uint64
+	OnCheckpoint    func(index int, cp *core.Checkpoint)
+	// Resume maps point indices to checkpoints to restore instead of
+	// starting from cycle 0 — the sharded sweep service resumes a dead
+	// worker's half-finished points on a survivor through it. The stream
+	// position stored in the checkpoint re-attaches to the shared trace
+	// (cache snapshot or regeneration — both yield the identical records).
+	// A checkpoint that fails to restore (corrupt, or from a different
+	// configuration) degrades to a fresh run, mirroring how lost trace
+	// spills degrade to regeneration.
+	Resume map[int]*core.Checkpoint
+	// OnResume fires after a Resume checkpoint successfully restores,
+	// with the simulated cycles the point skipped — deliberately not at
+	// decode time, so callers observing "this point resumed mid-run"
+	// (logs, counters, tests) never report a resume that silently degraded
+	// to a fresh run. Same concurrency contract as OnCheckpoint.
+	OnResume func(index int, resumedCycles uint64)
 }
 
 // Run simulates every point and returns results in point order. Individual
@@ -146,7 +173,7 @@ func (r Runner) Run(ctx context.Context, points []Point) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range work {
-				results[idx] = r.runOne(ctx, points[idx], shared, traces)
+				results[idx] = r.runOne(ctx, idx, points[idx], shared, traces)
 				if r.Observer != nil || r.OnResult != nil {
 					mu.Lock()
 					done++
@@ -216,10 +243,12 @@ func (r Runner) feedOrder(points []Point, traces *tracecache.Cache) []int {
 	return append(order, rest...)
 }
 
-func (r Runner) runOne(ctx context.Context, pt Point, sharedTr map[uintptr]bool, traces *tracecache.Cache) Result {
+func (r Runner) runOne(ctx context.Context, idx int, pt Point, sharedTr map[uintptr]bool, traces *tracecache.Cache) Result {
 	out := Result{Point: pt}
 	cfg := pt.Config
 	cfg.Observer = nil
+	cfg.CheckpointSink = nil
+	cfg.CheckpointEvery = 0
 	if sharedTr[ptrOf(cfg.PipeTracer)] {
 		cfg.PipeTracer = nil
 	}
@@ -232,18 +261,55 @@ func (r Runner) runOne(ctx context.Context, pt Point, sharedTr map[uintptr]bool,
 		cfg.ICache = cache.CloneCold(cfg.ICache)
 		cfg.DCache = cache.CloneCold(cfg.DCache)
 	}
+	if r.CheckpointEvery > 0 && r.OnCheckpoint != nil && serializableModels(cfg) {
+		cfg.CheckpointEvery = r.CheckpointEvery
+		cfg.CheckpointSink = func(cp *core.Checkpoint) error {
+			r.OnCheckpoint(idx, cp)
+			return nil
+		}
+	}
 	src, startPC, err := tracecache.SourceFor(ctx, traces, r.Workload, cfg.TraceConfig(), r.Instructions)
 	if err != nil {
 		out.Err = err
 		return out
 	}
-	eng, err := core.New(cfg, src, startPC)
-	if err != nil {
-		out.Err = err
-		return out
+	var eng *core.Engine
+	if cp := r.Resume[idx]; cp != nil {
+		eng, err = core.Restore(cfg, src, cp)
+		if err != nil {
+			// An unusable checkpoint degrades to a fresh run: re-derive the
+			// source (Restore consumed records of the first one).
+			src, startPC, err = tracecache.SourceFor(ctx, traces, r.Workload, cfg.TraceConfig(), r.Instructions)
+			if err != nil {
+				out.Err = err
+				return out
+			}
+			eng = nil
+		} else if r.OnResume != nil {
+			r.OnResume(idx, cp.Cycles())
+		}
+	}
+	if eng == nil {
+		eng, err = core.New(cfg, src, startPC)
+		if err != nil {
+			out.Err = err
+			return out
+		}
 	}
 	out.Res, out.Err = eng.RunContext(ctx)
+	// The runner-installed capture hook is an execution detail, not part of
+	// the point's design configuration: results must compare equal between
+	// checkpointed and plain runs.
+	out.Res.Config.CheckpointSink = nil
+	out.Res.Config.CheckpointEvery = 0
 	return out
+}
+
+// serializableModels reports whether the point's memory system supports
+// state capture — custom cache models run without checkpointing rather than
+// failing their point.
+func serializableModels(cfg core.Config) bool {
+	return cache.Serializable(cfg.ICache) && cache.Serializable(cfg.DCache)
 }
 
 // sameModel reports whether a and b are the same cache-model instance. It

@@ -259,9 +259,14 @@ func (c *Coordinator) serveClient(w *wire) {
 
 // groupCall is one in-flight assignment on a remote worker.
 type groupCall struct {
-	job  *Job
-	emit func(PointResult)
-	done chan error // buffered; receives exactly one completion
+	job    *Job
+	emit   func(PointResult)
+	onCkpt func(index int, data []byte) // nil when the scheduler keeps no checkpoints
+	done   chan error                   // buffered; receives exactly one completion
+	// ckptLogged marks points whose first checkpoint receipt was logged;
+	// later shipments (one per cadence interval) stay quiet. Guarded by the
+	// owning remoteWorker's mutex.
+	ckptLogged map[int]bool
 }
 
 // remoteWorker proxies a registered worker connection behind the Worker
@@ -278,10 +283,13 @@ type remoteWorker struct {
 	deadErr error
 }
 
-// RunGroup implements Worker: ship the assignment, stream results into
-// emit, and return when the worker reports the group closed (or dies).
-func (rw *remoteWorker) RunGroup(ctx context.Context, job *Job, indices []int, emit func(PointResult)) error {
-	call := &groupCall{job: job, emit: emit, done: make(chan error, 1)}
+// RunGroup implements Worker: ship the assignment (including any prior
+// checkpoints to resume from), stream results into emit and shipped
+// checkpoints into gr.OnCheckpoint, and return when the worker reports the
+// group closed (or dies).
+func (rw *remoteWorker) RunGroup(ctx context.Context, job *Job, gr GroupRun, emit func(PointResult)) error {
+	call := &groupCall{job: job, emit: emit, onCkpt: gr.OnCheckpoint,
+		done: make(chan error, 1), ckptLogged: make(map[int]bool)}
 	id := rw.c.callSeq.Add(1)
 
 	rw.mu.Lock()
@@ -298,7 +306,7 @@ func (rw *remoteWorker) RunGroup(ctx context.Context, job *Job, indices []int, e
 		rw.mu.Unlock()
 	}()
 
-	asg, err := rw.assignment(id, job, indices)
+	asg, err := rw.assignment(id, job, gr)
 	if err != nil {
 		// Serialization failure is deterministic, not a worker fault — but a
 		// point that cannot cross the wire cannot run remotely at all, so
@@ -321,10 +329,12 @@ func (rw *remoteWorker) RunGroup(ctx context.Context, job *Job, indices []int, e
 }
 
 // assignment builds the wire form of one key-group, attaching the trace
-// container when the coordinator's cache already holds it.
-func (rw *remoteWorker) assignment(id uint64, job *Job, indices []int) (*Assignment, error) {
+// container when the coordinator's cache already holds it, and the group's
+// latest per-point checkpoints so a requeued group resumes mid-run.
+func (rw *remoteWorker) assignment(id uint64, job *Job, gr GroupRun) (*Assignment, error) {
+	indices := gr.Indices
 	asg := &Assignment{Call: id, Profile: job.Profile, Instructions: job.Instructions,
-		Points: make([]WirePoint, len(indices))}
+		Points: make([]WirePoint, len(indices)), Checkpoints: gr.Checkpoints}
 	for i, idx := range indices {
 		spec, err := SpecOf(job.Points[idx].Config)
 		if err != nil {
@@ -370,6 +380,28 @@ func (rw *remoteWorker) readLoop() error {
 				res.Res = r.Res.Result(call.job.Points[r.Index].Config)
 			}
 			call.emit(PointResult{Index: r.Index, Result: res})
+		case msgCheckpoint:
+			ck := m.Checkpoint
+			if ck == nil {
+				continue
+			}
+			rw.mu.Lock()
+			call := rw.calls[ck.Call]
+			first := false
+			if call != nil && !call.ckptLogged[ck.Index] {
+				call.ckptLogged[ck.Index] = true
+				first = true
+			}
+			rw.mu.Unlock()
+			if call == nil || call.onCkpt == nil || ck.Index < 0 || ck.Index >= len(call.job.Points) {
+				continue // late shipment for a finished/cancelled call
+			}
+			if first {
+				// One line per point, on its first shipment: the point now
+				// has resume state. Per-interval shipments stay quiet.
+				rw.c.logf("sweepd: checkpoint for point %d (%d bytes) from worker %q", ck.Index, len(ck.Data), rw.name)
+			}
+			call.onCkpt(ck.Index, ck.Data)
 		case msgGroupEnd:
 			ge := m.GroupEnd
 			if ge == nil {

@@ -31,7 +31,10 @@ import (
 )
 
 // protoVersion is bumped on any incompatible change to the wire types.
-const protoVersion = 1
+// Version 2 added checkpoint shipping: assignments carry prior per-point
+// checkpoints to resume from, and workers stream msgCheckpoint messages so
+// a requeued group resumes on a survivor instead of restarting at cycle 0.
+const protoVersion = 2
 
 // maxMessageBytes bounds one framed message; a 4M-instruction shipped
 // trace container is on the order of 10 MB, so 1 GiB is generous headroom
@@ -47,26 +50,28 @@ const (
 
 // Message types.
 const (
-	msgHello    = "hello"     // both directions, first message on a connection
-	msgJob      = "job"       // client -> coordinator: submit a sweep
-	msgAssign   = "assign"    // coordinator -> worker: run one key-group
-	msgCancel   = "cancel"    // coordinator -> worker: abort one assignment
-	msgResult   = "result"    // worker -> coordinator -> client: one point done
-	msgGroupEnd = "group_end" // worker -> coordinator: assignment finished
-	msgDone     = "done"      // coordinator -> client: job finished
+	msgHello      = "hello"      // both directions, first message on a connection
+	msgJob        = "job"        // client -> coordinator: submit a sweep
+	msgAssign     = "assign"     // coordinator -> worker: run one key-group
+	msgCancel     = "cancel"     // coordinator -> worker: abort one assignment
+	msgResult     = "result"     // worker -> coordinator -> client: one point done
+	msgCheckpoint = "checkpoint" // worker -> coordinator: one point's latest engine state
+	msgGroupEnd   = "group_end"  // worker -> coordinator: assignment finished
+	msgDone       = "done"       // coordinator -> client: job finished
 )
 
 // Message is the single wire envelope; Type selects which payload field is
 // populated.
 type Message struct {
-	Type     string      `json:"type"`
-	Hello    *Hello      `json:"hello,omitempty"`
-	Job      *WireJob    `json:"job,omitempty"`
-	Assign   *Assignment `json:"assign,omitempty"`
-	Cancel   *Cancel     `json:"cancel,omitempty"`
-	Result   *WireResult `json:"result,omitempty"`
-	GroupEnd *GroupEnd   `json:"group_end,omitempty"`
-	Done     *Done       `json:"done,omitempty"`
+	Type       string          `json:"type"`
+	Hello      *Hello          `json:"hello,omitempty"`
+	Job        *WireJob        `json:"job,omitempty"`
+	Assign     *Assignment     `json:"assign,omitempty"`
+	Cancel     *Cancel         `json:"cancel,omitempty"`
+	Result     *WireResult     `json:"result,omitempty"`
+	Checkpoint *CheckpointShip `json:"checkpoint,omitempty"`
+	GroupEnd   *GroupEnd       `json:"group_end,omitempty"`
+	Done       *Done           `json:"done,omitempty"`
 }
 
 // Hello opens every connection.
@@ -92,6 +97,9 @@ type ConfigSpec struct {
 func SpecOf(cfg core.Config) (ConfigSpec, error) {
 	if cfg.PipeTracer != nil {
 		return ConfigSpec{}, fmt.Errorf("sweepd: a PipeTracer cannot cross the network; clear it or sweep locally")
+	}
+	if cfg.CheckpointSink != nil {
+		return ConfigSpec{}, fmt.Errorf("sweepd: a CheckpointSink cannot cross the network; clear it or sweep locally (workers checkpoint on their own cadence)")
 	}
 	f := configfile.FromConfig(cfg)
 	if cfg.ICache != nil && f.ICache == nil {
@@ -179,11 +187,25 @@ type Assignment struct {
 	Instructions uint64           `json:"instructions"`
 	Points       []WirePoint      `json:"points"`
 	Trace        []byte           `json:"trace,omitempty"`
+	// Checkpoints carries the latest serialized engine checkpoint per
+	// job-wide point index (core.Checkpoint encoding), captured by a
+	// previous owner of this group; the worker resumes those points from
+	// their checkpointed cycle instead of cycle 0.
+	Checkpoints map[int][]byte `json:"checkpoints,omitempty"`
 }
 
 // Cancel aborts one in-flight assignment on a worker.
 type Cancel struct {
 	Call uint64 `json:"call"`
+}
+
+// CheckpointShip streams one point's latest serialized engine state from a
+// worker to the coordinator, which holds it as the group's resume point in
+// case the worker dies. Data is the core.Checkpoint encoding.
+type CheckpointShip struct {
+	Call  uint64 `json:"call"`
+	Index int    `json:"index"`
+	Data  []byte `json:"data"`
 }
 
 // WireRunResult is core.Result without the live Config (reconstructed from

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -272,5 +274,93 @@ func TestRemoteWorkerDeathMidJobRequeues(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("results after a worker death differ from the reference")
+	}
+}
+
+// TestRemoteWorkerDeathResumesFromCheckpoint exercises checkpoint shipping
+// over real TCP: a victim worker with a tight checkpoint cadence is killed
+// only after the coordinator has received at least one of its shipped
+// checkpoints, so the requeued group provably carries resume state; the
+// survivor logs the mid-run resume and the job still finishes with results
+// byte-identical to the reference.
+func TestRemoteWorkerDeathResumesFromCheckpoint(t *testing.T) {
+	coord := sweepd.NewCoordinator()
+
+	// Observe the first checkpoint receipt through the coordinator log.
+	ckptSeen := make(chan struct{})
+	var ckptOnce sync.Once
+	var logMu sync.Mutex
+	var resumeLines []string
+	coord.Logf = func(format string, args ...any) {
+		line := fmt.Sprintf(format, args...)
+		if strings.Contains(line, "checkpoint for point") && strings.Contains(line, `worker "victim"`) {
+			ckptOnce.Do(func() { close(ckptSeen) })
+		}
+	}
+	addr, err := coord.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// Survivor: ordinary worker that records its own resume log lines.
+	sctx, stopSurvivor := context.WithCancel(context.Background())
+	defer stopSurvivor()
+	go sweepd.Work(sctx, addr, sweepd.WorkerOptions{ //nolint:errcheck
+		Name:            "survivor",
+		CheckpointEvery: 2048,
+		Logf: func(format string, args ...any) {
+			line := fmt.Sprintf(format, args...)
+			if strings.Contains(line, "resuming point") {
+				logMu.Lock()
+				resumeLines = append(resumeLines, line)
+				logMu.Unlock()
+			}
+		},
+	})
+	// Victim: dies once the coordinator holds one of its checkpoints.
+	vctx, killVictim := context.WithCancel(context.Background())
+	defer killVictim()
+	go sweepd.Work(vctx, addr, sweepd.WorkerOptions{ //nolint:errcheck
+		Name: "victim", CheckpointEvery: 2048,
+	})
+	go func() {
+		<-ckptSeen
+		killVictim()
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.WorkerCount() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers did not register")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// One group per worker, with a budget long enough that checkpoints ship
+	// well before either point completes.
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []sweep.Point
+	for _, rb := range []int{8, 16} {
+		cfg := core.DefaultConfig()
+		cfg.RBSize = rb
+		pts = append(pts, sweep.Point{Name: "rb=" + itoa(rb), Config: cfg})
+	}
+	job := &sweepd.Job{Profile: p, Instructions: 120_000, Points: pts}
+	want := reference(t, job)
+	got, err := sweepd.RunRemote(context.Background(), addr, job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("results after a checkpoint-resumed worker death differ from the reference")
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	if len(resumeLines) == 0 {
+		t.Error("survivor never resumed a point from a shipped checkpoint (requeued group restarted from cycle 0)")
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/sweep"
@@ -78,33 +79,57 @@ type PointResult struct {
 	Result sweep.Result
 }
 
+// GroupRun is one group assignment handed to a worker: the job-wide indices
+// of the points still to simulate, plus the checkpoint channel in both
+// directions — the latest prior checkpoints to resume from, and the hook
+// for shipping new ones back to the scheduler.
+type GroupRun struct {
+	// Indices selects the job points to run, in job order.
+	Indices []int
+	// Checkpoints holds the latest serialized core.Checkpoint per job-wide
+	// point index, captured by a previous owner of this group. A worker
+	// resumes those points from their checkpointed cycle instead of cycle 0;
+	// an entry that fails to decode or restore degrades to a fresh run.
+	Checkpoints map[int][]byte
+	// OnCheckpoint, when non-nil, receives serialized checkpoints as the
+	// worker captures them (keyed by job-wide point index), so the scheduler
+	// holds a recent resume point if this worker dies. May be called
+	// concurrently from several point engines.
+	OnCheckpoint func(index int, data []byte)
+}
+
 // Worker runs assigned key-groups. Implementations: LoopbackWorker
 // (in-process) and the coordinator's per-connection remote worker proxy.
 type Worker interface {
-	// RunGroup simulates the points of job selected by indices and calls
+	// RunGroup simulates the points of job selected by gr.Indices and calls
 	// emit once per completed point, in completion order. A non-nil error
 	// means the worker died mid-group: results already emitted stand, the
-	// remainder is requeued on a live worker, and this worker receives no
+	// remainder is requeued on a live worker — resuming from the
+	// checkpoints the dead worker shipped — and this worker receives no
 	// further groups.
-	RunGroup(ctx context.Context, job *Job, indices []int, emit func(PointResult)) error
+	RunGroup(ctx context.Context, job *Job, gr GroupRun, emit func(PointResult)) error
 }
 
 // groupState tracks one group through assignment, partial completion and
 // requeue. A group is owned by at most one worker at a time (it is either
-// queued or held), so the done map is the only shared state, guarded by the
-// scheduler mutex.
+// queued or held), so the done and ckpts maps are the only shared state,
+// guarded by the scheduler mutex.
 type groupState struct {
-	g    Group
-	done map[int]bool
+	g     Group
+	done  map[int]bool
+	ckpts map[int][]byte // latest shipped checkpoint per unfinished point
 }
 
 // Run schedules the job's key-groups across workers and returns results in
 // point order regardless of shard or worker completion order. emit, when
 // non-nil, is called once per completed point (serialized) with the running
 // completed/total counts — the coordinator-side progress stream. On worker
-// failure the group's unfinished points are requeued on a live worker; when
-// no live worker remains the job fails. Cancelling the context aborts
-// in-flight groups and returns ctx.Err() once every worker has drained.
+// failure the group's unfinished points are requeued on a live worker,
+// which resumes each point from the latest checkpoint the dead worker
+// shipped (engines are deterministic, so a resumed point's result is
+// bit-identical to a from-scratch run); when no live worker remains the job
+// fails. Cancelling the context aborts in-flight groups and returns
+// ctx.Err() once every worker has drained.
 func Run(ctx context.Context, job *Job, workers []Worker, emit func(res PointResult, done, total int)) ([]sweep.Result, error) {
 	if len(job.Points) == 0 {
 		return nil, fmt.Errorf("sweepd: no design points")
@@ -126,7 +151,9 @@ func Run(ctx context.Context, job *Job, workers []Worker, emit func(res PointRes
 	// capacity len(groups) makes every requeue send non-blocking.
 	queue := make(chan *groupState, len(groups))
 	for _, g := range groups {
-		queue <- &groupState{g: g, done: make(map[int]bool, len(g.Indices))}
+		queue <- &groupState{g: g,
+			done:  make(map[int]bool, len(g.Indices)),
+			ckpts: make(map[int][]byte)}
 	}
 
 	var (
@@ -163,9 +190,28 @@ func Run(ctx context.Context, job *Job, workers []Worker, emit func(res PointRes
 					}
 				}
 				mu.Lock()
-				rem := gs.remainingLocked()
+				gr := GroupRun{
+					Indices:     gs.remainingLocked(),
+					Checkpoints: make(map[int][]byte, len(gs.ckpts)),
+					OnCheckpoint: func(index int, data []byte) {
+						mu.Lock()
+						defer mu.Unlock()
+						if index < 0 || index >= total || gs.done[index] || len(data) == 0 {
+							return
+						}
+						// Workers checkpoint each point monotonically, and a
+						// requeued owner resumes from the stored cycle, so the
+						// latest shipment is always the furthest along.
+						gs.ckpts[index] = data
+					},
+				}
+				for i, data := range gs.ckpts {
+					if !gs.done[i] {
+						gr.Checkpoints[i] = data
+					}
+				}
 				mu.Unlock()
-				err := w.RunGroup(runCtx, job, rem, func(pr PointResult) {
+				err := w.RunGroup(runCtx, job, gr, func(pr PointResult) {
 					mu.Lock()
 					defer mu.Unlock()
 					if pr.Index < 0 || pr.Index >= total || gs.done[pr.Index] {
@@ -175,6 +221,7 @@ func Run(ctx context.Context, job *Job, workers []Worker, emit func(res PointRes
 						return
 					}
 					gs.done[pr.Index] = true
+					delete(gs.ckpts, pr.Index)
 					results[pr.Index] = pr.Result
 					completed++
 					if emit != nil && runCtx.Err() == nil {
@@ -245,6 +292,32 @@ func (gs *groupState) remainingLocked() []int {
 	return rem
 }
 
+// decodeResume builds the group-local resume map both worker transports
+// hand to sweep.Runner: slot i of the assignment resumes from bytesFor(i)
+// when those bytes decode. Undecodable entries degrade to from-scratch runs
+// of their point (onBad, when non-nil, observes them).
+func decodeResume(n int, bytesFor func(slot int) []byte, onBad func(slot int, err error)) map[int]*core.Checkpoint {
+	var resume map[int]*core.Checkpoint
+	for i := 0; i < n; i++ {
+		data := bytesFor(i)
+		if len(data) == 0 {
+			continue
+		}
+		cp, err := core.DecodeCheckpoint(data)
+		if err != nil {
+			if onBad != nil {
+				onBad(i, err)
+			}
+			continue
+		}
+		if resume == nil {
+			resume = make(map[int]*core.Checkpoint)
+		}
+		resume[i] = cp
+	}
+	return resume
+}
+
 // errKilled reports a LoopbackWorker torn down by Kill.
 var errKilled = errors.New("sweepd: worker killed")
 
@@ -273,6 +346,11 @@ type LoopbackOptions struct {
 	// (Core is the point's job-wide index) — what a remote worker logs
 	// locally while the coordinator streams results to the client.
 	Observer core.Observer
+	// CheckpointEvery, when non-zero, makes the worker serialize each
+	// in-flight engine's state at every CheckpointEvery-cycle boundary and
+	// ship it to the scheduler through GroupRun.OnCheckpoint, so a requeued
+	// group resumes on a survivor instead of restarting from cycle 0.
+	CheckpointEvery uint64
 }
 
 // LoopbackWorker runs key-groups in-process through the standard sweep
@@ -285,6 +363,7 @@ type LoopbackWorker struct {
 	traces   *tracecache.Cache
 	killed   chan struct{}
 	killOnce sync.Once
+	resumed  atomic.Uint64 // simulated cycles skipped by resuming checkpoints
 }
 
 // NewLoopbackWorker builds one in-process worker.
@@ -302,6 +381,11 @@ func NewLoopbackWorker(opts LoopbackOptions) *LoopbackWorker {
 // tests assert generation counts per simulated host through it.
 func (w *LoopbackWorker) Traces() *tracecache.Cache { return w.traces }
 
+// ResumedCycles returns the total simulated cycles this worker skipped by
+// resuming points from shipped checkpoints instead of cycle 0 — the
+// Stats.Seeds-style counter tests assert requeue-resume through.
+func (w *LoopbackWorker) ResumedCycles() uint64 { return w.resumed.Load() }
+
 // Kill tears the worker down, aborting any in-flight group (its completed
 // points stand; the scheduler requeues the rest) and refusing future
 // assignments — the loopback equivalent of a worker host dying.
@@ -310,7 +394,7 @@ func (w *LoopbackWorker) Kill() {
 }
 
 // RunGroup implements Worker.
-func (w *LoopbackWorker) RunGroup(ctx context.Context, job *Job, indices []int, emit func(PointResult)) error {
+func (w *LoopbackWorker) RunGroup(ctx context.Context, job *Job, gr GroupRun, emit func(PointResult)) error {
 	select {
 	case <-w.killed:
 		return errKilled
@@ -328,16 +412,22 @@ func (w *LoopbackWorker) RunGroup(ctx context.Context, job *Job, indices []int, 
 		}
 	}()
 
+	indices := gr.Indices
 	pts := make([]sweep.Point, len(indices))
 	for i, idx := range indices {
 		pts[i] = job.Points[idx]
 	}
+	resume := decodeResume(len(indices), func(i int) []byte { return gr.Checkpoints[indices[i]] }, nil)
 	r := sweep.Runner{
 		Workload:     job.Profile,
 		Instructions: job.Instructions,
 		Parallelism:  w.opts.Parallelism,
 		Traces:       w.traces,
 		DisableCache: w.opts.DisableCache,
+		Resume:       resume,
+		// Counted on successful restore only, so the counter never reports
+		// a resume that silently degraded to a fresh run.
+		OnResume: func(_ int, cycles uint64) { w.resumed.Add(cycles) },
 		OnResult: func(i int, res sweep.Result) {
 			select {
 			case <-w.killed:
@@ -355,6 +445,19 @@ func (w *LoopbackWorker) RunGroup(ctx context.Context, job *Job, indices []int, 
 			}
 			emit(PointResult{Index: indices[i], Result: res})
 		},
+	}
+	if w.opts.CheckpointEvery > 0 && gr.OnCheckpoint != nil {
+		r.CheckpointEvery = w.opts.CheckpointEvery
+		r.OnCheckpoint = func(i int, cp *core.Checkpoint) {
+			select {
+			case <-w.killed:
+				return // dead hosts ship nothing
+			default:
+			}
+			if data, err := cp.Encode(); err == nil {
+				gr.OnCheckpoint(indices[i], data)
+			}
+		}
 	}
 	if w.opts.Observer != nil {
 		r.Observer = core.ObserverFunc(func(p core.Progress) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -105,9 +106,9 @@ func TestRunMatchesDirectRunner(t *testing.T) {
 // in reverse completion order — a worst case for result ordering.
 type shuffleWorker struct{ inner sweepd.Worker }
 
-func (s shuffleWorker) RunGroup(ctx context.Context, job *sweepd.Job, indices []int, emit func(sweepd.PointResult)) error {
+func (s shuffleWorker) RunGroup(ctx context.Context, job *sweepd.Job, gr sweepd.GroupRun, emit func(sweepd.PointResult)) error {
 	var buf []sweepd.PointResult
-	err := s.inner.RunGroup(ctx, job, indices, func(pr sweepd.PointResult) {
+	err := s.inner.RunGroup(ctx, job, gr, func(pr sweepd.PointResult) {
 		buf = append(buf, pr)
 	})
 	for i := len(buf) - 1; i >= 0; i-- {
@@ -158,10 +159,10 @@ func TestResultOrderWithShuffledCompletion(t *testing.T) {
 }
 
 // workerFunc adapts a function to the Worker interface.
-type workerFunc func(ctx context.Context, job *sweepd.Job, indices []int, emit func(sweepd.PointResult)) error
+type workerFunc func(ctx context.Context, job *sweepd.Job, gr sweepd.GroupRun, emit func(sweepd.PointResult)) error
 
-func (f workerFunc) RunGroup(ctx context.Context, job *sweepd.Job, indices []int, emit func(sweepd.PointResult)) error {
-	return f(ctx, job, indices, emit)
+func (f workerFunc) RunGroup(ctx context.Context, job *sweepd.Job, gr sweepd.GroupRun, emit func(sweepd.PointResult)) error {
+	return f(ctx, job, gr, emit)
 }
 
 // TestWorkerKillRequeues kills a loopback worker after its first emitted
@@ -177,10 +178,10 @@ func TestWorkerKillRequeues(t *testing.T) {
 	var gotOnce sync.Once
 	var killerEmitted, backupRan sync.Map
 
-	killer := workerFunc(func(ctx context.Context, j *sweepd.Job, indices []int, emit func(sweepd.PointResult)) error {
+	killer := workerFunc(func(ctx context.Context, j *sweepd.Job, gr sweepd.GroupRun, emit func(sweepd.PointResult)) error {
 		gotOnce.Do(func() { close(killerGot) })
 		n := 0
-		return killerLW.RunGroup(ctx, j, indices, func(pr sweepd.PointResult) {
+		return killerLW.RunGroup(ctx, j, gr, func(pr sweepd.PointResult) {
 			emit(pr)
 			killerEmitted.Store(pr.Index, true)
 			if n++; n == 1 {
@@ -188,7 +189,7 @@ func TestWorkerKillRequeues(t *testing.T) {
 			}
 		})
 	})
-	backup := workerFunc(func(ctx context.Context, j *sweepd.Job, indices []int, emit func(sweepd.PointResult)) error {
+	backup := workerFunc(func(ctx context.Context, j *sweepd.Job, gr sweepd.GroupRun, emit func(sweepd.PointResult)) error {
 		// Hold back until the killer owns a group, so the kill-and-requeue
 		// path runs deterministically rather than depending on who wins the
 		// race for the queue.
@@ -197,10 +198,10 @@ func TestWorkerKillRequeues(t *testing.T) {
 		case <-ctx.Done():
 			return ctx.Err()
 		}
-		for _, i := range indices {
+		for _, i := range gr.Indices {
 			backupRan.Store(i, true)
 		}
-		return backupLW.RunGroup(ctx, j, indices, emit)
+		return backupLW.RunGroup(ctx, j, gr, emit)
 	})
 
 	got, err := sweepd.Run(context.Background(), job, []sweepd.Worker{killer, backup}, nil)
@@ -223,6 +224,79 @@ func TestWorkerKillRequeues(t *testing.T) {
 	if backed != len(job.Points)-1 {
 		t.Fatalf("backup ran %d points, want %d (its group plus the requeued remainder)",
 			backed, len(job.Points)-1)
+	}
+}
+
+// TestWorkerKillResumesFromCheckpoint is the requeue-resume acceptance: a
+// worker that has shipped checkpoints for its in-flight points dies
+// mid-group, and the survivor resumes those points from the shipped cycle
+// instead of cycle 0 — asserted through the ResumedCycles counter — while
+// the final results stay byte-identical to the reference (resumed engines
+// are deterministic).
+func TestWorkerKillResumesFromCheckpoint(t *testing.T) {
+	// Two single-point groups (RB size feeds the trace key) with a budget
+	// long enough to cross several checkpoint boundaries.
+	const instrs = 60_000
+	const every = 4096
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []sweep.Point
+	for _, rb := range []int{8, 16} {
+		cfg := core.DefaultConfig()
+		cfg.RBSize = rb
+		pts = append(pts, sweep.Point{Name: "rb=" + itoa(rb), Config: cfg})
+	}
+	job := &sweepd.Job{Profile: p, Instructions: instrs, Points: pts}
+	r := sweep.Runner{Workload: job.Profile, Instructions: job.Instructions,
+		Traces: tracecache.New(tracecache.Config{})}
+	want, err := r.Run(context.Background(), job.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killerLW := sweepd.NewLoopbackWorker(sweepd.LoopbackOptions{Parallelism: 1, CheckpointEvery: every})
+	backupLW := sweepd.NewLoopbackWorker(sweepd.LoopbackOptions{Parallelism: 1, CheckpointEvery: every})
+	killerGot := make(chan struct{})
+	var gotOnce sync.Once
+
+	// The killer dies right after shipping its third checkpoint: its group
+	// is provably mid-run (the point never completed on it) with resume
+	// state stored at the scheduler.
+	var shipments int32
+	killer := workerFunc(func(ctx context.Context, j *sweepd.Job, gr sweepd.GroupRun, emit func(sweepd.PointResult)) error {
+		gotOnce.Do(func() { close(killerGot) })
+		inner := gr
+		inner.OnCheckpoint = func(index int, data []byte) {
+			gr.OnCheckpoint(index, data)
+			if atomic.AddInt32(&shipments, 1) == 3 {
+				killerLW.Kill()
+			}
+		}
+		return killerLW.RunGroup(ctx, j, inner, emit)
+	})
+	backup := workerFunc(func(ctx context.Context, j *sweepd.Job, gr sweepd.GroupRun, emit func(sweepd.PointResult)) error {
+		// Hold back until the killer owns a group, so the kill-and-requeue
+		// path runs deterministically rather than depending on who wins the
+		// race for the queue.
+		select {
+		case <-killerGot:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		return backupLW.RunGroup(ctx, j, gr, emit)
+	})
+
+	got, err := sweepd.Run(context.Background(), job, []sweepd.Worker{killer, backup}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("results after a checkpoint-resumed requeue differ from the reference")
+	}
+	if rc := backupLW.ResumedCycles(); rc < every {
+		t.Errorf("backup resumed %d cycles, want >= %d (requeued group must not restart from cycle 0)", rc, every)
 	}
 }
 
@@ -284,7 +358,7 @@ func TestRunRejectsEmptyInputs(t *testing.T) {
 func TestAllWorkersDeadFails(t *testing.T) {
 	job := testJob(t)
 	boom := errors.New("host on fire")
-	dead := workerFunc(func(context.Context, *sweepd.Job, []int, func(sweepd.PointResult)) error {
+	dead := workerFunc(func(context.Context, *sweepd.Job, sweepd.GroupRun, func(sweepd.PointResult)) error {
 		return boom
 	})
 	done := make(chan struct{})

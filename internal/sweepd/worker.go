@@ -27,6 +27,12 @@ type WorkerOptions struct {
 	// through the standard Observer hook: Core is remapped to the point's
 	// job-wide index, Done/Total count within the assigned group.
 	Observer core.Observer
+	// CheckpointEvery is the cadence (major cycles) at which the worker
+	// serializes each in-flight engine's state and ships it to the
+	// coordinator, so a group this worker dies holding resumes on a
+	// survivor from the shipped cycle instead of cycle 0.
+	// 0 selects core.DefaultObserverInterval.
+	CheckpointEvery uint64
 	// Logf, when non-nil, receives worker log lines.
 	Logf func(format string, args ...any)
 }
@@ -159,11 +165,40 @@ func serveAssignment(ctx context.Context, w *wire, asg *Assignment, opts WorkerO
 		}
 	}
 
+	// Shipped checkpoints resume a requeued group's points mid-run; one
+	// that fails to decode just runs its point from scratch.
+	resume := decodeResume(len(asg.Points),
+		func(i int) []byte { return asg.Checkpoints[asg.Points[i].Index] },
+		func(i int, err error) {
+			logf("sweepd worker %q: checkpoint for point %d undecodable (running from scratch): %v",
+				opts.Name, asg.Points[i].Index, err)
+		})
+	ckptEvery := opts.CheckpointEvery
+	if ckptEvery == 0 {
+		ckptEvery = core.DefaultObserverInterval
+	}
+
 	r := sweep.Runner{
-		Workload:     asg.Profile,
-		Instructions: asg.Instructions,
-		Parallelism:  opts.Parallelism,
-		Traces:       opts.Traces,
+		Workload:        asg.Profile,
+		Instructions:    asg.Instructions,
+		Parallelism:     opts.Parallelism,
+		Traces:          opts.Traces,
+		Resume:          resume,
+		CheckpointEvery: ckptEvery,
+		// Logged on successful restore only — the line tests and operators
+		// rely on must never claim a resume that degraded to a fresh run.
+		OnResume: func(i int, cycles uint64) {
+			logf("sweepd worker %q: resuming point %d from cycle %d", opts.Name, asg.Points[i].Index, cycles)
+		},
+		OnCheckpoint: func(i int, cp *core.Checkpoint) {
+			data, err := cp.Encode()
+			if err != nil {
+				return
+			}
+			w.send(&Message{Type: msgCheckpoint, Checkpoint: &CheckpointShip{ //nolint:errcheck
+				Call: asg.Call, Index: asg.Points[i].Index, Data: data,
+			}})
+		},
 		OnResult: func(i int, res sweep.Result) {
 			if abortedResult(res) {
 				// Cut short by cancellation — withhold so the coordinator

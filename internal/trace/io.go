@@ -210,11 +210,12 @@ func (s *SliceSource) Len() int { return len(s.recs) }
 // that have not been fetched by the branch resolution point at Commit are
 // discarded".
 type Buffered struct {
-	src   Source
-	have  bool
-	head  Record
-	err   error
-	count uint64 // records handed out via Next
+	src    Source
+	have   bool
+	head   Record
+	err    error
+	count  uint64 // records handed out via Next
+	pulled uint64 // records pulled from the underlying source (incl. lookahead)
 }
 
 // NewBuffered wraps src with lookahead.
@@ -230,6 +231,7 @@ func (b *Buffered) fill() {
 		return
 	}
 	b.head, b.have = r, true
+	b.pulled++
 }
 
 // Peek returns the next record without consuming it.
@@ -270,3 +272,28 @@ func (b *Buffered) SkipTagged() int {
 // Consumed returns the number of records handed to the caller via Next,
 // excluding records discarded by SkipTagged.
 func (b *Buffered) Consumed() uint64 { return b.count }
+
+// Pos returns the stream position: how many records of the underlying
+// source have been irrevocably taken (consumed or discarded), excluding the
+// one sitting in the lookahead buffer. A fresh Buffered over an identical
+// source, advanced past Pos records with Skip, resumes the exact stream —
+// the re-attachment contract engine checkpoints rely on.
+func (b *Buffered) Pos() uint64 {
+	if b.have {
+		return b.pulled - 1
+	}
+	return b.pulled
+}
+
+// Skip discards n records from the start of the stream (checkpoint
+// re-attachment on a fresh source). It fails if the source drains first.
+func (b *Buffered) Skip(n uint64) error {
+	for i := uint64(0); i < n; i++ {
+		b.fill()
+		if !b.have {
+			return fmt.Errorf("trace: source drained after %d of %d skipped records: %w", i, n, b.err)
+		}
+		b.have = false
+	}
+	return nil
+}

@@ -392,3 +392,56 @@ func TestRecordString(t *testing.T) {
 		t.Errorf("wrong-path marker missing: %q", s)
 	}
 }
+
+// TestBufferedPosSkipReattach pins the checkpoint re-attachment contract:
+// after consuming (and skip-discarding) an arbitrary prefix, Pos names a
+// position such that a fresh Buffered over an identical source, advanced
+// with Skip(Pos), yields exactly the remaining records.
+func TestBufferedPosSkipReattach(t *testing.T) {
+	recs := []Record{
+		{Kind: KindOther}, {Kind: KindBranch, Taken: true, Target: 64},
+		{Kind: KindOther, Tag: true}, {Kind: KindMem, Tag: true, Addr: 4},
+		{Kind: KindOther}, {Kind: KindMem, Addr: 8}, {Kind: KindOther},
+	}
+	b := NewBuffered(NewSliceSource(recs))
+	if _, err := b.Next(); err != nil { // consume record 0
+		t.Fatal(err)
+	}
+	if _, err := b.Next(); err != nil { // consume record 1 (branch)
+		t.Fatal(err)
+	}
+	if n := b.SkipTagged(); n != 2 { // discard the wrong-path block
+		t.Fatalf("SkipTagged = %d, want 2", n)
+	}
+	if _, err := b.Peek(); err != nil { // lookahead must not advance Pos
+		t.Fatal(err)
+	}
+	pos := b.Pos()
+	if pos != 4 {
+		t.Fatalf("Pos = %d, want 4 (records irrevocably taken)", pos)
+	}
+
+	resumed := NewBuffered(NewSliceSource(recs))
+	if err := resumed.Skip(pos); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		want, errA := b.Next()
+		got, errB := resumed.Next()
+		if (errA != nil) != (errB != nil) {
+			t.Fatalf("stream ends diverged: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			break
+		}
+		if want != got {
+			t.Fatalf("resumed stream diverged: %v vs %v", want, got)
+		}
+	}
+
+	// Skipping past the end reports the shortfall.
+	short := NewBuffered(NewSliceSource(recs))
+	if err := short.Skip(uint64(len(recs)) + 1); err == nil {
+		t.Error("Skip past the end succeeded")
+	}
+}

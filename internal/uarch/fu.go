@@ -102,6 +102,34 @@ func (p *FUPool) TryIssue(cls FUClass, now int64) (latency int, ok bool) {
 	return 0, false
 }
 
+// BusyUntil returns, per class, each unit's first cycle of renewed
+// availability — the serialization view checkpoints capture.
+func (p *FUPool) BusyUntil() [][]int64 {
+	out := make([][]int64, len(p.busy))
+	for cls := range p.busy {
+		out[cls] = make([]int64, len(p.busy[cls]))
+		copy(out[cls], p.busy[cls])
+	}
+	return out
+}
+
+// SetBusyUntil restores per-unit availability captured by BusyUntil. The
+// shape must match the pool's configuration exactly.
+func (p *FUPool) SetBusyUntil(busy [][]int64) error {
+	if len(busy) != len(p.busy) {
+		return fmt.Errorf("uarch: %d FU classes, pool has %d", len(busy), len(p.busy))
+	}
+	for cls := range p.busy {
+		if len(busy[cls]) != len(p.busy[cls]) {
+			return fmt.Errorf("uarch: %d %v units, pool has %d", len(busy[cls]), FUClass(cls), len(p.busy[cls]))
+		}
+	}
+	for cls := range p.busy {
+		copy(p.busy[cls], busy[cls])
+	}
+	return nil
+}
+
 // Reset makes every unit immediately available.
 func (p *FUPool) Reset() {
 	for cls := range p.busy {

@@ -1,6 +1,10 @@
 package uarch
 
-import "repro/internal/isa"
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
 
 // NoProducer marks a register whose value is architecturally ready.
 const NoProducer int64 = -1
@@ -52,6 +56,25 @@ func (t *RenameTable) ClearIfProducer(r isa.Reg, seq int64) {
 	if t.prod[r] == seq {
 		t.prod[r] = NoProducer
 	}
+}
+
+// Producers returns the full producer map in register order — the
+// serialization view checkpoints capture.
+func (t *RenameTable) Producers() []int64 {
+	out := make([]int64, len(t.prod))
+	copy(out, t.prod[:])
+	return out
+}
+
+// SetProducers restores a producer map captured by Producers. A short slice
+// leaves the remaining registers ready; a long one is an error.
+func (t *RenameTable) SetProducers(prod []int64) error {
+	if len(prod) > len(t.prod) {
+		return fmt.Errorf("uarch: %d producers exceed %d registers", len(prod), len(t.prod))
+	}
+	t.Reset()
+	copy(t.prod[:], prod)
+	return nil
 }
 
 // SquashYoungerThan removes producers with sequence numbers above seq

@@ -68,6 +68,31 @@ func (r *Ring[T]) At(i int) *T {
 	return &r.buf[(r.head+i)%len(r.buf)]
 }
 
+// Snapshot returns the entries in age order (oldest first) — the ring's
+// complete logical content, independent of the internal head position. It is
+// the serialization view checkpoints capture.
+func (r *Ring[T]) Snapshot() []T {
+	out := make([]T, r.count)
+	for i := 0; i < r.count; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
+}
+
+// SetContents replaces the ring's entries with vs in age order (vs[0]
+// becomes the oldest), the inverse of Snapshot. It reports an error when vs
+// exceeds the capacity; the ring is left cleared in that case.
+func (r *Ring[T]) SetContents(vs []T) error {
+	r.Clear()
+	r.head = 0
+	if len(vs) > len(r.buf) {
+		return fmt.Errorf("uarch: %d entries exceed ring capacity %d", len(vs), len(r.buf))
+	}
+	copy(r.buf, vs)
+	r.count = len(vs)
+	return nil
+}
+
 // TruncateFrom discards the i-th oldest entry and everything younger
 // (squash on mis-speculation recovery). TruncateFrom(Len()) is a no-op.
 func (r *Ring[T]) TruncateFrom(i int) {

@@ -306,3 +306,82 @@ func TestMemPorts(t *testing.T) {
 		t.Error("ports not refreshed by NewCycle")
 	}
 }
+
+// TestRingSnapshotSetContents: Snapshot/SetContents round-trips the logical
+// (age-ordered) content regardless of internal head position.
+func TestRingSnapshotSetContents(t *testing.T) {
+	r := NewRing[int](4)
+	// Rotate the head so the physical layout wraps.
+	r.PushBack(9)
+	r.PushBack(8)
+	r.PopFront()
+	r.PopFront()
+	for _, v := range []int{1, 2, 3} {
+		r.PushBack(v)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 || snap[0] != 1 || snap[2] != 3 {
+		t.Fatalf("Snapshot = %v, want [1 2 3]", snap)
+	}
+	fresh := NewRing[int](4)
+	if err := fresh.SetContents(snap); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 3 || *fresh.At(0) != 1 || *fresh.At(2) != 3 {
+		t.Fatalf("restored ring content wrong: %v", fresh.Snapshot())
+	}
+	if got, _ := fresh.PopFront(); got != 1 {
+		t.Fatalf("restored ring pops %d first, want 1", got)
+	}
+	if err := fresh.SetContents([]int{1, 2, 3, 4, 5}); err == nil {
+		t.Error("SetContents accepted more entries than capacity")
+	}
+	if fresh.Len() != 0 {
+		t.Error("failed SetContents left entries behind")
+	}
+}
+
+// TestRenameTableProducersRoundTrip: the producer map serializes and
+// restores losslessly.
+func TestRenameTableProducersRoundTrip(t *testing.T) {
+	rt := NewRenameTable()
+	rt.SetProducer(3, 41)
+	rt.SetProducer(7, 99)
+	prod := rt.Producers()
+	fresh := NewRenameTable()
+	if err := fresh.SetProducers(prod); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Producer(3) != 41 || fresh.Producer(7) != 99 || fresh.Producer(4) != NoProducer {
+		t.Error("restored rename table differs")
+	}
+	if err := fresh.SetProducers(make([]int64, 100)); err == nil {
+		t.Error("SetProducers accepted too many registers")
+	}
+}
+
+// TestFUPoolBusyUntilRoundTrip: per-unit availability serializes and
+// restores losslessly, including unpipelined busy spans.
+func TestFUPoolBusyUntilRoundTrip(t *testing.T) {
+	p := NewFUPool(DefaultFUConfig())
+	p.TryIssue(FUALU, 10)
+	p.TryIssue(FUDiv, 10) // busy until 20
+	busy := p.BusyUntil()
+	fresh := NewFUPool(DefaultFUConfig())
+	if err := fresh.SetBusyUntil(busy); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.TryIssue(FUDiv, 15); ok {
+		t.Error("restored divider accepted work while busy")
+	}
+	if _, ok := fresh.TryIssue(FUDiv, 20); !ok {
+		t.Error("restored divider refused work after its busy span")
+	}
+	var wrong FUConfig
+	wrong[FUALU] = FUSpec{Count: 1, Latency: 1, Pipelined: true}
+	wrong[FUMult] = FUSpec{Count: 1, Latency: 3, Pipelined: true}
+	wrong[FUDiv] = FUSpec{Count: 1, Latency: 10}
+	if err := NewFUPool(wrong).SetBusyUntil(busy); err == nil {
+		t.Error("SetBusyUntil accepted a mismatched pool shape")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 
 	"repro/internal/cache"
@@ -40,6 +41,12 @@ type Session struct {
 	// coordinator at that address instead of the in-process loopback
 	// scheduler (WithCoordinator).
 	coordAddr string
+	// ckptEvery/ckptSink enable periodic engine-state serialization
+	// (WithCheckpointEvery); resume, when non-nil, starts single-engine
+	// runs from a restored checkpoint instead of cycle 0 (ResumeFrom).
+	ckptEvery uint64
+	ckptSink  func(*core.Checkpoint) error
+	resume    *core.Checkpoint
 }
 
 // settings is the mutable state the functional options operate on before
@@ -57,6 +64,9 @@ type settings struct {
 	// from the default of the process-wide shared cache.
 	tracesSet bool
 	coordAddr string
+	ckptEvery uint64
+	ckptSink  func(*core.Checkpoint) error
+	resume    *core.Checkpoint
 }
 
 // Option configures a Session under construction. Options are applied in
@@ -86,7 +96,8 @@ func New(opts ...Option) (*Session, error) {
 	if !s.tracesSet {
 		s.traces = tracecache.Shared()
 	}
-	return &Session{cfg: s.cfg, il1: s.il1, dl1: s.dl1, traces: s.traces, coordAddr: s.coordAddr}, nil
+	return &Session{cfg: s.cfg, il1: s.il1, dl1: s.dl1, traces: s.traces, coordAddr: s.coordAddr,
+		ckptEvery: s.ckptEvery, ckptSink: s.ckptSink, resume: s.resume}, nil
 }
 
 // WithConfig replaces the whole configuration; apply it first when combining
@@ -242,6 +253,44 @@ func WithTraceCache(tc *TraceCache) Option {
 	}
 }
 
+// WithCheckpointEvery makes single-engine runs (RunWorkload, RunTrace,
+// RunSource) serialize their complete engine state at every everyCycles
+// boundary (0 = a default interval) and hand each Checkpoint to sink — save
+// it with SaveCheckpoint and a killed run resumes bit-exactly via
+// ResumeFrom. Boundaries are absolute cycle multiples, so checkpoint cycles
+// are deterministic across runs. A sink error aborts the run. Sweeps run
+// through this session additionally ship per-point checkpoints to the sweep
+// scheduler at the same cadence (the sink itself stays single-run only), so
+// a dead worker's requeued points resume on survivors.
+func WithCheckpointEvery(everyCycles uint64, sink func(*Checkpoint) error) Option {
+	return func(s *settings) error {
+		if sink == nil {
+			return fmt.Errorf("resim: WithCheckpointEvery needs a sink")
+		}
+		s.ckptEvery = everyCycles
+		s.ckptSink = sink
+		return nil
+	}
+}
+
+// ResumeFrom makes the session's single-engine runs (RunWorkload, RunTrace,
+// RunSource) restore cp and continue from its cycle instead of starting at
+// cycle 0. The run must be given the same input (workload name and
+// instruction budget, or trace file) and the session the same
+// simulated-machine configuration the checkpoint was captured under;
+// mismatches fail at run start. Combined with WithCheckpointEvery the
+// resumed run re-checkpoints on the same absolute boundaries, so its final
+// statistics are byte-identical to an uninterrupted run's.
+func ResumeFrom(cp *Checkpoint) Option {
+	return func(s *settings) error {
+		if cp == nil {
+			return fmt.Errorf("resim: ResumeFrom needs a checkpoint")
+		}
+		s.resume = cp
+		return nil
+	}
+}
+
 // WithCoordinator routes the session's Sweep calls through the sharded
 // sweep service coordinator at addr (host:port, as served by
 // `resimd -role coordinator`): points are sharded by trace key across the
@@ -289,12 +338,46 @@ func (s *Session) RunWorkload(ctx context.Context, name string, limit uint64) (R
 	if err != nil {
 		return Result{}, err
 	}
-	return s.RunSource(ctx, src, startPC)
+	return s.runSource(ctx, src, startPC, fmt.Sprintf("workload:%s/n=%d", name, limit))
 }
 
-// RunSource simulates an arbitrary record source starting at startPC.
+// RunSource simulates an arbitrary record source starting at startPC. A
+// session built with ResumeFrom instead restores the checkpoint and
+// continues from its cycle — src must then yield the identical record
+// stream the checkpointed run consumed (startPC is taken from the
+// checkpoint). Unlike RunWorkload and RunTrace, an arbitrary source has no
+// identity the session could stamp into checkpoints or validate on resume;
+// matching checkpoint and source is the caller's responsibility here.
 func (s *Session) RunSource(ctx context.Context, src Source, startPC uint32) (Result, error) {
-	eng, err := core.New(s.engineConfig(), src, startPC)
+	return s.runSource(ctx, src, startPC, "")
+}
+
+// runSource is the shared single-engine run path. inputTag identifies the
+// record stream when the caller knows it: captured checkpoints carry it,
+// and a ResumeFrom checkpoint carrying a different tag is rejected before
+// any simulation — resuming against the wrong input must fail loudly, not
+// produce plausible wrong statistics. Empty tags (RunSource, or checkpoints
+// captured below the session layer) skip the check.
+func (s *Session) runSource(ctx context.Context, src Source, startPC uint32, inputTag string) (Result, error) {
+	cfg := s.engineConfig()
+	cfg.CheckpointEvery = s.ckptEvery
+	if s.ckptSink != nil {
+		sink := s.ckptSink
+		cfg.CheckpointSink = func(cp *core.Checkpoint) error {
+			cp.Input = inputTag
+			return sink(cp)
+		}
+	}
+	var eng *core.Engine
+	var err error
+	if s.resume != nil {
+		if s.resume.Input != "" && inputTag != "" && s.resume.Input != inputTag {
+			return Result{}, fmt.Errorf("resim: checkpoint was captured from %q, this run simulates %q", s.resume.Input, inputTag)
+		}
+		eng, err = core.Restore(cfg, src, s.resume)
+	} else {
+		eng, err = core.New(cfg, src, startPC)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -313,7 +396,12 @@ func (s *Session) RunTrace(ctx context.Context, path string) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return s.RunSource(ctx, src, hdr.StartPC)
+	// The tag combines the file's base name (stable across directories)
+	// with the header identity, so both a renamed trace and a same-named
+	// file with different contents fail resume loudly rather than risking
+	// a silent wrong-stream attach.
+	tag := fmt.Sprintf("trace:%s@pc=%#x/records=%d", filepath.Base(path), hdr.StartPC, hdr.Records)
+	return s.runSource(ctx, src, hdr.StartPC, tag)
 }
 
 // WriteTrace generates a ReSim trace for the named workload into w
@@ -473,6 +561,10 @@ func (s *Session) Sweep(ctx context.Context, workloadName string, instructions u
 			Parallelism:  maxProcs,
 			Traces:       s.traces,
 			DisableCache: s.traces == nil,
+			// Sessions that opted into checkpointing extend it to sweeps:
+			// each in-flight point ships periodic checkpoints to the
+			// scheduler so a killed worker's remainder resumes mid-run.
+			CheckpointEvery: s.sweepCheckpointEvery(),
 		})
 	}
 	return sweepd.Run(ctx, job, workers, s.sweepEmit())
@@ -492,6 +584,20 @@ func (s *Session) SweepRemote(ctx context.Context, addr, workloadName string, in
 		return nil, err
 	}
 	return sweepd.RunRemote(ctx, addr, job, s.cfg.Observer)
+}
+
+// sweepCheckpointEvery returns the per-point checkpoint cadence for local
+// sweeps: the WithCheckpointEvery cadence (with the same zero-means-default
+// rule single runs use), or 0 — no capture — when the session never opted
+// into checkpointing.
+func (s *Session) sweepCheckpointEvery() uint64 {
+	if s.ckptSink == nil {
+		return 0
+	}
+	if s.ckptEvery == 0 {
+		return core.DefaultObserverInterval
+	}
+	return s.ckptEvery
 }
 
 // sweepJob resolves a sweep invocation into a scheduler job.

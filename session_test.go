@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -262,15 +263,31 @@ func TestRunWorkloadCancellation(t *testing.T) {
 }
 
 func TestRunWorkloadCancellationMidRun(t *testing.T) {
-	ses, err := resim.New()
+	// The observer must receive a terminal non-Final snapshot on the
+	// cancellation path — the callback that stops sweepd clients and
+	// dashboards from hanging on the last interval.
+	var mu sync.Mutex
+	var last resim.Progress
+	var calls, finals int
+	ses, err := resim.New(resim.WithObserver(resim.ObserverFunc(func(p resim.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		last = p
+		if p.Final {
+			finals++
+		}
+	}), 1024))
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
+	var res resim.Result
 	go func() {
 		// Effectively unbounded budget; only cancellation stops it promptly.
-		_, err := ses.RunWorkload(ctx, "gzip", 1<<62)
+		var err error
+		res, err = ses.RunWorkload(ctx, "gzip", 1<<62)
 		done <- err
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -282,6 +299,17 @@ func TestRunWorkloadCancellationMidRun(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("run did not stop after cancellation")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls == 0 {
+		t.Fatal("cancelled run delivered no observer callbacks")
+	}
+	if finals != 0 {
+		t.Errorf("cancelled run delivered %d Final callbacks, want 0", finals)
+	}
+	if last.Final || last.Cycles != res.Cycles {
+		t.Errorf("terminal snapshot = %+v, want non-Final at the returned %d cycles", last, res.Cycles)
 	}
 }
 
@@ -499,6 +527,181 @@ func TestSessionTraceRoundTrip(t *testing.T) {
 	}
 	if offline.Counters != online.Counters {
 		t.Error("offline trace run differs from on-the-fly run")
+	}
+}
+
+// --- checkpoint / resume ----------------------------------------------------
+
+// TestCheckpointKillResumeByteIdentical is the issue's acceptance
+// criterion at the public API: a run checkpointed at an interval boundary
+// and killed (via ctx, as a process death would) resumes through ResumeFrom
+// to final statistics byte-identical to the uninterrupted run — rendered
+// registry report included.
+func TestCheckpointKillResumeByteIdentical(t *testing.T) {
+	const workload = "gzip"
+	const instrs = 120_000
+
+	ses, err := resim.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ses.RunWorkload(context.Background(), workload, instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpointed run, killed right after the third checkpoint lands.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var latest *resim.Checkpoint
+	var captured int
+	killed, err := resim.New(resim.WithCheckpointEvery(8192, func(cp *resim.Checkpoint) error {
+		mu.Lock()
+		defer mu.Unlock()
+		latest = cp
+		if captured++; captured == 3 {
+			cancel()
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := killed.RunWorkload(ctx, workload, instrs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run err = %v, want context.Canceled", err)
+	}
+	mu.Lock()
+	cp := latest
+	mu.Unlock()
+	if cp == nil {
+		t.Fatal("sink never received a checkpoint")
+	}
+	if cp.Cycles() != 3*8192 {
+		t.Fatalf("latest checkpoint at cycle %d, want the 3rd 8192 boundary", cp.Cycles())
+	}
+
+	resumed, err := resim.New(resim.ResumeFrom(cp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.RunWorkload(context.Background(), workload, instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters != want.Counters || got.ICache != want.ICache || got.DCache != want.DCache {
+		t.Errorf("resumed run counters differ from the uninterrupted run")
+	}
+	if a, b := got.Registry().String(), want.Registry().String(); a != b {
+		t.Errorf("resumed statistics report not byte-identical:\n--- resumed\n%s\n--- uninterrupted\n%s", a, b)
+	}
+
+	// Resuming against a different input must fail loudly, never produce a
+	// plausible wrong report: different workload, and different budget.
+	if _, err := resumed.RunWorkload(context.Background(), "parser", instrs); err == nil {
+		t.Error("gzip checkpoint resumed against the parser workload")
+	}
+	if _, err := resumed.RunWorkload(context.Background(), workload, instrs/2); err == nil {
+		t.Error("checkpoint resumed against a different instruction budget")
+	}
+}
+
+// TestCheckpointResumeTraceFile: the same property over a trace container
+// (RunTrace re-attaches the file reader at the checkpointed record).
+func TestCheckpointResumeTraceFile(t *testing.T) {
+	ses, err := resim.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "parser.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses.WriteTrace(ctx, f, "parser", 60_000, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ses.RunTrace(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ckptPath := filepath.Join(t.TempDir(), "parser.ckpt")
+	killed, err := resim.New(resim.WithCheckpointEvery(16384, func(cp *resim.Checkpoint) error {
+		if err := resim.SaveCheckpoint(ckptPath, cp); err != nil {
+			return err
+		}
+		cancel() // die after the first saved checkpoint
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := killed.RunTrace(kctx, path); !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run err = %v, want context.Canceled", err)
+	}
+	cp, err := resim.LoadCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Cycles() == 0 {
+		t.Fatal("checkpoint at cycle 0")
+	}
+	resumed, err := resim.New(resim.ResumeFrom(cp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.RunTrace(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters != want.Counters {
+		t.Error("trace-file resume differs from the uninterrupted run")
+	}
+	if a, b := got.Registry().String(), want.Registry().String(); a != b {
+		t.Error("trace-file resume statistics report not byte-identical")
+	}
+}
+
+// TestSessionSweepWithCheckpointingMatchesPlain: a checkpointing session's
+// sweeps (whose loopback workers capture and ship per-point checkpoints to
+// the scheduler) return results identical to a plain session's — capture is
+// invisible in the output. The actual worker-death resume is exercised at
+// the scheduler level in internal/sweepd.
+func TestSessionSweepWithCheckpointingMatchesPlain(t *testing.T) {
+	ses, err := resim.New(resim.WithCheckpointEvery(4096, func(*resim.Checkpoint) error { return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := resim.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := resim.SweepGrid("rb", plain.Config(), []int{8, 16}, func(c *resim.Config, v int) {
+		c.RBSize = v
+	})
+	ctx := context.Background()
+	want, err := plain.Sweep(ctx, "gzip", 60_000, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ses.Sweep(ctx, "gzip", 60_000, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i].Err != nil || got[i].Err != nil {
+			t.Fatalf("point %d errs: %v / %v", i, want[i].Err, got[i].Err)
+		}
+		if want[i].Res.Counters != got[i].Res.Counters {
+			t.Errorf("point %s: checkpointing sweep differs from plain sweep", want[i].Name)
+		}
 	}
 }
 
