@@ -276,6 +276,59 @@ func BenchmarkEngineTraceDriven(b *testing.B) {
 	}
 }
 
+// benchStreamEngine runs the engine over a synthesized record stream —
+// the controlled stimulus for targeting one part of the cycle loop.
+func benchStreamEngine(b *testing.B, cfg core.Config, sp workload.StreamProfile) {
+	b.Helper()
+	recs, err := sp.Records(benchInstrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	slice := trace.NewSliceSource(recs)
+	b.ResetTimer()
+	var committed uint64
+	for i := 0; i < b.N; i++ {
+		slice.Reset()
+		eng, err := core.New(cfg, slice, 0x1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed = res.Committed
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(committed)*float64(b.N)/sec/1e6, "host_MIPS")
+	}
+}
+
+// BenchmarkEngineWakeHeavy stresses the wakeup/issue path: long register
+// dependency chains (every instruction's operands come from the last few
+// producers) keep most of the window waiting on broadcasts, so writeback
+// wakeup and ready-queue maintenance dominate. Gated in CI.
+func BenchmarkEngineWakeHeavy(b *testing.B) {
+	sp := workload.DefaultStreamProfile(0xAE)
+	sp.LoadFrac, sp.StoreFrac = 0.05, 0.03
+	sp.BranchFrac = 0.02
+	sp.MulFrac, sp.DivFrac = 0.10, 0.02
+	sp.DepWindow = 2 // tight chains: low ILP, wakeup-bound
+	benchStreamEngine(b, core.DefaultConfig(), sp)
+}
+
+// BenchmarkEngineMemHeavy stresses the LSQ path: two thirds of the stream
+// are loads and stores over a small address range, exercising refresh,
+// disambiguation, store-to-load forwarding and the LSQ handles. Gated in
+// CI.
+func BenchmarkEngineMemHeavy(b *testing.B) {
+	sp := workload.DefaultStreamProfile(0x3E3)
+	sp.LoadFrac, sp.StoreFrac = 0.45, 0.22
+	sp.BranchFrac = 0.05
+	sp.MemRange = 1 << 10 // dense aliasing: forwarding and partial overlaps
+	benchStreamEngine(b, core.DefaultConfig(), sp)
+}
+
 // BenchmarkFunctionalSimulator measures the trace-generation substrate.
 func BenchmarkFunctionalSimulator(b *testing.B) {
 	p, err := workload.ByName("bzip2")

@@ -1,7 +1,10 @@
 // Command benchguard is the CI benchmark-regression gate: it parses
 // `go test -bench` output, compares the ns/op of each benchmark listed in a
 // committed baseline (BENCH_baseline.json) and fails when any of them
-// regressed beyond a threshold (default 20%).
+// regressed beyond a threshold (default 20%). A benchmark present in the
+// bench output but absent from the baseline also fails — a newly added gate
+// benchmark must be committed to the baseline (`-update`) before it guards
+// anything, instead of passing silently forever.
 //
 // The comparison is deliberately conservative against noise: when the bench
 // output holds several samples of one benchmark (-count=N), the minimum
@@ -89,7 +92,8 @@ type verdict struct {
 	base, cur  float64
 	delta      float64 // (cur-base)/base
 	regressed  bool
-	missing    bool
+	missing    bool // listed in the baseline, absent from the bench output
+	unknown    bool // present in the bench output, absent from the baseline
 	overweight bool // improved past the threshold: baseline is stale
 }
 
@@ -127,6 +131,19 @@ func compare(base Baseline, cur map[string]float64, threshold float64, calibrate
 			regressed:  gated && d > threshold,
 			overweight: gated && d < -threshold,
 		})
+	}
+	// A benchmark that runs in the gate but has no committed reference
+	// would otherwise pass silently forever — fail until the baseline
+	// learns it.
+	extras := make([]string, 0)
+	for n := range cur {
+		if _, ok := base.Benchmarks[n]; !ok {
+			extras = append(extras, n)
+		}
+	}
+	sort.Strings(extras)
+	for _, n := range extras {
+		out = append(out, verdict{name: n, cur: cur[n], unknown: true})
 	}
 	return out, scale, nil
 }
@@ -207,6 +224,11 @@ func run() error {
 			fmt.Printf("%-44s %14.0f %14s %8s  MISSING from bench output\n", v.name, v.base, "-", "-")
 			continue
 		}
+		if v.unknown {
+			failed = true
+			fmt.Printf("%-44s %14s %14.0f %8s  NOT IN BASELINE: run `go run ./cmd/benchguard -update` to add it\n", v.name, "-", v.cur, "-")
+			continue
+		}
 		tag := ""
 		if v.name == *calibrate {
 			tag = "  (calibrator, not gated)"
@@ -221,7 +243,7 @@ func run() error {
 		fmt.Printf("%-44s %14.0f %14.0f %+7.1f%%%s\n", v.name, v.base, v.cur, v.delta*100, tag)
 	}
 	if failed {
-		return fmt.Errorf("benchguard: benchmark regression beyond %.0f%% (or missing benchmark)", *threshold*100)
+		return fmt.Errorf("benchguard: benchmark regression beyond %.0f%% (or benchmark missing from the run or the baseline)", *threshold*100)
 	}
 	fmt.Println("benchguard: OK")
 	return nil

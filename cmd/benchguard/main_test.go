@@ -48,8 +48,8 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	if err != nil || scale != 1.0 {
 		t.Fatalf("uncalibrated compare: scale=%v err=%v", scale, err)
 	}
-	if len(vs) != 4 {
-		t.Fatalf("verdicts = %d, want 4 (extra current benchmarks ignored)", len(vs))
+	if len(vs) != 5 {
+		t.Fatalf("verdicts = %d, want 5 (baseline's four plus the unknown BenchE)", len(vs))
 	}
 	byName := map[string]verdict{}
 	for _, v := range vs {
@@ -66,6 +66,33 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 	if !byName["BenchD"].overweight || byName["BenchD"].regressed {
 		t.Error("BenchD improvement not marked as stale-baseline hint")
+	}
+	if !byName["BenchE"].unknown {
+		t.Error("BenchE (run but absent from the baseline) not flagged; gate benchmarks must not pass silently before the baseline learns them")
+	}
+}
+
+// TestCompareUnknownBenchmarkFails pins the run-side behavior: a gate run
+// containing a benchmark the baseline does not list fails the gate (with
+// the -update hint printed by run), rather than passing silently.
+func TestCompareUnknownBenchmarkFails(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]float64{"BenchA": 100}}
+	cur := map[string]float64{"BenchA": 100, "BenchNew": 42}
+	vs, _, err := compare(base, cur, 0.20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unknown *verdict
+	for i := range vs {
+		if vs[i].name == "BenchNew" {
+			unknown = &vs[i]
+		}
+	}
+	if unknown == nil || !unknown.unknown {
+		t.Fatalf("BenchNew verdict = %+v, want unknown=true", unknown)
+	}
+	if unknown.cur != 42 {
+		t.Errorf("unknown verdict cur = %v, want the measured 42", unknown.cur)
 	}
 }
 

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"repro/internal/tables"
@@ -25,15 +27,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	var (
-		all      = flag.Bool("all", false, "regenerate every table and figure")
-		table    = flag.Int("table", 0, "regenerate one table (1-4)")
-		figure   = flag.Int("figure", 0, "render one figure (2-4)")
-		ablation = flag.Bool("ablation", false, "run the serial-vs-parallel ablation")
-		compress = flag.Bool("compression", false, "run the trace-compression extension")
-		bpSweep  = flag.String("bpred-sweep", "", "run the predictor sweep on this workload")
-		wpSweep  = flag.String("wrongpath-sweep", "", "run the wrong-path sizing sweep on this workload")
-		n        = flag.Uint64("n", 200_000, "instructions per benchmark point")
-		width    = flag.Int("width", 4, "figure/ablation processor width")
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		table      = flag.Int("table", 0, "regenerate one table (1-4)")
+		figure     = flag.Int("figure", 0, "render one figure (2-4)")
+		ablation   = flag.Bool("ablation", false, "run the serial-vs-parallel ablation")
+		compress   = flag.Bool("compression", false, "run the trace-compression extension")
+		bpSweep    = flag.String("bpred-sweep", "", "run the predictor sweep on this workload")
+		wpSweep    = flag.String("wrongpath-sweep", "", "run the wrong-path sizing sweep on this workload")
+		n          = flag.Uint64("n", 200_000, "instructions per benchmark point")
+		width      = flag.Int("width", 4, "figure/ablation processor width")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
 	opts := tables.Options{Instructions: *n}
@@ -43,6 +47,40 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Profiling hooks: perf work on the engine should start from a
+	// profile of the real artifact workloads, not a guess. check() runs
+	// stopProfiles before exiting, so a failing run — a prime profiling
+	// target — still leaves readable profiles.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		addCleanup(func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "resim-bench:", err)
+			}
+		})
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		addCleanup(func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "resim-bench:", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "resim-bench:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "resim-bench:", err)
+			}
+		})
+	}
+	defer runCleanups()
 
 	run := func(t int) {
 		switch t {
@@ -110,9 +148,23 @@ func main() {
 	}
 }
 
+// cleanups flush profiling output; they run once, on normal return or on
+// the error exit path (os.Exit skips defers).
+var cleanups []func()
+
+func addCleanup(fn func()) { cleanups = append(cleanups, fn) }
+
+func runCleanups() {
+	for _, fn := range cleanups {
+		fn()
+	}
+	cleanups = nil
+}
+
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "resim-bench:", err)
+		runCleanups()
 		os.Exit(1)
 	}
 }

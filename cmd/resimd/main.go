@@ -46,6 +46,7 @@ func main() {
 		cacheMB     = flag.Int64("cache-mb", 0, "trace-cache resident budget in MiB (0 = default 1 GiB)")
 		retry       = flag.Duration("retry", 5*time.Second, "worker: reconnect delay after losing the coordinator (0 = exit instead)")
 		ckptEvery   = flag.Uint64("checkpoint-every", 0, "worker: cycles between engine checkpoints shipped to the coordinator (0 = 65536); requeued groups resume from them")
+		ckptBudget  = flag.Int64("checkpoint-budget-mb", 0, "coordinator: cap on retained resume-checkpoint MiB per job (0 = 64 MiB, -1 = unlimited); excess drops least-recently-updated points' resume state")
 		verbose     = flag.Bool("v", false, "log per-point worker progress")
 	)
 	flag.Parse()
@@ -59,9 +60,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	budget := *ckptBudget
+	if budget > 0 {
+		budget <<= 20
+	}
 	switch *role {
 	case "coordinator":
-		runCoordinator(ctx, *listen, traces)
+		runCoordinator(ctx, *listen, traces, budget)
 	case "worker":
 		if *coordinator == "" {
 			log.Fatal("resimd: -role worker requires -coordinator host:port")
@@ -81,10 +86,11 @@ func main() {
 	}
 }
 
-func runCoordinator(ctx context.Context, listen string, traces *tracecache.Cache) {
+func runCoordinator(ctx context.Context, listen string, traces *tracecache.Cache, ckptBudget int64) {
 	coord := sweepd.NewCoordinator()
 	coord.Traces = traces
 	coord.Logf = log.Printf
+	coord.CheckpointBudget = ckptBudget
 	go func() {
 		<-ctx.Done()
 		coord.Close()

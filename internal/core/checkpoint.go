@@ -24,8 +24,10 @@ import (
 
 	"repro/internal/bpred"
 	"repro/internal/cache"
+	"repro/internal/isa"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/uarch"
 )
 
 // CheckpointVersion is the current checkpoint encoding version; decoding
@@ -322,5 +324,104 @@ func Restore(cfg Config, src trace.Source, cp *Checkpoint) (*Engine, error) {
 	e.ifqOcc = cp.IFQOcc
 	e.rbOcc = cp.RBOcc
 	e.lsqOcc = cp.LSQOcc
+	if err := e.rebuildDerived(); err != nil {
+		return nil, err
+	}
 	return e, nil
+}
+
+// rebuildDerived reconstructs the engine's event-scheduling state — LSQ
+// handles, consumer lists, the ready queue and the completion heap — from
+// freshly restored architectural state. Checkpoints never serialize any of
+// it (the JSON format predates it and stays stable); it is all a pure
+// function of the reorder-buffer, LSQ and rename contents:
+//
+//   - memory instructions pair with LSQ entries in age order, giving each
+//     its lsqAbs handle;
+//   - a dispatched entry with a pending operand registers it on the
+//     producer named by its src seq (resident and not yet broadcast, or the
+//     operand would be ready);
+//   - dispatched entries with all operands ready form the ready queue;
+//   - issued entries form the completion heap, or the broadcast-overflow
+//     queue when their completeAt has already passed (a Width-saturated
+//     writeback deferred them).
+func (e *Engine) rebuildDerived() error {
+	e.clearDerived()
+	if e.rob.Empty() {
+		if e.lsq.Len() != 0 {
+			return fmt.Errorf("core: %d LSQ entries with an empty reorder buffer", e.lsq.Len())
+		}
+		return nil
+	}
+	headSeq := e.rob.At(0).seq
+	robBase := e.rob.Base()
+	n := int64(e.rob.Len())
+	li := 0
+	for i := 0; i < e.rob.Len(); i++ {
+		en := e.rob.At(i)
+		abs := robBase + int64(i)
+		en.lsq = nil
+		en.slot = int32(abs & e.consMask)
+		if en.rec.Kind == trace.KindMem {
+			if li >= e.lsq.Len() || e.lsq.At(li).seq != en.seq {
+				return fmt.Errorf("core: LSQ out of sync with reorder buffer at seq %d", en.seq)
+			}
+			en.lsq = e.lsq.At(li)
+			li++
+			if !en.rec.Store {
+				e.lsqLoads++
+			}
+		}
+		switch en.state {
+		case stDispatched:
+			for op, pending := range []struct {
+				srcSeq int64
+				rdy    bool
+			}{{en.src1Seq, en.src1Rdy}, {en.src2Seq, en.src2Rdy}} {
+				if pending.rdy {
+					continue
+				}
+				if pending.srcSeq < headSeq || pending.srcSeq >= headSeq+n {
+					return fmt.Errorf("core: seq %d waits on producer %d outside the reorder buffer", en.seq, pending.srcSeq)
+				}
+				// Resident seqs are contiguous in a well-formed checkpoint;
+				// verify rather than assume, so a malformed one fails restore
+				// instead of silently mis-wiring the wakeup graph.
+				prod := e.rob.At(int(pending.srcSeq - headSeq))
+				if prod.seq != pending.srcSeq {
+					return fmt.Errorf("core: reorder-buffer seqs not contiguous: found %d looking for producer %d", prod.seq, pending.srcSeq)
+				}
+				e.addConsumer(prod, en, uint8(op))
+			}
+			if en.src1Rdy && en.src2Rdy {
+				e.readyQ = append(e.readyQ, en)
+			}
+		case stIssued:
+			if en.completeAt <= e.now {
+				e.wbReady = append(e.wbReady, en)
+			} else {
+				e.heapPush(en.completeAt, en)
+			}
+		}
+		// Re-point the producer mirror at entries the rename table still
+		// names.
+		if d := en.rec.Dest; d != isa.NoReg && e.rt.Producer(d) == en.seq {
+			e.prodPtr[d] = en
+		}
+	}
+	if li != e.lsq.Len() {
+		return fmt.Errorf("core: %d LSQ entries unmatched by reorder-buffer memory instructions", e.lsq.Len()-li)
+	}
+	// Every producer the restored rename table names must be resident (the
+	// prodPtr mirror above found it), or the first dispatch reading that
+	// register would chase a nil producer mid-run; fail restore instead.
+	for r, seq := range e.rt.Producers() {
+		if seq == uarch.NoProducer {
+			continue
+		}
+		if p := e.prodPtr[r]; p == nil || p.seq != seq {
+			return fmt.Errorf("core: rename table names seq %d as r%d's producer, but no resident instruction writes it", seq, r)
+		}
+	}
+	return nil
 }

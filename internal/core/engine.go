@@ -49,6 +49,26 @@ type robEntry struct {
 	src1Rdy    bool
 	src2Rdy    bool
 	completeAt int64
+
+	// Derived scheduling handles — never serialized, rebuilt by
+	// rebuildDerived after a checkpoint restore. Ring slots are stable for
+	// an entry's whole residence, so pointers are safe exactly as long as
+	// the engine's structural invariants hold (pinned by the randomized
+	// equivalence harness).
+	//
+	// lsq is this instruction's load/store queue entry (memory operations
+	// only) — the O(1) handle that replaces searching the LSQ by sequence
+	// number. slot indexes the engine's consumer-list table.
+	lsq  *lsqEntry
+	slot int32
+}
+
+// consRef is one pending operand registered on a producer's consumer list:
+// the dependent entry and which of its operands (0 = src1, 1 = src2) the
+// producer supplies.
+type consRef struct {
+	en *robEntry
+	op uint8
 }
 
 // lsqEntry is a load/store queue entry.
@@ -84,6 +104,21 @@ const (
 	fmWrongPath                  // tagged records after a mispredicted branch
 	fmStarved                    // waiting for mis-speculation resolution
 )
+
+// String names the fetch mode for diagnostics (the no-progress watchdog
+// prints it, so a wedged-simulation report reads "mode=starved" instead of
+// a bare ordinal).
+func (m fetchMode) String() string {
+	switch m {
+	case fmNormal:
+		return "normal"
+	case fmWrongPath:
+		return "wrong-path"
+	case fmStarved:
+		return "starved"
+	}
+	return fmt.Sprintf("fetchMode(%d)", uint8(m))
+}
 
 // Counters are the engine's 64-bit event counters (paper §V.B).
 type Counters struct {
@@ -154,6 +189,53 @@ type Engine struct {
 	ifqOcc stats.Occupancy
 	rbOcc  stats.Occupancy
 	lsqOcc stats.Occupancy
+
+	// Event-aware scheduling state. All of it is derived — rebuilt from the
+	// architectural state by rebuildDerived (checkpoint restore) and cleared
+	// wholesale on Reset and mis-speculation recovery — so the serialized
+	// checkpoint format does not carry it. Entries are referenced by
+	// pointer: ring slots are stable for an entry's whole residence.
+	// Invariants:
+	//
+	//   - readyQ holds every dispatched entry whose register operands are
+	//     all ready, in age order. issue consumes it instead of scanning
+	//     the reorder buffer.
+	//   - wbNext holds entries completing exactly next cycle (the 1-cycle
+	//     fast lane), age-ordered; wbHeap is a min-heap on (completeAt,
+	//     seq) of the rest still executing; wbReady holds
+	//     completed-but-not-yet-broadcast entries (Width overflow), in age
+	//     order. writeback drains the lane and the heap instead of
+	//     scanning the reorder buffer.
+	//   - cons[en.slot] lists the operands waiting on producer en (slot =
+	//     dispatch-time absolute index & consMask; cons is sized to the
+	//     next power of two ≥ RBSize, and resident entries span fewer
+	//     absolute indices than that, so live entries never collide). wake
+	//     walks the producer's list instead of scanning the reorder
+	//     buffer; the list is emptied at broadcast, so a slot is always
+	//     clean when a future entry reuses it.
+	readyQ    []*robEntry
+	wbReady   []*robEntry
+	wbHeap    []wbItem
+	wbNext    []*robEntry // completions due exactly next cycle (the 1-cycle-latency fast lane)
+	cons      [][]consRef
+	consMask  int64
+	lsqLoads  int         // resident LSQ loads; lsqRefresh is a no-op without any
+	lsqStores []*lsqEntry // lsqRefresh scratch: older stores seen so far
+	// icPerfect/dcPerfect devirtualize the dominant cache model: when the
+	// configured model is cache.Perfect the per-access interface dispatch
+	// becomes an inlinable direct call.
+	icPerfect *cache.Perfect
+	dcPerfect *cache.Perfect
+	// prodPtr mirrors the rename table with the producer's reorder-buffer
+	// entry, letting dispatch register a consumer without a search. Only
+	// meaningful for registers whose rename entry names a producer.
+	prodPtr [isa.NumRegs]*robEntry
+}
+
+// wbItem schedules one issued instruction's completion broadcast.
+type wbItem struct {
+	at int64 // completeAt
+	en *robEntry
 }
 
 // ErrNoProgress reports a wedged simulation (an engine bug or a malformed
@@ -197,6 +279,22 @@ func New(cfg Config, src trace.Source, startPC uint32) (*Engine, error) {
 	e.ifqOcc = stats.Occupancy{Name: "IFQ_occupancy", Desc: "instruction fetch queue", Cap: cfg.IFQSize}
 	e.rbOcc = stats.Occupancy{Name: "RB_occupancy", Desc: "reorder buffer", Cap: cfg.RBSize}
 	e.lsqOcc = stats.Occupancy{Name: "LSQ_occupancy", Desc: "load/store queue", Cap: cfg.LSQSize}
+	consSlots := 1
+	for consSlots < cfg.RBSize {
+		consSlots <<= 1
+	}
+	e.cons = make([][]consRef, consSlots)
+	for i := range e.cons {
+		e.cons[i] = make([]consRef, 0, 4)
+	}
+	e.consMask = int64(consSlots - 1)
+	e.readyQ = make([]*robEntry, 0, cfg.RBSize)
+	e.wbReady = make([]*robEntry, 0, cfg.RBSize)
+	e.wbNext = make([]*robEntry, 0, cfg.Width*2)
+	e.wbHeap = make([]wbItem, 0, cfg.RBSize)
+	e.lsqStores = make([]*lsqEntry, 0, cfg.LSQSize)
+	e.icPerfect, _ = e.icache.(*cache.Perfect)
+	e.dcPerfect, _ = e.dcache.(*cache.Perfect)
 	return e, nil
 }
 
@@ -236,10 +334,146 @@ func (e *Engine) Cycle() error {
 
 	e.now++
 	e.c.Cycles++
+	return e.checkWatchdog()
+}
+
+// checkWatchdog diagnoses a wedged simulation after a cycle (or bulk idle
+// skip) has been accounted.
+func (e *Engine) checkWatchdog() error {
 	if e.now-e.lastCommitAt > watchdogCycles {
-		return fmt.Errorf("%w at cycle %d: rob=%d ifq=%d mode=%d", ErrNoProgress, e.now, e.rob.Len(), e.ifq.Len(), e.mode)
+		return fmt.Errorf("%w at cycle %d: rob=%d ifq=%d mode=%v", ErrNoProgress, e.now, e.rob.Len(), e.ifq.Len(), e.mode)
 	}
 	return nil
+}
+
+// stepFast is the run-loop step RunContext drives: it advances the
+// simulation until the next control boundary (context-poll cadence,
+// observer/checkpoint interval, cycle budget, completion), bulk-skipping
+// provably idle regions on the way. When fetch is serving a penalty or
+// miss (or is starved or out of records), nothing can commit, broadcast or
+// issue before a known future cycle — every skipped cycle would only have
+// incremented Cycles, the fetch idle/starved counters and the occupancy
+// accumulators, which skipIdle applies in one arithmetic update,
+// byte-identical to stepping. Active cycles run in a tight loop here, so
+// the drive loop's per-step bookkeeping amortizes over thousands of
+// cycles. Per-cycle callers (Engine.Cycle, the lockstep multicore cluster)
+// are unaffected.
+func (e *Engine) stepFast() error {
+	limit := e.stepLimit()
+	for {
+		if n := e.idleCycles(limit); n >= 1 {
+			e.skipIdle(n)
+			if err := e.checkWatchdog(); err != nil {
+				return err
+			}
+		} else if err := e.Cycle(); err != nil {
+			return err
+		}
+		if e.c.Cycles >= limit || e.Done() {
+			return nil
+		}
+	}
+}
+
+// stepLimit returns the absolute Cycles count at which stepFast must hand
+// control back to the drive loop: the next context-poll boundary, capped to
+// the next observer/checkpoint boundary (so hook cadence stays on absolute
+// interval multiples as Drive documents) and the MaxCycles budget.
+func (e *Engine) stepLimit() uint64 {
+	limit := nextBoundary(e.c.Cycles, CtxCheckInterval)
+	if e.cfg.Observer != nil {
+		iv := e.cfg.ObserverInterval
+		if iv == 0 {
+			iv = DefaultObserverInterval
+		}
+		if b := nextBoundary(e.c.Cycles, iv); b < limit {
+			limit = b
+		}
+	}
+	if e.cfg.CheckpointSink != nil {
+		iv := e.cfg.CheckpointEvery
+		if iv == 0 {
+			iv = DefaultObserverInterval
+		}
+		if b := nextBoundary(e.c.Cycles, iv); b < limit {
+			limit = b
+		}
+	}
+	if e.cfg.MaxCycles != 0 && e.cfg.MaxCycles < limit {
+		limit = e.cfg.MaxCycles
+	}
+	return limit
+}
+
+// idleCycles returns how many cycles starting at e.now are provably no-ops,
+// bounded so the skip never crosses a cycle where simulated state can
+// change, the stepFast control boundary (limit, an absolute Cycles count),
+// or the point where the no-progress watchdog fires. 0 means the next
+// cycle must execute normally.
+func (e *Engine) idleCycles(limit uint64) int64 {
+	// Any queued work means the next cycle can act.
+	if !e.ifq.Empty() || len(e.readyQ) > 0 || len(e.wbReady) > 0 || len(e.wbNext) > 0 {
+		return 0
+	}
+	if !e.rob.Empty() && e.rob.Front().state == stCompleted {
+		return 0 // commit would retire the head
+	}
+	// Fetch: inert for good when starved or out of records; otherwise idle
+	// exactly until fetchResumeAt.
+	inert := e.mode == fmStarved || e.srcDone
+	until := int64(math.MaxInt64)
+	if !inert {
+		if e.now >= e.fetchResumeAt {
+			return 0 // fetch runs this cycle
+		}
+		until = e.fetchResumeAt
+	}
+	// Writeback: the earliest completion wakes dependents and re-arms
+	// commit/issue. (LSQ readiness recomputation needs no event here: with
+	// an empty ready queue nothing can issue, and lsqRefresh recomputes its
+	// verdicts from persistent state before the next issue either way.)
+	if len(e.wbHeap) > 0 && e.wbHeap[0].at < until {
+		until = e.wbHeap[0].at
+	}
+	// The watchdog must fire at the same cycle, with the same counters, as
+	// under per-cycle stepping.
+	if w := e.lastCommitAt + watchdogCycles + 1; w < until {
+		until = w
+	}
+	n := until - e.now
+	if n < 1 {
+		return 0
+	}
+	// Stop exactly at the control boundary (context poll, observer or
+	// checkpoint interval, cycle budget — stepLimit folded them all in).
+	if left := int64(limit - e.c.Cycles); left < n {
+		n = left
+	}
+	return n
+}
+
+// skipIdle bulk-applies n idle cycles' worth of counter and occupancy
+// updates: fetch-idle cycles while the resume penalty runs, fetch-starved
+// cycles beyond it when fetch waits for mis-speculation resolution, and one
+// occupancy sample per structure per cycle at the (constant) current
+// lengths.
+func (e *Engine) skipIdle(n int64) {
+	idle := int64(0)
+	if e.fetchResumeAt > e.now {
+		idle = e.fetchResumeAt - e.now
+		if idle > n {
+			idle = n
+		}
+	}
+	e.c.FetchIdle += uint64(idle)
+	if e.mode == fmStarved {
+		e.c.FetchStarved += uint64(n - idle)
+	}
+	e.ifqOcc.SampleN(0, uint64(n)) // idle regions require an empty IFQ
+	e.rbOcc.SampleN(e.rob.Len(), uint64(n))
+	e.lsqOcc.SampleN(e.lsq.Len(), uint64(n))
+	e.now += n
+	e.c.Cycles += uint64(n)
 }
 
 // CtxCheckInterval is how many major cycles elapse between context polls in
@@ -287,7 +521,7 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 		func() bool {
 			return e.Done() || (e.cfg.MaxCycles != 0 && e.c.Cycles >= e.cfg.MaxCycles)
 		},
-		e.Cycle,
+		e.stepFast,
 		e.progress)
 	return e.result(), err
 }
@@ -431,21 +665,39 @@ func (e *Engine) Reset(src trace.Source, startPC uint32) {
 	e.ifqOcc.Reset()
 	e.rbOcc.Reset()
 	e.lsqOcc.Reset()
+	e.clearDerived()
+}
+
+// clearDerived empties the event-scheduling structures (ready queue,
+// writeback heap and overflow queue, consumer lists), retaining their
+// backing storage. Called whenever the in-flight window empties wholesale:
+// Reset, mis-speculation recovery, and as the first step of rebuildDerived.
+func (e *Engine) clearDerived() {
+	e.readyQ = e.readyQ[:0]
+	e.wbReady = e.wbReady[:0]
+	e.wbHeap = e.wbHeap[:0]
+	e.wbNext = e.wbNext[:0]
+	e.lsqLoads = 0
+	for i := range e.cons {
+		e.cons[i] = e.cons[i][:0]
+	}
 }
 
 // ---------------------------------------------------------------------------
 // Commit
 
 func (e *Engine) commit() error {
-	for committed := 0; committed < e.cfg.Width && !e.rob.Empty(); committed++ {
-		en := e.rob.At(0)
+	width := e.cfg.Width
+	for committed := 0; committed < width && !e.rob.Empty(); committed++ {
+		en := e.rob.Front()
 		if en.state != stCompleted {
 			break
 		}
 		if en.wrongPath {
 			return fmt.Errorf("core: wrong-path instruction seq %d reached commit (engine bug)", en.seq)
 		}
-		if en.rec.Kind == trace.KindMem && en.rec.Store {
+		isMem := en.rec.Kind == trace.KindMem
+		if isMem && en.rec.Store {
 			// "Commit commits the oldest RB entry releasing Store Operations
 			// to memory, if a memory write port is available" (§III). Store
 			// misses do not stall commit (write-buffer assumption).
@@ -453,44 +705,53 @@ func (e *Engine) commit() error {
 				e.c.StorePortStalls++
 				break
 			}
-			e.dcache.Access(en.rec.Addr, true)
+			if p := e.dcPerfect; p != nil {
+				p.Access(en.rec.Addr, true)
+			} else {
+				e.dcache.Access(en.rec.Addr, true)
+			}
 		}
-
-		popped, _ := e.rob.PopFront()
-		if popped.rec.Kind == trace.KindMem {
-			lq, ok := e.lsq.PopFront()
-			if !ok || lq.seq != popped.seq {
-				return fmt.Errorf("core: LSQ head out of sync at commit of seq %d", popped.seq)
+		if isMem {
+			if e.lsq.Empty() || e.lsq.Front().seq != en.seq {
+				return fmt.Errorf("core: LSQ head out of sync at commit of seq %d", en.seq)
+			}
+			e.lsq.DropFront()
+			if !en.rec.Store {
+				e.lsqLoads--
 			}
 		}
 
 		e.c.Committed++
 		e.lastCommitAt = e.now
 		if e.cfg.PipeTracer != nil {
-			e.cfg.PipeTracer.Stage(popped.seq, e.now, "commit")
+			e.cfg.PipeTracer.Stage(en.seq, e.now, "commit")
 		}
-		switch popped.rec.Kind {
+		switch en.rec.Kind {
 		case trace.KindMem:
-			if popped.rec.Store {
+			if en.rec.Store {
 				e.c.CommittedStores++
 			} else {
 				e.c.CommittedLoads++
 			}
 		case trace.KindBranch:
 			e.c.CommittedBranches++
-			if k := int(popped.rec.Ctrl); k < len(e.c.BranchesByKind) {
+			if k := int(en.rec.Ctrl); k < len(e.c.BranchesByKind) {
 				e.c.BranchesByKind[k]++
 			}
-			if popped.rec.Taken {
+			if en.rec.Taken {
 				e.c.TakenBranches++
 			}
 			if e.bp != nil {
-				e.trainPredictor(popped)
+				e.trainPredictor(en)
 			}
 		}
 
-		if popped.mispred {
-			e.recover(popped)
+		// en points into the ring; capture the recovery inputs before the
+		// slot is released (recover clears the whole buffer).
+		mispred, resumePC := en.mispred, en.actualNext
+		e.rob.DropFront()
+		if mispred {
+			e.recover(resumePC)
 			break
 		}
 	}
@@ -500,7 +761,7 @@ func (e *Engine) commit() error {
 // trainPredictor applies commit-time predictor updates ("Commit ... updates
 // the Branch Predictor in case of branch", §III). RAS push/pop happen at
 // fetch, as in the modeled hardware.
-func (e *Engine) trainPredictor(en robEntry) {
+func (e *Engine) trainPredictor(en *robEntry) {
 	r := en.rec
 	switch r.Ctrl {
 	case isa.CtrlCond:
@@ -513,11 +774,11 @@ func (e *Engine) trainPredictor(en robEntry) {
 	}
 }
 
-// recover squashes the pipeline after the mispredicted branch en committed:
+// recover squashes the pipeline after a mispredicted branch committed:
 // every younger instruction is wrong-path by construction, unfetched tagged
-// records are discarded, and fetch resumes at the correct-path PC after the
-// mis-speculation penalty.
-func (e *Engine) recover(en robEntry) {
+// records are discarded, and fetch resumes at the correct-path PC
+// (resumePC) after the mis-speculation penalty.
+func (e *Engine) recover(resumePC uint32) {
 	e.c.MispredResolved++
 	if e.cfg.PipeTracer != nil {
 		for i := 0; i < e.rob.Len(); i++ {
@@ -531,9 +792,10 @@ func (e *Engine) recover(en robEntry) {
 	e.rob.Clear()
 	e.lsq.Clear()
 	e.rt.Reset()
+	e.clearDerived()
 	e.c.WPRecordsDiscarded += uint64(e.src.SkipTagged())
 	e.mode = fmNormal
-	e.fetchPC = en.actualNext
+	e.fetchPC = resumePC
 	e.fetchResumeAt = e.now + 1 + int64(e.cfg.MispredPenalty)
 }
 
@@ -541,59 +803,175 @@ func (e *Engine) recover(en robEntry) {
 // Writeback
 
 // writeback selects the oldest completed instructions (up to Width),
-// broadcasts their results and wakes dependents (§III).
+// broadcasts their results and wakes dependents (§III). Candidates come
+// from the completion heap — instructions whose execution finishes by this
+// cycle drain into the age-ordered wbReady queue — so the cost tracks the
+// number of completions, not the reorder-buffer size.
 func (e *Engine) writeback() {
-	broadcasts := 0
-	for i := 0; i < e.rob.Len() && broadcasts < e.cfg.Width; i++ {
-		en := e.rob.At(i)
-		if en.state != stIssued || en.completeAt > e.now {
-			continue
+	// Common case: no deferred broadcasts, no heap completions due — the
+	// age-sorted fast lane is the whole candidate set and broadcasts
+	// straight out of it.
+	if len(e.wbReady) == 0 && (len(e.wbHeap) == 0 || e.wbHeap[0].at > e.now) {
+		due := e.wbNext
+		if len(due) == 0 {
+			return
 		}
-		en.state = stCompleted
-		broadcasts++
-		if e.cfg.PipeTracer != nil {
-			e.cfg.PipeTracer.Stage(en.seq, e.now, "writeback")
+		broadcasts := len(due)
+		if broadcasts > e.cfg.Width {
+			broadcasts = e.cfg.Width
 		}
-		if en.rec.Dest != isa.NoReg {
-			e.rt.ClearIfProducer(en.rec.Dest, en.seq)
-			e.wake(en.seq)
+		for _, en := range due[:broadcasts] {
+			e.broadcast(en)
 		}
+		// Width overflow (rare): the remainder waits in wbReady.
+		e.wbReady = append(e.wbReady, due[broadcasts:]...)
+		e.wbNext = due[:0]
+		return
+	}
+	// General case: merge the fast lane and due heap completions into the
+	// age-ordered overflow queue, then broadcast its oldest Width.
+	for _, en := range e.wbNext {
+		e.wbReadyInsert(en)
+	}
+	e.wbNext = e.wbNext[:0]
+	for len(e.wbHeap) > 0 && e.wbHeap[0].at <= e.now {
+		e.wbReadyInsert(e.heapPop())
+	}
+	if len(e.wbReady) == 0 {
+		return
+	}
+	broadcasts := len(e.wbReady)
+	if broadcasts > e.cfg.Width {
+		broadcasts = e.cfg.Width
+	}
+	for _, en := range e.wbReady[:broadcasts] {
+		e.broadcast(en)
+	}
+	e.wbReady = append(e.wbReady[:0], e.wbReady[broadcasts:]...)
+}
+
+// broadcast completes en: result broadcast, rename release, dependent
+// wakeup.
+func (e *Engine) broadcast(en *robEntry) {
+	en.state = stCompleted
+	if e.cfg.PipeTracer != nil {
+		e.cfg.PipeTracer.Stage(en.seq, e.now, "writeback")
+	}
+	if en.rec.Dest != isa.NoReg {
+		e.rt.ClearIfProducer(en.rec.Dest, en.seq)
+		e.wake(en)
 	}
 }
 
-// wake marks ready every in-flight source operand produced by seq, and
-// starts address generation for loads whose base register just arrived.
-func (e *Engine) wake(seq int64) {
-	for i := 0; i < e.rob.Len(); i++ {
-		en := e.rob.At(i)
-		if en.state != stDispatched {
-			continue
-		}
-		woke := false
-		if !en.src1Rdy && en.src1Seq == seq {
+// wake marks ready every source operand registered on the broadcasting
+// entry's consumer list, starts address generation for loads whose base
+// register just arrived, and moves now-fully-ready instructions into the
+// ready queue. The list is consumed: a producer broadcasts exactly once.
+func (e *Engine) wake(prod *robEntry) {
+	refs := e.cons[prod.slot]
+	if len(refs) == 0 {
+		return
+	}
+	for _, ref := range refs {
+		en := ref.en
+		if ref.op == 0 {
 			en.src1Rdy = true
-			woke = true
-		}
-		if !en.src2Rdy && en.src2Seq == seq {
+			if en.rec.Kind == trace.KindMem && !en.rec.Store {
+				// Load base register ready: effective address known next cycle.
+				if lq := en.lsq; lq.eaKnownAt == eaUnknown {
+					lq.eaKnownAt = e.now + 1
+				}
+			}
+		} else {
 			en.src2Rdy = true
 		}
-		if woke && en.rec.Kind == trace.KindMem && !en.rec.Store {
-			// Load base register ready: effective address known next cycle.
-			if lq := e.lsqFind(en.seq); lq != nil && lq.eaKnownAt == eaUnknown {
-				lq.eaKnownAt = e.now + 1
-			}
+		if en.src1Rdy && en.src2Rdy {
+			e.readyInsert(en)
 		}
 	}
+	e.cons[prod.slot] = refs[:0]
 }
 
-func (e *Engine) lsqFind(seq int64) *lsqEntry {
-	for i := 0; i < e.lsq.Len(); i++ {
-		lq := e.lsq.At(i)
-		if lq.seq == seq {
-			return lq
-		}
+// addConsumer registers one of en's pending operands on producer prod's
+// consumer list; op is 0 for src1, 1 for src2.
+func (e *Engine) addConsumer(prod, en *robEntry, op uint8) {
+	e.cons[prod.slot] = append(e.cons[prod.slot], consRef{en, op})
+}
+
+// insertBySeq inserts en into the age-ordered (by seq) queue q and returns
+// it — the one insertion discipline every age-ordered engine queue (ready
+// queue, broadcast overflow, 1-cycle completion lane) shares. Arrivals are
+// nearly in age order, so the insertion point is almost always the tail.
+func insertBySeq(q []*robEntry, en *robEntry) []*robEntry {
+	q = append(q, en)
+	i := len(q) - 1
+	for i > 0 && q[i-1].seq > en.seq {
+		q[i] = q[i-1]
+		i--
 	}
-	return nil
+	q[i] = en
+	return q
+}
+
+// readyInsert adds en to the age-ordered ready queue.
+func (e *Engine) readyInsert(en *robEntry) {
+	e.readyQ = insertBySeq(e.readyQ, en)
+}
+
+// wbReadyInsert adds en to the age-ordered broadcast-overflow queue.
+func (e *Engine) wbReadyInsert(en *robEntry) {
+	e.wbReady = insertBySeq(e.wbReady, en)
+}
+
+// heapPush schedules a completion broadcast; the heap orders by
+// (completeAt, seq) so same-cycle completions drain oldest first.
+func (e *Engine) heapPush(at int64, en *robEntry) {
+	h := append(e.wbHeap, wbItem{at, en})
+	i := len(h) - 1
+	it := h[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if wbLess(h[p], it) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = it
+	e.wbHeap = h
+}
+
+// wbLess orders the completion heap by (completeAt, seq).
+func wbLess(a, b wbItem) bool {
+	return a.at < b.at || (a.at == b.at && a.en.seq < b.en.seq)
+}
+
+// heapPop removes and returns the entry with the earliest completion.
+func (e *Engine) heapPop() *robEntry {
+	h := e.wbHeap
+	top := h[0].en
+	last := h[len(h)-1]
+	h = h[:len(h)-1]
+	e.wbHeap = h
+	if len(h) > 0 {
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= len(h) {
+				break
+			}
+			if r := l + 1; r < len(h) && wbLess(h[r], h[l]) {
+				l = r
+			}
+			if !wbLess(h[l], last) {
+				break
+			}
+			h[i] = h[l]
+			i = l
+		}
+		h[i] = last
+	}
+	return top
 }
 
 // ---------------------------------------------------------------------------
@@ -606,51 +984,66 @@ func (e *Engine) lsqFind(seq int64) *lsqEntry {
 // the load (its value is forwarded). A partially overlapping store blocks
 // the load until the store commits and leaves the LSQ.
 func (e *Engine) lsqRefresh() {
+	if e.lsqLoads == 0 {
+		return // stores alone have no readiness to refresh
+	}
 	unknownStore := false
-	for i := 0; i < e.lsq.Len(); i++ {
-		lq := e.lsq.At(i)
-		if lq.store {
-			if lq.eaKnownAt > e.now {
-				unknownStore = true
+	stores := e.lsqStores[:0]
+	s1, s2 := e.lsq.Views()
+	for _, span := range [2][]lsqEntry{s1, s2} {
+		for i := range span {
+			lq := &span[i]
+			if lq.store {
+				if lq.eaKnownAt > e.now {
+					unknownStore = true
+				}
+				stores = append(stores, lq)
+				continue
 			}
-			continue
-		}
-		lq.memReady = false
-		lq.forwarded = false
-		if lq.memIssued || lq.eaKnownAt > e.now || unknownStore {
-			continue
-		}
-		// Find the youngest older store touching the load's bytes.
-		var match *lsqEntry
-		for j := i - 1; j >= 0; j-- {
-			prev := e.lsq.At(j)
-			if prev.store && prev.overlaps(lq) {
-				match = prev
-				break
+			lq.memReady = false
+			lq.forwarded = false
+			if lq.memIssued || lq.eaKnownAt > e.now || unknownStore {
+				continue
 			}
-		}
-		switch {
-		case match == nil:
-			lq.memReady = true
-		case match.eaKnownAt <= e.now && match.covers(lq):
-			// Store has executed and provides every byte: forward without
-			// a read port (§III).
-			lq.memReady = true
-			lq.forwarded = true
-		default:
-			// Pending or partially overlapping store: wait.
+			// Find the youngest older store touching the load's bytes
+			// (stores holds every older store, oldest first).
+			var match *lsqEntry
+			for j := len(stores) - 1; j >= 0; j-- {
+				if stores[j].overlaps(lq) {
+					match = stores[j]
+					break
+				}
+			}
+			switch {
+			case match == nil:
+				lq.memReady = true
+			case match.eaKnownAt <= e.now && match.covers(lq):
+				// Store has executed and provides every byte: forward without
+				// a read port (§III).
+				lq.memReady = true
+				lq.forwarded = true
+			default:
+				// Pending or partially overlapping store: wait.
+			}
 		}
 	}
+	e.lsqStores = stores[:0]
 }
 
 // ---------------------------------------------------------------------------
 // Issue
 
 // issue schedules ready instructions onto functional units, up to Width per
-// major cycle, oldest first (§III). Under the Optimized organization the
-// first issue slot of the major cycle does not consider loads (§IV.B,
-// Figure 4); slot 0 is filled with the oldest ready non-load instead.
+// major cycle, oldest first (§III). Candidates come from the age-ordered
+// ready queue — exactly the dispatched instructions with all register
+// operands available — so the cost tracks the ready set, not the
+// reorder-buffer size. Under the Optimized organization the first issue
+// slot of the major cycle does not consider loads (§IV.B, Figure 4);
+// slot 0 is filled with the oldest ready non-load instead.
 func (e *Engine) issue() {
+	if len(e.readyQ) == 0 {
+		return
+	}
 	slotsLeft := e.cfg.Width
 	if e.cfg.Organization.LoadBarredFromFirstSlot() {
 		// Slot 0 may not take a load: fill it with the oldest ready
@@ -658,41 +1051,37 @@ func (e *Engine) issue() {
 		// never reduces the number of instructions issued per cycle, which
 		// is why the paper can claim the N+3 organization does not affect
 		// timing results (§IV.B); tests verify the equivalence empirically.
-		for i := 0; i < e.rob.Len(); i++ {
-			en := e.rob.At(i)
-			if !e.readyToIssue(en) {
-				continue
-			}
+		for qi, en := range e.readyQ {
 			if en.rec.Kind == trace.KindMem && !en.rec.Store {
-				if lq := e.lsqFind(en.seq); lq != nil && lq.memReady {
+				if en.lsq.memReady {
 					e.c.LoadFirstSlotDeferred++
 				}
 				continue
 			}
 			if e.issueOne(en) {
+				e.readyQ = append(e.readyQ[:qi], e.readyQ[qi+1:]...)
 				break
 			}
 		}
 		slotsLeft = e.cfg.Width - 1 // slot 0 filled or forfeited
 	}
-	for i := 0; i < e.rob.Len() && slotsLeft > 0; i++ {
-		en := e.rob.At(i)
-		if !e.readyToIssue(en) {
-			continue
+	q := e.readyQ
+	out := 0
+	for qi := 0; qi < len(q); qi++ {
+		if slotsLeft > 0 {
+			if e.issueOne(q[qi]) {
+				slotsLeft--
+				continue
+			}
 		}
-		if e.issueOne(en) {
-			slotsLeft--
-		}
+		q[out] = q[qi]
+		out++
 	}
+	e.readyQ = q[:out]
 }
 
-// readyToIssue reports whether en is dispatched with all register operands
-// available.
-func (e *Engine) readyToIssue(en *robEntry) bool {
-	return en.state == stDispatched && en.src1Rdy && en.src2Rdy
-}
-
-// issueOne attempts to start execution of en this cycle.
+// issueOne attempts to start execution of en this cycle, scheduling its
+// completion broadcast on success.
 func (e *Engine) issueOne(en *robEntry) bool {
 	switch en.rec.Kind {
 	case trace.KindMem:
@@ -704,12 +1093,10 @@ func (e *Engine) issueOne(en *robEntry) bool {
 			}
 			en.state = stIssued
 			en.completeAt = e.now + int64(lat)
-			if lq := e.lsqFind(en.seq); lq != nil {
-				lq.eaKnownAt = en.completeAt
-			}
+			en.lsq.eaKnownAt = en.completeAt
 		} else {
-			lq := e.lsqFind(en.seq)
-			if lq == nil || !lq.memReady {
+			lq := en.lsq
+			if !lq.memReady {
 				return false
 			}
 			if lq.forwarded {
@@ -719,7 +1106,12 @@ func (e *Engine) issueOne(en *robEntry) bool {
 				if !e.ports.TryRead() {
 					return false
 				}
-				_, lat := e.dcache.Access(en.rec.Addr, false)
+				var lat int
+				if p := e.dcPerfect; p != nil {
+					_, lat = p.Access(en.rec.Addr, false)
+				} else {
+					_, lat = e.dcache.Access(en.rec.Addr, false)
+				}
 				en.completeAt = e.now + int64(lat)
 			}
 			en.state = stIssued
@@ -747,6 +1139,15 @@ func (e *Engine) issueOne(en *robEntry) bool {
 		en.state = stIssued
 		en.completeAt = e.now + int64(lat)
 	}
+	if en.completeAt == e.now+1 {
+		// The dominant case (single-cycle ALU ops, forwarded loads, L1
+		// hits) skips the heap. The lane is kept age-sorted on insert —
+		// only the Optimized organization's slot-0 pick can arrive out of
+		// order, so this is almost always a plain append.
+		e.wbNext = insertBySeq(e.wbNext, en)
+	} else {
+		e.heapPush(en.completeAt, en)
+	}
 	e.c.Issued++
 	if e.cfg.PipeTracer != nil {
 		e.cfg.PipeTracer.Stage(en.seq, e.now, "issue")
@@ -761,8 +1162,9 @@ func (e *Engine) issueOne(en *robEntry) bool {
 // buffer (and LSQ for memory operations), reading and updating the rename
 // table (§III).
 func (e *Engine) dispatch() {
-	for n := 0; n < e.cfg.Width && !e.ifq.Empty(); n++ {
-		fi := *e.ifq.At(0)
+	width := e.cfg.Width
+	for n := 0; n < width && !e.ifq.Empty(); n++ {
+		fi := e.ifq.Front()
 		if e.rob.Full() {
 			e.c.RBFullStalls++
 			break
@@ -772,42 +1174,71 @@ func (e *Engine) dispatch() {
 			e.c.LSQFullStalls++
 			break
 		}
-		e.ifq.PopFront()
 
-		en := robEntry{
-			seq:        fi.seq,
-			rec:        fi.rec,
-			pc:         fi.pc,
-			actualNext: fi.actualNext,
-			wrongPath:  fi.wrongPath,
-			mispred:    fi.mispred,
-			state:      stDispatched,
-			src1Seq:    e.rt.Producer(fi.rec.Src1),
-			src2Seq:    e.rt.Producer(fi.rec.Src2),
-		}
+		abs := e.rob.NextAbs()
+		// Construct the reorder-buffer entry in place (rob.Full was checked
+		// above) with per-field writes — a composite literal here compiles
+		// to a stack temporary plus a bulk copy. The slot may hold stale
+		// bytes, so every field is written; the IFQ slot fi aliases stays
+		// untouched until DropFront.
+		en := e.rob.PushSlot()
+		en.seq = fi.seq
+		en.rec = fi.rec
+		en.pc = fi.pc
+		en.actualNext = fi.actualNext
+		en.wrongPath = fi.wrongPath
+		en.mispred = fi.mispred
+		en.state = stDispatched
+		en.src1Seq = e.rt.Producer(fi.rec.Src1)
+		en.src2Seq = e.rt.Producer(fi.rec.Src2)
+		en.completeAt = 0
+		en.lsq = nil
+		en.slot = int32(abs & e.consMask)
 		if e.cfg.PipeTracer != nil {
 			e.cfg.PipeTracer.Stage(en.seq, e.now, "dispatch")
 		}
 		en.src1Rdy = en.src1Seq == uarch.NoProducer
 		en.src2Rdy = en.src2Seq == uarch.NoProducer
-		if fi.rec.Dest != isa.NoReg {
-			e.rt.SetProducer(fi.rec.Dest, en.seq)
+		// Register pending operands on their producers' consumer lists (the
+		// rename table only ever names in-flight, not-yet-broadcast
+		// entries, so the producer — at prodPtr[reg] — is resident by
+		// construction); fully ready instructions go straight to the ready
+		// queue, which stays age-ordered because dispatch appends the
+		// youngest entries.
+		if !en.src1Rdy {
+			e.addConsumer(e.prodPtr[fi.rec.Src1], en, 0)
 		}
-		e.rob.PushBack(en)
-
+		if !en.src2Rdy {
+			e.addConsumer(e.prodPtr[fi.rec.Src2], en, 1)
+		}
+		if d := fi.rec.Dest; d != isa.NoReg {
+			e.rt.SetProducer(d, en.seq)
+			if d != isa.RegZero && d < isa.NumRegs {
+				e.prodPtr[d] = en
+			}
+		}
 		if isMem {
-			lq := lsqEntry{
-				seq:       en.seq,
-				store:     fi.rec.Store,
-				addr:      fi.rec.Addr,
-				size:      fi.rec.MemBytes(),
-				eaKnownAt: eaUnknown,
+			lq := e.lsq.PushSlot()
+			lq.seq = en.seq
+			lq.store = fi.rec.Store
+			lq.addr = fi.rec.Addr
+			lq.size = fi.rec.MemBytes()
+			lq.eaKnownAt = eaUnknown
+			lq.memReady = false
+			lq.forwarded = false
+			lq.memIssued = false
+			if !lq.store {
+				e.lsqLoads++
+				if en.src1Rdy {
+					// Base register already available: address known next cycle.
+					lq.eaKnownAt = e.now + 1
+				}
 			}
-			if !lq.store && en.src1Rdy {
-				// Base register already available: address known next cycle.
-				lq.eaKnownAt = e.now + 1
-			}
-			e.lsq.PushBack(lq)
+			en.lsq = lq
+		}
+		e.ifq.DropFront()
+		if en.src1Rdy && en.src2Rdy {
+			e.readyQ = append(e.readyQ, en)
 		}
 	}
 }
@@ -827,7 +1258,7 @@ type prediction struct {
 // so direct branches can only misfetch (BTB supplied a wrong early target);
 // direction and indirect-target errors are full mispredictions resolved at
 // commit.
-func (e *Engine) predict(pc uint32, rec trace.Record) prediction {
+func (e *Engine) predict(pc uint32, rec *trace.Record) prediction {
 	fall := pc + 4
 	actualNext := fall
 	if rec.Taken {
@@ -908,8 +1339,9 @@ func (e *Engine) fetch() {
 	if e.srcDone {
 		return
 	}
-	for fetched := 0; fetched < e.cfg.Width && !e.ifq.Full(); {
-		rec, err := e.src.Peek()
+	width := e.cfg.Width
+	for fetched := 0; fetched < width && !e.ifq.Full(); {
+		rec, err := e.src.PeekRef()
 		if err != nil {
 			if e.mode == fmWrongPath {
 				e.mode = fmStarved
@@ -937,15 +1369,32 @@ func (e *Engine) fetch() {
 			e.fetchPC = rec.PC
 		}
 
-		// Instruction cache access at the current fetch PC.
-		if hit, lat := e.icache.Access(e.fetchPC, false); !hit {
+		// Instruction cache access at the current fetch PC. The concrete
+		// Perfect call devirtualizes (and always hits).
+		if p := e.icPerfect; p != nil {
+			p.Access(e.fetchPC, false)
+		} else if hit, lat := e.icache.Access(e.fetchPC, false); !hit {
 			e.fetchResumeAt = e.now + int64(lat)
 			return
 		}
 
-		rec, _ = e.src.Next()
+		e.src.Advance() // consume the record PeekRef returned above
 		e.c.FetchedTotal++
-		fi := fetchedInst{seq: e.seq, rec: rec, pc: e.fetchPC, wrongPath: rec.Tag}
+		// Construct the IFQ entry in place (the loop guard holds a free
+		// slot) with per-field writes — a composite literal here compiles
+		// to a stack temporary plus a bulk copy. The slot may hold stale
+		// bytes, so every field is written; every path below keeps mutating
+		// the entry in the ring.
+		fi := e.ifq.PushSlot()
+		fi.seq = e.seq
+		fi.rec = *rec
+		fi.pc = e.fetchPC
+		fi.actualNext = 0
+		fi.wrongPath = rec.Tag
+		fi.mispred = false
+		// rec aliased the lookahead buffer, which the next Peek overwrites;
+		// re-point it at the stable copy just made.
+		rec = &fi.rec
 		e.seq++
 		if rec.Tag {
 			e.c.WrongPathFetched++
@@ -955,7 +1404,6 @@ func (e *Engine) fetch() {
 		}
 
 		if rec.Kind != trace.KindBranch {
-			e.ifq.PushBack(fi)
 			fetched++
 			e.fetchPC += 4
 			continue
@@ -965,16 +1413,12 @@ func (e *Engine) fetch() {
 		if e.mode == fmWrongPath {
 			// Wrong-path branches follow the trace generator's assumed
 			// outcome; they are not predicted and never trigger recovery.
-			e.ifq.PushBack(fi)
 			fetched++
 			if rec.Taken {
 				e.fetchPC = rec.Target
-			} else {
-				e.fetchPC += 4
-			}
-			if rec.Taken {
 				return // control-flow bubble
 			}
+			e.fetchPC += 4
 			continue
 		}
 
@@ -985,7 +1429,6 @@ func (e *Engine) fetch() {
 			fi.actualNext = rec.Target
 		}
 		fi.mispred = p.mispred
-		e.ifq.PushBack(fi)
 		fetched++
 
 		switch {

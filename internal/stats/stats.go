@@ -56,6 +56,21 @@ func (o *Occupancy) Sample(n int) {
 	}
 }
 
+// SampleN records count consecutive cycles of constant occupancy v in one
+// accumulator update — the bulk form the engine's idle-cycle fast-forward
+// uses. SampleN(v, n) leaves the accumulator byte-identical to n calls of
+// Sample(v).
+func (o *Occupancy) SampleN(v int, count uint64) {
+	o.samples += count
+	o.sum += uint64(v) * count
+	if v == 0 {
+		o.empty += count
+	}
+	if o.Cap > 0 && v >= o.Cap {
+		o.full += count
+	}
+}
+
 // Mean returns the average occupancy over all samples.
 func (o *Occupancy) Mean() float64 {
 	if o.samples == 0 {

@@ -142,3 +142,24 @@ func TestOccupancyReset(t *testing.T) {
 		t.Errorf("Reset clobbered identity fields: %+v", o)
 	}
 }
+
+// TestOccupancySampleN: the bulk form must leave the accumulator
+// byte-identical to the equivalent sequence of single samples — the
+// contract the engine's idle-cycle fast-forward rests on.
+func TestOccupancySampleN(t *testing.T) {
+	single := Occupancy{Name: "RB_occupancy", Cap: 8}
+	bulk := single
+	for _, v := range []int{0, 3, 8, 8, 0, 5} {
+		for i := 0; i < 7; i++ {
+			single.Sample(v)
+		}
+		bulk.SampleN(v, 7)
+	}
+	if single != bulk {
+		t.Errorf("SampleN diverged from repeated Sample:\n single: %+v\n   bulk: %+v", single, bulk)
+	}
+	bulk.SampleN(2, 0)
+	if single != bulk {
+		t.Error("SampleN(v, 0) must be a no-op")
+	}
+}

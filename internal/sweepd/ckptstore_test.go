@@ -1,0 +1,70 @@
+package sweepd
+
+import "testing"
+
+// TestCkptStoreBudget exercises the scheduler's checkpoint retention
+// policy: latest-per-point replacement, least-recently-updated eviction
+// under the byte budget, release on completion, and the oversized-shipment
+// degenerate case.
+func TestCkptStoreBudget(t *testing.T) {
+	s := newCkptStore(100)
+
+	s.put(1, make([]byte, 40))
+	s.put(2, make([]byte, 40))
+	if s.total != 80 {
+		t.Fatalf("total = %d, want 80", s.total)
+	}
+
+	// Replacement re-accounts rather than double-counting.
+	s.put(1, make([]byte, 50))
+	if s.total != 90 || len(s.get(1)) != 50 {
+		t.Fatalf("after replace: total=%d len(1)=%d, want 90/50", s.total, len(s.get(1)))
+	}
+
+	// A third point does not fit: the least-recently-updated (point 2,
+	// untouched since its shipment) is evicted, not the freshest.
+	s.put(3, make([]byte, 40))
+	if s.get(2) != nil {
+		t.Error("LRU point 2 survived over-budget put")
+	}
+	if len(s.get(1)) != 50 || len(s.get(3)) != 40 {
+		t.Errorf("retained set wrong: len(1)=%d len(3)=%d", len(s.get(1)), len(s.get(3)))
+	}
+	if s.dropped != 1 {
+		t.Errorf("dropped = %d, want 1", s.dropped)
+	}
+
+	// Result landed: bytes come back.
+	s.drop(1)
+	if s.total != 40 {
+		t.Errorf("total after drop = %d, want 40", s.total)
+	}
+
+	// A shipment that could never fit is rejected up front: other points'
+	// resume state (and the shipping point's own older checkpoint) survive
+	// untouched.
+	s.put(3, make([]byte, 30))
+	s.put(4, make([]byte, 200))
+	if s.get(4) != nil {
+		t.Error("oversized checkpoint retained past the budget")
+	}
+	if len(s.get(3)) != 30 {
+		t.Error("an oversized shipment must not harm other points' retained checkpoints")
+	}
+	if s.total != 30 {
+		t.Errorf("total = %d, want 30", s.total)
+	}
+	// Its own older resume state survives an oversized update too.
+	s.put(3, make([]byte, 500))
+	if len(s.get(3)) != 30 {
+		t.Error("oversized update evicted the point's own still-valid older checkpoint")
+	}
+
+	// Unlimited budget (negative) never evicts.
+	u := newCkptStore(-1)
+	u.put(1, make([]byte, 1<<20))
+	u.put(2, make([]byte, 1<<20))
+	if u.get(1) == nil || u.get(2) == nil || u.dropped != 0 {
+		t.Error("negative budget must disable the cap")
+	}
+}

@@ -29,6 +29,10 @@ type Coordinator struct {
 	Traces *tracecache.Cache
 	// Logf, when non-nil, receives service log lines.
 	Logf func(format string, args ...any)
+	// CheckpointBudget caps the resume-checkpoint bytes the scheduler
+	// retains per job (see Job.CheckpointBudget): 0 applies
+	// DefaultCheckpointBudget, negative disables the cap.
+	CheckpointBudget int64
 
 	mu      sync.Mutex
 	workers map[*remoteWorker]struct{}
@@ -235,6 +239,7 @@ func (c *Coordinator) serveClient(w *wire) {
 		fail(err)
 		return
 	}
+	job.CheckpointBudget = c.CheckpointBudget
 	workers := c.snapshotWorkers()
 	if len(workers) == 0 {
 		fail(errors.New("sweepd: no workers registered"))

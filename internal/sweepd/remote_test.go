@@ -338,7 +338,10 @@ func TestRemoteWorkerDeathResumesFromCheckpoint(t *testing.T) {
 	}
 
 	// One group per worker, with a budget long enough that checkpoints ship
-	// well before either point completes.
+	// well before either point completes — and, since the kill trigger is
+	// the coordinator-side receipt racing the victim's own simulation, long
+	// enough that the event-aware engine (an order of magnitude above the
+	// wire round-trip) is still provably mid-run when the kill lands.
 	p, err := workload.ByName("gzip")
 	if err != nil {
 		t.Fatal(err)
@@ -349,7 +352,7 @@ func TestRemoteWorkerDeathResumesFromCheckpoint(t *testing.T) {
 		cfg.RBSize = rb
 		pts = append(pts, sweep.Point{Name: "rb=" + itoa(rb), Config: cfg})
 	}
-	job := &sweepd.Job{Profile: p, Instructions: 120_000, Points: pts}
+	job := &sweepd.Job{Profile: p, Instructions: 600_000, Points: pts}
 	want := reference(t, job)
 	got, err := sweepd.RunRemote(context.Background(), addr, job, nil)
 	if err != nil {

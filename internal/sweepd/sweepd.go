@@ -40,7 +40,23 @@ type Job struct {
 	Profile      workload.Profile
 	Instructions uint64
 	Points       []sweep.Point
+
+	// CheckpointBudget caps the total bytes of resume checkpoints the
+	// scheduler retains for this job (the latest checkpoint per unfinished
+	// point, across all groups). When a new shipment would exceed it, the
+	// least-recently-updated other points' checkpoints are dropped — those
+	// points simply restart from cycle 0 if their worker dies, so a long
+	// design-space job degrades resume granularity instead of growing
+	// without bound. 0 means DefaultCheckpointBudget; negative disables
+	// the cap. Scheduler policy, never serialized: the coordinator applies
+	// its own budget to jobs received over the wire.
+	CheckpointBudget int64 `json:"-"`
 }
+
+// DefaultCheckpointBudget bounds retained resume-checkpoint bytes per job
+// (64 MiB ≈ several thousand points at the ~15 KiB a default engine
+// checkpoint encodes to).
+const DefaultCheckpointBudget = 64 << 20
 
 // Group is one trace-key shard of a job: the indices of every point sharing
 // one generated trace. The whole group is assigned to a single worker so
@@ -112,12 +128,75 @@ type Worker interface {
 
 // groupState tracks one group through assignment, partial completion and
 // requeue. A group is owned by at most one worker at a time (it is either
-// queued or held), so the done and ckpts maps are the only shared state,
-// guarded by the scheduler mutex.
+// queued or held), so the done map and the job-wide checkpoint store are
+// the only shared state, guarded by the scheduler mutex.
 type groupState struct {
-	g     Group
-	done  map[int]bool
-	ckpts map[int][]byte // latest shipped checkpoint per unfinished point
+	g    Group
+	done map[int]bool
+}
+
+// ckptStore retains the latest shipped resume checkpoint per unfinished
+// point, job-wide, under a total byte budget. All methods run under the
+// scheduler mutex.
+type ckptStore struct {
+	budget  int64 // <= 0: unlimited
+	total   int64
+	data    map[int][]byte
+	stamp   map[int]uint64 // last-update tick, for least-recently-updated eviction
+	tick    uint64
+	dropped int // checkpoints evicted to stay under budget
+}
+
+func newCkptStore(budget int64) *ckptStore {
+	return &ckptStore{budget: budget, data: make(map[int][]byte), stamp: make(map[int]uint64)}
+}
+
+// put stores the latest checkpoint for index, evicting the
+// least-recently-updated other points as needed to stay under budget. A
+// checkpoint that could never fit even alone is rejected up front — the
+// point keeps whatever older (still valid, just earlier) resume state it
+// had, and no other point's state is harmed making room for it.
+func (s *ckptStore) put(index int, b []byte) {
+	if s.budget > 0 && int64(len(b)) > s.budget {
+		s.dropped++
+		return
+	}
+	s.drop(index) // a replaced shipment no longer counts toward the budget
+	if s.budget > 0 {
+		for s.total+int64(len(b)) > s.budget && len(s.data) > 0 {
+			lru, lruStamp := -1, uint64(0)
+			for i, st := range s.stamp {
+				if lru < 0 || st < lruStamp {
+					lru, lruStamp = i, st
+				}
+			}
+			s.evict(lru)
+		}
+	}
+	s.tick++
+	s.data[index] = b
+	s.stamp[index] = s.tick
+	s.total += int64(len(b))
+}
+
+// get returns the stored checkpoint for index, or nil.
+func (s *ckptStore) get(index int) []byte { return s.data[index] }
+
+// drop releases index's checkpoint (its result landed, or it was evicted
+// by put).
+func (s *ckptStore) drop(index int) {
+	if old, ok := s.data[index]; ok {
+		s.total -= int64(len(old))
+		delete(s.data, index)
+		delete(s.stamp, index)
+	}
+}
+
+func (s *ckptStore) evict(index int) {
+	if _, ok := s.data[index]; ok {
+		s.drop(index)
+		s.dropped++
+	}
 }
 
 // Run schedules the job's key-groups across workers and returns results in
@@ -146,14 +225,17 @@ func Run(ctx context.Context, job *Job, workers []Worker, emit func(res PointRes
 	groups := job.Groups()
 	total := len(job.Points)
 	results := make([]sweep.Result, total)
+	budget := job.CheckpointBudget
+	if budget == 0 {
+		budget = DefaultCheckpointBudget
+	}
+	ckpts := newCkptStore(budget)
 
 	// Each group is either in the queue or held by exactly one worker, so
 	// capacity len(groups) makes every requeue send non-blocking.
 	queue := make(chan *groupState, len(groups))
 	for _, g := range groups {
-		queue <- &groupState{g: g,
-			done:  make(map[int]bool, len(g.Indices)),
-			ckpts: make(map[int][]byte)}
+		queue <- &groupState{g: g, done: make(map[int]bool, len(g.Indices))}
 	}
 
 	var (
@@ -192,7 +274,7 @@ func Run(ctx context.Context, job *Job, workers []Worker, emit func(res PointRes
 				mu.Lock()
 				gr := GroupRun{
 					Indices:     gs.remainingLocked(),
-					Checkpoints: make(map[int][]byte, len(gs.ckpts)),
+					Checkpoints: make(map[int][]byte),
 					OnCheckpoint: func(index int, data []byte) {
 						mu.Lock()
 						defer mu.Unlock()
@@ -201,12 +283,14 @@ func Run(ctx context.Context, job *Job, workers []Worker, emit func(res PointRes
 						}
 						// Workers checkpoint each point monotonically, and a
 						// requeued owner resumes from the stored cycle, so the
-						// latest shipment is always the furthest along.
-						gs.ckpts[index] = data
+						// latest shipment is always the furthest along. The
+						// store caps total retained bytes job-wide, evicting
+						// other points' resume state first.
+						ckpts.put(index, data)
 					},
 				}
-				for i, data := range gs.ckpts {
-					if !gs.done[i] {
+				for _, i := range gr.Indices {
+					if data := ckpts.get(i); len(data) > 0 {
 						gr.Checkpoints[i] = data
 					}
 				}
@@ -221,7 +305,8 @@ func Run(ctx context.Context, job *Job, workers []Worker, emit func(res PointRes
 						return
 					}
 					gs.done[pr.Index] = true
-					delete(gs.ckpts, pr.Index)
+					// The result landed: its resume checkpoint is garbage now.
+					ckpts.drop(pr.Index)
 					results[pr.Index] = pr.Result
 					completed++
 					if emit != nil && runCtx.Err() == nil {

@@ -300,6 +300,74 @@ func TestWorkerKillResumesFromCheckpoint(t *testing.T) {
 	}
 }
 
+// TestCheckpointBudgetDegradesResume pins the checkpoint-GC contract: with
+// a budget too small to retain any shipment, a killed worker's group still
+// requeues and completes with byte-identical results — the survivor just
+// restarts its points from cycle 0 (ResumedCycles stays zero) instead of
+// resuming mid-run. Bounding retained checkpoint bytes may cost re-simulation,
+// never correctness.
+func TestCheckpointBudgetDegradesResume(t *testing.T) {
+	const instrs = 60_000
+	const every = 4096
+	p, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []sweep.Point
+	for _, rb := range []int{8, 16} {
+		cfg := core.DefaultConfig()
+		cfg.RBSize = rb
+		pts = append(pts, sweep.Point{Name: "rb=" + itoa(rb), Config: cfg})
+	}
+	job := &sweepd.Job{Profile: p, Instructions: instrs, Points: pts,
+		CheckpointBudget: 1} // nothing fits: every shipment is dropped
+	r := sweep.Runner{Workload: job.Profile, Instructions: job.Instructions,
+		Traces: tracecache.New(tracecache.Config{})}
+	want, err := r.Run(context.Background(), job.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killerLW := sweepd.NewLoopbackWorker(sweepd.LoopbackOptions{Parallelism: 1, CheckpointEvery: every})
+	backupLW := sweepd.NewLoopbackWorker(sweepd.LoopbackOptions{Parallelism: 1, CheckpointEvery: every})
+	killerGot := make(chan struct{})
+	var gotOnce sync.Once
+	var shipments int32
+	killer := workerFunc(func(ctx context.Context, j *sweepd.Job, gr sweepd.GroupRun, emit func(sweepd.PointResult)) error {
+		gotOnce.Do(func() { close(killerGot) })
+		inner := gr
+		inner.OnCheckpoint = func(index int, data []byte) {
+			gr.OnCheckpoint(index, data)
+			if atomic.AddInt32(&shipments, 1) == 3 {
+				killerLW.Kill()
+			}
+		}
+		return killerLW.RunGroup(ctx, j, inner, emit)
+	})
+	backup := workerFunc(func(ctx context.Context, j *sweepd.Job, gr sweepd.GroupRun, emit func(sweepd.PointResult)) error {
+		select {
+		case <-killerGot:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if len(gr.Checkpoints) != 0 {
+			t.Errorf("assignment carries %d checkpoints despite a 1-byte budget", len(gr.Checkpoints))
+		}
+		return backupLW.RunGroup(ctx, j, gr, emit)
+	})
+
+	got, err := sweepd.Run(context.Background(), job, []sweepd.Worker{killer, backup}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("results after a budget-degraded requeue differ from the reference")
+	}
+	if rc := backupLW.ResumedCycles(); rc != 0 {
+		t.Errorf("backup resumed %d cycles; a 1-byte budget must retain no resume state", rc)
+	}
+}
+
 // TestKeyGroupAffinity: with one private cache per worker (distinct hosts),
 // a 4-point/2-key job costs exactly 2 generations across the cluster —
 // every host generates its assigned groups' traces once.

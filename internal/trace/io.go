@@ -216,10 +216,26 @@ type Buffered struct {
 	err    error
 	count  uint64 // records handed out via Next
 	pulled uint64 // records pulled from the underlying source (incl. lookahead)
+
+	// slice, when the underlying source is a SliceSource, short-circuits
+	// every operation to direct indexing: no per-record interface call, no
+	// copy into the lookahead buffer. This is the path cached traces replay
+	// through (tracecache hands engines SliceSources), i.e. the hot loop of
+	// warm sweeps and trace-driven benchmarks. sliceBase is the source's
+	// position at wrap time, so Pos stays relative to this reader like the
+	// generic path's pulled counter.
+	slice     *SliceSource
+	sliceBase int
 }
 
 // NewBuffered wraps src with lookahead.
-func NewBuffered(src Source) *Buffered { return &Buffered{src: src} }
+func NewBuffered(src Source) *Buffered {
+	b := &Buffered{src: src}
+	if s, ok := src.(*SliceSource); ok {
+		b.slice, b.sliceBase = s, s.pos
+	}
+	return b
+}
 
 func (b *Buffered) fill() {
 	if b.have || b.err != nil {
@@ -236,6 +252,12 @@ func (b *Buffered) fill() {
 
 // Peek returns the next record without consuming it.
 func (b *Buffered) Peek() (Record, error) {
+	if s := b.slice; s != nil {
+		if s.pos >= len(s.recs) {
+			return Record{}, io.EOF
+		}
+		return s.recs[s.pos], nil
+	}
 	b.fill()
 	if !b.have {
 		return Record{}, b.err
@@ -245,6 +267,15 @@ func (b *Buffered) Peek() (Record, error) {
 
 // Next consumes and returns the next record.
 func (b *Buffered) Next() (Record, error) {
+	if s := b.slice; s != nil {
+		if s.pos >= len(s.recs) {
+			return Record{}, io.EOF
+		}
+		r := s.recs[s.pos]
+		s.pos++
+		b.count++
+		return r, nil
+	}
 	b.fill()
 	if !b.have {
 		return Record{}, b.err
@@ -254,9 +285,57 @@ func (b *Buffered) Next() (Record, error) {
 	return b.head, nil
 }
 
+// Advance consumes the record a preceding Peek/PeekRef returned, without
+// copying it again — the engine's fetch loop peeks every record before
+// deciding to take it, so Next's second copy is pure overhead there. A
+// no-op when nothing is buffered.
+func (b *Buffered) Advance() {
+	if s := b.slice; s != nil {
+		if s.pos < len(s.recs) {
+			s.pos++
+			b.count++
+		}
+		return
+	}
+	if b.have {
+		b.have = false
+		b.count++
+	}
+}
+
+// PeekRef is Peek without the value copy: the returned pointer aliases the
+// lookahead buffer (or the backing record slice) and is valid only until
+// the next Advance/Next/Skip. The slice fast path is kept small enough to
+// inline into the engine's fetch loop.
+func (b *Buffered) PeekRef() (*Record, error) {
+	if s := b.slice; s != nil && s.pos < len(s.recs) {
+		return &s.recs[s.pos], nil
+	}
+	return b.peekRefSlow()
+}
+
+func (b *Buffered) peekRefSlow() (*Record, error) {
+	if b.slice != nil {
+		return nil, io.EOF
+	}
+	b.fill()
+	if !b.have {
+		return nil, b.err
+	}
+	return &b.head, nil
+}
+
 // SkipTagged discards consecutive Tag=1 records and returns how many were
 // discarded.
 func (b *Buffered) SkipTagged() int {
+	if s := b.slice; s != nil {
+		n := 0
+		for s.pos < len(s.recs) && s.recs[s.pos].Tag {
+			s.pos++
+			n++
+		}
+		return n
+	}
 	n := 0
 	for {
 		r, err := b.Peek()
@@ -279,6 +358,9 @@ func (b *Buffered) Consumed() uint64 { return b.count }
 // source, advanced past Pos records with Skip, resumes the exact stream —
 // the re-attachment contract engine checkpoints rely on.
 func (b *Buffered) Pos() uint64 {
+	if s := b.slice; s != nil {
+		return uint64(s.pos - b.sliceBase)
+	}
 	if b.have {
 		return b.pulled - 1
 	}
@@ -288,6 +370,14 @@ func (b *Buffered) Pos() uint64 {
 // Skip discards n records from the start of the stream (checkpoint
 // re-attachment on a fresh source). It fails if the source drains first.
 func (b *Buffered) Skip(n uint64) error {
+	if s := b.slice; s != nil {
+		if left := uint64(len(s.recs) - s.pos); n > left {
+			s.pos = len(s.recs)
+			return fmt.Errorf("trace: source drained after %d of %d skipped records: %w", left, n, io.EOF)
+		}
+		s.pos += int(n)
+		return nil
+	}
 	for i := uint64(0); i < n; i++ {
 		b.fill()
 		if !b.have {

@@ -385,3 +385,65 @@ func TestFUPoolBusyUntilRoundTrip(t *testing.T) {
 		t.Error("SetBusyUntil accepted a mismatched pool shape")
 	}
 }
+
+// TestRingAbsoluteIndexing covers the stable-handle surface the engine's
+// event structures rely on: Base advances with every front removal,
+// NextAbs names the slot a push will take, AtAbs resolves a resident
+// handle for its whole residence, and stale handles panic.
+func TestRingAbsoluteIndexing(t *testing.T) {
+	r := NewRing[int](3)
+	if r.Base() != 0 || r.NextAbs() != 0 {
+		t.Fatalf("fresh ring: base=%d nextAbs=%d", r.Base(), r.NextAbs())
+	}
+	for v := 0; v < 3; v++ {
+		if abs := r.NextAbs(); abs != int64(v) {
+			t.Fatalf("NextAbs before push %d = %d", v, abs)
+		}
+		r.PushBack(v * 10)
+	}
+	r.DropFront() // abs 0 gone
+	if r.Base() != 1 || *r.AtAbs(1) != 10 || *r.AtAbs(2) != 20 {
+		t.Fatalf("after DropFront: base=%d at1=%d at2=%d", r.Base(), *r.AtAbs(1), *r.AtAbs(2))
+	}
+	if *r.Front() != 10 {
+		t.Fatalf("Front = %d, want 10", *r.Front())
+	}
+	// Wrapped push reuses the freed slot but gets a fresh absolute index.
+	p := r.PushSlot()
+	*p = 30
+	if r.Base() != 1 || *r.AtAbs(3) != 30 || r.NextAbs() != 4 {
+		t.Fatalf("after wrapped PushSlot: base=%d at3=%d next=%d", r.Base(), *r.AtAbs(3), r.NextAbs())
+	}
+	// Views: wrapped content comes back as two age-ordered spans.
+	s1, s2 := r.Views()
+	var got []int
+	got = append(got, s1...)
+	got = append(got, s2...)
+	want := []int{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("Views total %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Views content %v, want %v", got, want)
+		}
+	}
+	// Stale and out-of-range handles are engine bugs: they must panic.
+	for _, abs := range []int64{0, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AtAbs(%d) did not panic", abs)
+				}
+			}()
+			r.AtAbs(abs)
+		}()
+	}
+	// SetContents restarts absolute indexing from zero.
+	if err := r.SetContents([]int{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Base() != 0 || *r.AtAbs(0) != 7 || *r.AtAbs(1) != 8 {
+		t.Fatalf("after SetContents: base=%d", r.Base())
+	}
+}
