@@ -9,6 +9,7 @@ package resim_test
 import (
 	"context"
 	"io"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -17,10 +18,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/fpga"
 	"repro/internal/funcsim"
+	"repro/internal/jobd"
 	"repro/internal/sched"
 	"repro/internal/sweepd"
 	"repro/internal/tables"
 	"repro/internal/trace"
+	"repro/internal/tracecache"
 	"repro/internal/workload"
 )
 
@@ -673,6 +676,65 @@ func BenchmarkSweepRemoteLoopback(b *testing.B) {
 				b.Fatal(pr.Err)
 			}
 		}
+	}
+}
+
+// BenchmarkJobSubmitThroughput measures the multi-tenant job platform end
+// to end through its HTTP front door: two tenants alternate submitting
+// single-point jobs against a loopback worker pool and stream each job to
+// completion. The delta against BenchmarkSweepWarmCache's per-point cost is
+// the platform overhead — admission, journal-free queueing, fair
+// scheduling, JSON framing and the NDJSON result stream. Gated in CI
+// against the committed BENCH_baseline.json entry.
+func BenchmarkJobSubmitThroughput(b *testing.B) {
+	// One shared cache: worker pick is load-based, so a per-worker cache
+	// would leave cold generation noise in the timed region.
+	traces := tracecache.New(tracecache.Config{})
+	pool := jobd.StaticPool{
+		sweepd.NewLoopbackWorker(sweepd.LoopbackOptions{Traces: traces}),
+		sweepd.NewLoopbackWorker(sweepd.LoopbackOptions{Traces: traces}),
+	}
+	p, err := jobd.New(jobd.Options{Pool: pool, Tenants: []jobd.Tenant{
+		{Name: "alice", Token: "tok-a"},
+		{Name: "bob", Token: "tok-b"},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	clients := [2]*jobd.Client{
+		{Server: srv.URL, Token: "tok-a", HTTPClient: srv.Client()},
+		{Server: srv.URL, Token: "tok-b", HTTPClient: srv.Client()},
+	}
+	spec, err := sweepd.SpecOf(resim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := jobd.SubmitRequest{Workload: "gzip", Instructions: benchInstrs,
+		Points: []sweepd.WirePoint{{Name: "base", Config: spec}}}
+	ctx := context.Background()
+	runOne := func(c *jobd.Client) {
+		st, err := c.Submit(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		state, err := c.Results(ctx, st.ID, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if state != jobd.StateDone {
+			b.Fatalf("job %s ended %s", st.ID, state)
+		}
+	}
+	// Warm both workers' trace caches outside the timed region, like the
+	// other service benchmarks.
+	runOne(clients[0])
+	runOne(clients[1])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOne(clients[i%2])
 	}
 }
 

@@ -37,6 +37,12 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch before flag parsing: `resim jobs ...` is the job
+	// service client; everything else is the classic single-run CLI.
+	if len(os.Args) > 1 && os.Args[1] == "jobs" {
+		runJobs(os.Args[2:])
+		return
+	}
 	var (
 		tracePath = flag.String("trace", "", "trace file to simulate (from tracegen)")
 		name      = flag.String("workload", "", "generate and simulate this workload on the fly")

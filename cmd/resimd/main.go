@@ -13,6 +13,18 @@
 // with resim.WithCoordinator); see the README's "Distributed sweeps"
 // section and examples/distsweep.
 //
+// With -http the coordinator additionally runs the multi-tenant job
+// platform (internal/jobd): a persistent job queue with an HTTP/JSON front
+// door, per-tenant fair scheduling over the registered workers, and
+// admission control. -journal makes submissions durable across restarts,
+// -tenants configures bearer-token authentication:
+//
+//	resimd -role coordinator -listen :9090 -http :8080 \
+//	    -journal /var/lib/resimd/jobs -tenants tenants.json
+//
+// Clients then use `resim jobs` or resim.Session.SubmitRemote; see the
+// README's "Job service" section.
+//
 // Both roles maintain a trace cache. A coordinator whose -spill directory
 // already holds delta-compressed trace containers (for example written by
 // earlier local sweeps with the same spill directory) ships them to
@@ -25,12 +37,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/jobd"
 	"repro/internal/sweepd"
 	"repro/internal/tracecache"
 )
@@ -48,6 +62,13 @@ func main() {
 		ckptEvery   = flag.Uint64("checkpoint-every", 0, "worker: cycles between engine checkpoints shipped to the coordinator (0 = 65536); requeued groups resume from them")
 		ckptBudget  = flag.Int64("checkpoint-budget-mb", 0, "coordinator: cap on retained resume-checkpoint MiB per job (0 = 64 MiB, -1 = unlimited); excess drops least-recently-updated points' resume state")
 		verbose     = flag.Bool("v", false, "log per-point worker progress")
+
+		httpAddr    = flag.String("http", "", "coordinator: also serve the multi-tenant job platform's HTTP API on this address (e.g. :8080)")
+		journalDir  = flag.String("journal", "", "coordinator: job-platform journal directory; submissions, results and checkpoints persist here and are recovered on restart")
+		tenantsFile = flag.String("tenants", "", "coordinator: JSON tenants file ({\"tenants\":[{\"name\":...,\"token\":...,\"weight\":...,\"max_in_flight\":...}]}); empty disables authentication")
+		maxQueue    = flag.Int("max-queue", 0, "coordinator: max queued jobs before submissions get 429 (0 = 64)")
+		tenantInFl  = flag.Int("tenant-inflight", 0, "coordinator: default per-tenant queued+running job cap (0 = 8)")
+		slotsPerWkr = flag.Int("worker-slots", 0, "coordinator: concurrent groups per worker for the job platform (0 = 1)")
 	)
 	flag.Parse()
 
@@ -66,7 +87,14 @@ func main() {
 	}
 	switch *role {
 	case "coordinator":
-		runCoordinator(ctx, *listen, traces, budget)
+		runCoordinator(ctx, *listen, traces, budget, jobPlatformConfig{
+			httpAddr:       *httpAddr,
+			journalDir:     *journalDir,
+			tenantsFile:    *tenantsFile,
+			maxQueue:       *maxQueue,
+			tenantInFl:     *tenantInFl,
+			slotsPerWorker: *slotsPerWkr,
+		})
 	case "worker":
 		if *coordinator == "" {
 			log.Fatal("resimd: -role worker requires -coordinator host:port")
@@ -86,11 +114,62 @@ func main() {
 	}
 }
 
-func runCoordinator(ctx context.Context, listen string, traces *tracecache.Cache, ckptBudget int64) {
+// jobPlatformConfig carries the coordinator's optional job-platform flags.
+type jobPlatformConfig struct {
+	httpAddr       string
+	journalDir     string
+	tenantsFile    string
+	maxQueue       int
+	tenantInFl     int
+	slotsPerWorker int
+}
+
+func runCoordinator(ctx context.Context, listen string, traces *tracecache.Cache, ckptBudget int64, jp jobPlatformConfig) {
 	coord := sweepd.NewCoordinator()
 	coord.Traces = traces
 	coord.Logf = log.Printf
 	coord.CheckpointBudget = ckptBudget
+
+	// The job platform, when enabled, schedules over the coordinator's
+	// registered worker pool; the hook re-dispatches queued groups the
+	// moment capacity appears, and must be set before Serve.
+	var platform *jobd.Platform
+	var httpSrv *http.Server
+	if jp.httpAddr != "" {
+		var tenants []jobd.Tenant
+		if jp.tenantsFile != "" {
+			var err error
+			tenants, err = jobd.LoadTenants(jp.tenantsFile)
+			if err != nil {
+				log.Fatalf("resimd: %v", err)
+			}
+		} else {
+			log.Printf("resimd: WARNING: job API authentication disabled (no -tenants file); all requests map to tenant %q", "default")
+		}
+		var err error
+		platform, err = jobd.New(jobd.Options{
+			Pool:              coord,
+			JournalDir:        jp.journalDir,
+			Tenants:           tenants,
+			MaxQueue:          jp.maxQueue,
+			TenantMaxInFlight: jp.tenantInFl,
+			SlotsPerWorker:    jp.slotsPerWorker,
+			CheckpointBudget:  ckptBudget,
+			Logf:              log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("resimd: %v", err)
+		}
+		coord.OnWorkersChanged = platform.Kick
+		httpSrv = &http.Server{Addr: jp.httpAddr, Handler: platform.Handler()}
+		go func() {
+			log.Printf("resimd: job API listening on %s", jp.httpAddr)
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Fatalf("resimd: job API: %v", err)
+			}
+		}()
+	}
+
 	go func() {
 		<-ctx.Done()
 		coord.Close()
@@ -101,6 +180,16 @@ func runCoordinator(ctx context.Context, listen string, traces *tracecache.Cache
 	}
 	log.Printf("resimd: coordinator listening on %s", addr)
 	<-ctx.Done()
+	// Shutdown order: stop accepting HTTP work, then the platform (journals
+	// keep in-flight jobs recoverable), then the coordinator fabric.
+	if httpSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		httpSrv.Shutdown(shutCtx) //nolint:errcheck
+		cancel()
+	}
+	if platform != nil {
+		platform.Close()
+	}
 	coord.Close()
 	log.Printf("resimd: coordinator stopped")
 }

@@ -1,0 +1,174 @@
+// Go client for the job platform's HTTP front door. Used by the resim CLI
+// (`resim jobs ...`) and the Session.SubmitRemote job handle.
+package jobd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/sweepd"
+)
+
+// Client talks to one job service.
+type Client struct {
+	// Server is the service base URL, e.g. "http://coordinator:8080".
+	Server string
+	// Token is the tenant's bearer token (empty in auth-disabled mode).
+	Token string
+	// HTTPClient overrides http.DefaultClient (tests inject the
+	// httptest server's client).
+	HTTPClient *http.Client
+}
+
+// StatusError is a non-2xx API response.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("jobd: server returned %d: %s", e.Code, e.Msg)
+}
+
+// IsRetryable reports whether the request was refused by admission
+// control (HTTP 429) and should be resubmitted after a backoff.
+func (e *StatusError) IsRetryable() bool { return e.Code == http.StatusTooManyRequests }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one API request and decodes a JSON response into out.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Server+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func apiError(resp *http.Response) error {
+	var eb errorBody
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &eb) != nil || eb.Error == "" {
+		eb.Error = string(bytes.TrimSpace(data))
+	}
+	return &StatusError{Code: resp.StatusCode, Msg: eb.Error}
+}
+
+// Submit submits a job, returning its acknowledged (durable) status.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Status fetches a job's status with per-point progress.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// List fetches the tenant's jobs, oldest first.
+func (c *Client) List(ctx context.Context) ([]JobStatus, error) {
+	var jobs []JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &jobs)
+	return jobs, err
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Results follows the job's NDJSON result stream, calling fn per completed
+// point in completion order, and returns the job's terminal state. It
+// blocks until the job finishes (cancel via ctx). A stream that ends
+// without the terminal line reports an error — the caller cannot know the
+// job finished.
+func (c *Client) Results(ctx context.Context, id string, fn func(*sweepd.WireResult) error) (State, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Server+"/v1/jobs/"+id+"/results", nil)
+	if err != nil {
+		return "", err
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return "", apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		var line struct {
+			Result *sweepd.WireResult `json:"result"`
+			Done   bool               `json:"done"`
+			State  State              `json:"state"`
+			Err    string             `json:"err"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return "", fmt.Errorf("jobd: corrupt stream line: %w", err)
+		}
+		switch {
+		case line.Result != nil:
+			if fn != nil {
+				if err := fn(line.Result); err != nil {
+					return "", err
+				}
+			}
+		case line.Done:
+			// A failure reason is an error; a cancellation note is just
+			// color on a state the caller inspects anyway.
+			if line.State == StateFailed && line.Err != "" {
+				return line.State, fmt.Errorf("jobd: job %s failed: %s", id, line.Err)
+			}
+			return line.State, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("jobd: result stream for %s ended without a terminal line", id)
+}

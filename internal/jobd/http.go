@@ -1,0 +1,246 @@
+// HTTP/JSON front door for the job platform. Deliberately plain net/http:
+// bearer-token tenant auth, JSON request/response bodies, NDJSON result
+// streaming, and a Prometheus-style text /metrics. The route set:
+//
+//	POST   /v1/jobs              submit (201; 400/401/429 on rejection)
+//	GET    /v1/jobs              list the tenant's jobs
+//	GET    /v1/jobs/{id}         status + per-point progress
+//	GET    /v1/jobs/{id}/results stream results as NDJSON until terminal
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /healthz              liveness (no auth)
+//	GET    /metrics              platform counters (no auth)
+package jobd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/sweepd"
+)
+
+// maxSubmitBytes bounds one submission body; a thousand-point sweep is
+// well under a megabyte of specs, so 64 MiB rejects only abuse.
+const maxSubmitBytes = 64 << 20
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// streamEnd is the final NDJSON line of a results stream.
+type streamEnd struct {
+	Done  bool   `json:"done"`
+	State State  `json:"state"`
+	Err   string `json:"err,omitempty"`
+}
+
+// Handler returns the platform's HTTP front door.
+func (p *Platform) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", p.handleHealthz)
+	mux.HandleFunc("GET /metrics", p.handleMetrics)
+	mux.HandleFunc("POST /v1/jobs", p.withTenant(p.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", p.withTenant(p.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", p.withTenant(p.handleStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/results", p.withTenant(p.handleResults))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", p.withTenant(p.handleCancel))
+	return mux
+}
+
+// withTenant authenticates the request's bearer token to a tenant name.
+func (p *Platform) withTenant(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		token := ""
+		if auth := r.Header.Get("Authorization"); auth != "" {
+			var ok bool
+			token, ok = strings.CutPrefix(auth, "Bearer ")
+			if !ok {
+				writeError(w, http.StatusUnauthorized, "jobd: Authorization header is not a bearer token")
+				return
+			}
+		}
+		tenant, ok := p.TenantForToken(token)
+		if !ok {
+			writeError(w, http.StatusUnauthorized, "jobd: unknown token")
+			return
+		}
+		h(w, r, tenant)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// writePlatformError maps platform errors onto HTTP statuses.
+func writePlatformError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantBusy):
+		// Admission control: the work was refused whole, not dropped —
+		// back off and resubmit.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (p *Platform) handleSubmit(w http.ResponseWriter, r *http.Request, tenant string) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "jobd: decode submission: "+err.Error())
+		return
+	}
+	st, err := p.Submit(tenant, req)
+	if err != nil {
+		writePlatformError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (p *Platform) handleList(w http.ResponseWriter, r *http.Request, tenant string) {
+	jobs := p.List(tenant)
+	if jobs == nil {
+		jobs = []JobStatus{}
+	}
+	writeJSON(w, http.StatusOK, jobs)
+}
+
+func (p *Platform) handleStatus(w http.ResponseWriter, r *http.Request, tenant string) {
+	st, err := p.Status(tenant, r.PathValue("id"))
+	if err != nil {
+		writePlatformError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (p *Platform) handleCancel(w http.ResponseWriter, r *http.Request, tenant string) {
+	st, err := p.Cancel(tenant, r.PathValue("id"))
+	if err != nil {
+		writePlatformError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleResults streams the job's results as NDJSON — one WireResult line
+// per completed point in completion order, flushed as they land, then a
+// terminal {"done":true,...} line. A client connecting mid-job first
+// catches up, then follows.
+func (p *Platform) handleResults(w http.ResponseWriter, r *http.Request, tenant string) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	wrote := false
+	state, errStr, err := p.StreamResults(r.Context(), tenant, r.PathValue("id"),
+		func(wr *sweepd.WireResult) error {
+			if err := enc.Encode(resultLine{Result: wr}); err != nil {
+				return err
+			}
+			wrote = true
+			return rc.Flush()
+		})
+	if err != nil {
+		if !wrote && errors.Is(err, ErrUnknownJob) {
+			writePlatformError(w, err)
+		}
+		// Mid-stream failure (client went away, platform closing): the
+		// stream just ends without its terminal line, which tells the
+		// client it must reconnect.
+		return
+	}
+	enc.Encode(streamEnd{Done: true, State: state, Err: errStr})
+	rc.Flush()
+}
+
+func (p *Platform) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, ErrClosed.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders the Metrics snapshot in the Prometheus text
+// exposition format (hand-rolled; no client library dependency).
+func (p *Platform) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := p.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP jobd_queue_depth Jobs waiting for their first dispatch.\n")
+	fmt.Fprintf(w, "# TYPE jobd_queue_depth gauge\njobd_queue_depth %d\n", m.QueueDepth)
+	fmt.Fprintf(w, "# HELP jobd_workers Live workers in the pool.\n")
+	fmt.Fprintf(w, "# TYPE jobd_workers gauge\njobd_workers %d\n", m.Workers)
+	fmt.Fprintf(w, "# TYPE jobd_workers_dead gauge\njobd_workers_dead %d\n", m.DeadWorkers)
+	writeTenantGauge(w, "jobd_tenant_jobs_queued", m.QueuedByTenant)
+	writeTenantGauge(w, "jobd_tenant_jobs_running", m.RunningByTenant)
+	fmt.Fprintf(w, "# HELP jobd_jobs Jobs by lifecycle state.\n# TYPE jobd_jobs gauge\n")
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(w, "jobd_jobs{state=%q} %d\n", string(s), m.JobsByState[s])
+	}
+	fmt.Fprintf(w, "# HELP jobd_group_requeues_total Groups requeued after a worker died.\n")
+	fmt.Fprintf(w, "# TYPE jobd_group_requeues_total counter\njobd_group_requeues_total %d\n", m.Requeues)
+	fmt.Fprintf(w, "# HELP jobd_resume_points_total Points dispatched with a resume checkpoint attached.\n")
+	fmt.Fprintf(w, "# TYPE jobd_resume_points_total counter\njobd_resume_points_total %d\n", m.ResumePoints)
+	fmt.Fprintf(w, "# TYPE jobd_recovered_jobs counter\njobd_recovered_jobs %d\n", m.RecoveredJobs)
+	fmt.Fprintf(w, "# TYPE jobd_recovered_points counter\njobd_recovered_points %d\n", m.RecoveredPoints)
+	fmt.Fprintf(w, "# TYPE jobd_recovered_checkpoints counter\njobd_recovered_checkpoints %d\n", m.RecoveredCkpts)
+	fmt.Fprintf(w, "# HELP jobd_admission_rejected_total Submissions refused by admission control.\n")
+	fmt.Fprintf(w, "# TYPE jobd_admission_rejected_total counter\njobd_admission_rejected_total %d\n", m.Rejected)
+}
+
+func writeTenantGauge(w http.ResponseWriter, name string, byTenant map[string]int) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+	tenants := make([]string, 0, len(byTenant))
+	for t := range byTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, t, byTenant[t])
+	}
+}
+
+// LoadTenants reads a {"tenants":[...]} JSON file.
+func LoadTenants(path string) ([]Tenant, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f struct {
+		Tenants []Tenant `json:"tenants"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("jobd: parse tenants file %s: %w", path, err)
+	}
+	if len(f.Tenants) == 0 {
+		return nil, fmt.Errorf("jobd: tenants file %s defines no tenants", path)
+	}
+	for _, t := range f.Tenants {
+		if t.Name == "" || t.Token == "" {
+			return nil, fmt.Errorf("jobd: tenants file %s: every tenant needs a name and a token", path)
+		}
+	}
+	return f.Tenants, nil
+}

@@ -1,0 +1,221 @@
+// Disk journal for the job platform. Layout, one directory per job:
+//
+//	DIR/<id>/spec.json      the submission (atomic write, then the job is durable)
+//	DIR/<id>/results.ndjson one line per completed point, plus a terminal line
+//	DIR/<id>/ckpt/<index>   latest serialized checkpoint per unfinished point
+//
+// Everything is written crash-first: the spec and checkpoints go through
+// temp-file + rename (a reader sees the old or the new bytes, never a
+// torn file), and the results log is append-only with a tolerant reader —
+// a torn final line (the process died mid-append) is ignored, which just
+// reruns that point deterministically. No fsync: the durability target is
+// process death, the failure mode the platform actually recovers from; a
+// kernel-level crash additionally leans on rename ordering, degrading, at
+// worst, to recomputing a little more.
+package jobd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/sweepd"
+)
+
+// specRecord is the journaled form of one submission.
+type specRecord struct {
+	ID        string          `json:"id"`
+	Tenant    string          `json:"tenant"`
+	Priority  int             `json:"priority,omitempty"`
+	Seq       uint64          `json:"seq"`
+	Submitted time.Time       `json:"submitted"`
+	Job       *sweepd.WireJob `json:"job"`
+}
+
+// resultLine is one line of results.ndjson: either a completed point or the
+// job's terminal marker.
+type resultLine struct {
+	Result   *sweepd.WireResult `json:"result,omitempty"`
+	Terminal State              `json:"terminal,omitempty"`
+	Err      string             `json:"err,omitempty"`
+}
+
+// recoveredJob is one job replayed from disk.
+type recoveredJob struct {
+	spec        *specRecord
+	results     []*sweepd.WireResult
+	terminal    State
+	terminalErr string
+	ckpts       map[int][]byte
+}
+
+type journal struct {
+	dir string
+}
+
+func openJournal(dir string) (*journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobd: open journal: %w", err)
+	}
+	return &journal{dir: dir}, nil
+}
+
+func (jn *journal) jobDir(id string) string { return filepath.Join(jn.dir, id) }
+
+// atomicWrite writes path via a temp file in the same directory + rename.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// writeSpec makes a submission durable. Once it returns, a restart
+// recovers the job.
+func (jn *journal) writeSpec(rec *specRecord) error {
+	dir := jn.jobDir(rec.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(dir, "spec.json"), data)
+}
+
+// appendLine appends one result or terminal line to the job's log.
+func (jn *journal) appendLine(id string, line resultLine) error {
+	data, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(jn.jobDir(id), "results.ndjson"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(append(data, '\n'))
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// saveCheckpoint persists a point's latest checkpoint, atomically
+// replacing any older one.
+func (jn *journal) saveCheckpoint(id string, index int, data []byte) error {
+	dir := filepath.Join(jn.jobDir(id), "ckpt")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(dir, strconv.Itoa(index)), data)
+}
+
+// dropCheckpoint removes a point's persisted checkpoint (its result is
+// durable, the resume state is dead weight). Best-effort.
+func (jn *journal) dropCheckpoint(id string, index int) {
+	os.Remove(filepath.Join(jn.jobDir(id), "ckpt", strconv.Itoa(index)))
+}
+
+// clearCheckpoints removes a terminal job's checkpoint directory.
+func (jn *journal) clearCheckpoints(id string) {
+	os.RemoveAll(filepath.Join(jn.jobDir(id), "ckpt"))
+}
+
+// load replays every job directory. Unreadable entries are skipped, never
+// fatal: one corrupt job must not keep the service from coming back up.
+func (jn *journal) load() ([]*recoveredJob, error) {
+	entries, err := os.ReadDir(jn.dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobd: read journal: %w", err)
+	}
+	var out []*recoveredJob
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rec, err := jn.loadJob(e.Name())
+		if err != nil {
+			// Torn spec (crash mid-submit before the rename landed) or
+			// hand-damaged directory: the submission was never acknowledged
+			// durable, skipping it breaks no promise.
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func (jn *journal) loadJob(id string) (*recoveredJob, error) {
+	dir := jn.jobDir(id)
+	data, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+	if err != nil {
+		return nil, err
+	}
+	spec := &specRecord{}
+	if err := json.Unmarshal(data, spec); err != nil {
+		return nil, fmt.Errorf("jobd: job %s: corrupt spec: %w", id, err)
+	}
+	if spec.ID != id || spec.Job == nil {
+		return nil, fmt.Errorf("jobd: job %s: spec does not match its directory", id)
+	}
+	rec := &recoveredJob{spec: spec, ckpts: make(map[int][]byte)}
+
+	// Results log: tolerate a torn trailing line (death mid-append) by
+	// stopping at the first undecodable line; everything before it stands.
+	if f, err := os.Open(filepath.Join(dir, "results.ndjson")); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+		for sc.Scan() {
+			var line resultLine
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				break
+			}
+			switch {
+			case line.Result != nil:
+				rec.results = append(rec.results, line.Result)
+			case line.Terminal != "":
+				rec.terminal = line.Terminal
+				rec.terminalErr = line.Err
+			}
+		}
+		f.Close()
+	}
+
+	// Checkpoints only matter for non-terminal jobs; their writes are
+	// atomic so any present file is whole.
+	if rec.terminal == "" {
+		if ents, err := os.ReadDir(filepath.Join(dir, "ckpt")); err == nil {
+			for _, ce := range ents {
+				idx, err := strconv.Atoi(ce.Name())
+				if err != nil {
+					continue
+				}
+				if data, err := os.ReadFile(filepath.Join(dir, "ckpt", ce.Name())); err == nil && len(data) > 0 {
+					rec.ckpts[idx] = data
+				}
+			}
+		}
+	}
+	return rec, nil
+}

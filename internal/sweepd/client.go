@@ -28,7 +28,7 @@ func RunRemote(ctx context.Context, addr string, job *Job, obs core.Observer) ([
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	wj, err := wireJobOf(job)
+	wj, err := WireJobOf(job)
 	if err != nil {
 		return nil, err
 	}

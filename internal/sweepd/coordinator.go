@@ -33,6 +33,11 @@ type Coordinator struct {
 	// retains per job (see Job.CheckpointBudget): 0 applies
 	// DefaultCheckpointBudget, negative disables the cap.
 	CheckpointBudget int64
+	// OnWorkersChanged, when non-nil, is called (without the coordinator
+	// lock held) after a worker registers or disconnects — the dispatch
+	// hook the job platform (internal/jobd) uses to re-schedule queued
+	// groups when capacity appears or a worker dies. Set it before Serve.
+	OnWorkersChanged func()
 
 	mu      sync.Mutex
 	workers map[*remoteWorker]struct{}
@@ -41,7 +46,8 @@ type Coordinator struct {
 	closed  bool
 
 	callSeq atomic.Uint64
-	wg      sync.WaitGroup
+	wg      sync.WaitGroup // per-connection handlers
+	loopWg  sync.WaitGroup // accept loops (Serve calls)
 }
 
 // NewCoordinator builds an idle coordinator; start it with Serve or
@@ -107,7 +113,13 @@ func (c *Coordinator) Serve(ln net.Listener) error {
 		return errors.New("sweepd: coordinator closed")
 	}
 	c.ln = ln
+	// Registered under the lock that also orders Close's closed=true, so
+	// Close either sees no loop (and skips waiting) or waits for this one
+	// to observe closed and exit — the accept loop can never outlive Close
+	// holding an untracked just-accepted connection.
+	c.loopWg.Add(1)
 	c.mu.Unlock()
+	defer c.loopWg.Done()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -142,7 +154,9 @@ func (c *Coordinator) Serve(ln net.Listener) error {
 }
 
 // Close stops the listener, tears down every connection and waits for the
-// handlers to drain.
+// accept loop and every per-connection goroutine (including client
+// cancellation watchers) to drain — after Close returns, the coordinator
+// holds no open connections and has leaked no goroutines.
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
 	c.closed = true
@@ -154,6 +168,7 @@ func (c *Coordinator) Close() error {
 	if ln != nil {
 		ln.Close()
 	}
+	c.loopWg.Wait()
 	c.wg.Wait()
 	return nil
 }
@@ -163,7 +178,7 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	w := newWire(conn)
 	hello, err := handshake(w, roleCoordinator, "", roleWorker, roleClient)
 	if err != nil {
-		c.logf("sweepd: handshake failed from %s: %v", conn.RemoteAddr(), err)
+		c.logf("%s", KV("sweepd.handshake_failed", "addr", conn.RemoteAddr(), "err", err))
 		return
 	}
 	switch hello.Role {
@@ -185,19 +200,30 @@ func (c *Coordinator) serveWorker(w *wire, name string) {
 	}
 	c.workers[rw] = struct{}{}
 	c.mu.Unlock()
-	c.logf("sweepd: worker %q registered from %s", name, w.conn.RemoteAddr())
+	c.logf("%s", KV("sweepd.worker_registered", "worker", name, "addr", w.conn.RemoteAddr()))
+	c.workersChanged()
 	err := rw.readLoop()
 	c.mu.Lock()
 	delete(c.workers, rw)
 	c.mu.Unlock()
 	rw.fail(err)
-	c.logf("sweepd: worker %q gone: %v", name, err)
+	c.logf("%s", KV("sweepd.worker_gone", "worker", name, "err", err))
+	c.workersChanged()
 }
 
-// snapshotWorkers returns the live workers a job will run on. Workers that
-// register later serve later jobs; workers that die mid-job are handled by
-// the scheduler's requeue.
-func (c *Coordinator) snapshotWorkers() []Worker {
+// workersChanged fires the OnWorkersChanged dispatch hook, if any.
+func (c *Coordinator) workersChanged() {
+	if c.OnWorkersChanged != nil {
+		c.OnWorkersChanged()
+	}
+}
+
+// Workers returns a snapshot of the currently registered workers — the
+// worker pool a scheduler dispatches groups onto. Workers that register
+// later appear in later snapshots (OnWorkersChanged signals when to take a
+// fresh one); workers that die mid-group are handled by the caller's
+// requeue on RunGroup error.
+func (c *Coordinator) Workers() []Worker {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ws := make([]Worker, 0, len(c.workers))
@@ -208,7 +234,9 @@ func (c *Coordinator) snapshotWorkers() []Worker {
 }
 
 // serveClient receives one job, runs it over the registered workers and
-// streams results until done. The job is aborted if the client disconnects.
+// streams results until done. The job is aborted if the client disconnects;
+// the cancellation watcher is drained before returning so a coordinator
+// Close never leaves watcher goroutines behind.
 func (c *Coordinator) serveClient(w *wire) {
 	m, err := w.recv()
 	if err != nil {
@@ -220,7 +248,16 @@ func (c *Coordinator) serveClient(w *wire) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	watcherDone := make(chan struct{})
+	defer func() {
+		// Unblock the watcher's pending recv and wait for it: teardown is
+		// deterministic, not left to whenever the conn-close defer in Serve
+		// happens to run after this handler already returned.
+		w.conn.Close()
+		<-watcherDone
+	}()
 	go func() {
+		defer close(watcherDone)
 		// The only traffic a client sends after the job is a disconnect;
 		// use the read side as the cancellation signal.
 		for {
@@ -234,25 +271,25 @@ func (c *Coordinator) serveClient(w *wire) {
 	fail := func(err error) {
 		w.send(&Message{Type: msgDone, Done: &Done{Err: errString(err)}}) //nolint:errcheck
 	}
-	job, err := jobFromWire(m.Job)
+	job, err := JobFromWire(m.Job)
 	if err != nil {
 		fail(err)
 		return
 	}
 	job.CheckpointBudget = c.CheckpointBudget
-	workers := c.snapshotWorkers()
+	workers := c.Workers()
 	if len(workers) == 0 {
 		fail(errors.New("sweepd: no workers registered"))
 		return
 	}
-	c.logf("sweepd: job: %d points over %d workers (%s, %d instructions)",
-		len(job.Points), len(workers), job.Profile.Name, job.Instructions)
+	c.logf("%s", KV("sweepd.job_start", "points", len(job.Points), "workers", len(workers),
+		"workload", job.Profile.Name, "instructions", job.Instructions))
 	emit := func(pr PointResult, done, total int) {
 		wr := &WireResult{Index: pr.Index, Name: pr.Result.Name, Done: done, Total: total}
 		if pr.Result.Err != nil {
 			wr.Err = pr.Result.Err.Error()
 		} else {
-			wr.Res = wireRunResultOf(pr.Result.Res)
+			wr.Res = WireRunResultOf(pr.Result.Res)
 		}
 		if err := w.send(&Message{Type: msgResult, Result: wr}); err != nil {
 			cancel() // client gone; stop burning worker time
@@ -353,7 +390,7 @@ func (rw *remoteWorker) assignment(id uint64, job *Job, gr GroupRun) (*Assignmen
 		var buf bytes.Buffer
 		if ok, err := tc.ExportContainer(key, &buf); ok && err == nil {
 			asg.Trace = buf.Bytes()
-			rw.c.logf("sweepd: shipping trace %s (%d container bytes) to worker %q", asg.KeyID, buf.Len(), rw.name)
+			rw.c.logf("%s", KV("sweepd.trace_shipped", "key", asg.KeyID, "bytes", buf.Len(), "worker", rw.name))
 		}
 	}
 	return asg, nil
@@ -404,7 +441,7 @@ func (rw *remoteWorker) readLoop() error {
 			if first {
 				// One line per point, on its first shipment: the point now
 				// has resume state. Per-interval shipments stay quiet.
-				rw.c.logf("sweepd: checkpoint for point %d (%d bytes) from worker %q", ck.Index, len(ck.Data), rw.name)
+				rw.c.logf("%s", KV("sweepd.checkpoint_received", "point", ck.Index, "bytes", len(ck.Data), "worker", rw.name))
 			}
 			call.onCkpt(ck.Index, ck.Data)
 		case msgGroupEnd:

@@ -142,9 +142,10 @@ type WireJob struct {
 	Points       []WirePoint      `json:"points"`
 }
 
-// wireJobOf converts an in-process job for submission, validating every
-// point is expressible on the wire.
-func wireJobOf(job *Job) (*WireJob, error) {
+// WireJobOf converts an in-process job for submission, validating every
+// point is expressible on the wire. The job platform (internal/jobd) and
+// the TCP client share this as the canonical job serialization.
+func WireJobOf(job *Job) (*WireJob, error) {
 	wj := &WireJob{Profile: job.Profile, Instructions: job.Instructions,
 		Points: make([]WirePoint, len(job.Points))}
 	for i, pt := range job.Points {
@@ -157,9 +158,10 @@ func wireJobOf(job *Job) (*WireJob, error) {
 	return wj, nil
 }
 
-// jobFromWire materializes a received job. Point order follows the wire
-// order; each point's Index must equal its position.
-func jobFromWire(wj *WireJob) (*Job, error) {
+// JobFromWire materializes a received job, validating every point's
+// configuration. Point order follows the wire order; each point's Index
+// must equal its position.
+func JobFromWire(wj *WireJob) (*Job, error) {
 	job := &Job{Profile: wj.Profile, Instructions: wj.Instructions,
 		Points: make([]sweep.Point, len(wj.Points))}
 	for i, wp := range wj.Points {
@@ -219,8 +221,9 @@ type WireRunResult struct {
 	LSQ    stats.Occupancy `json:"lsq"`
 }
 
-// wireRunResultOf strips a result for the wire.
-func wireRunResultOf(r core.Result) *WireRunResult {
+// WireRunResultOf strips a result to its wire form (the configuration is
+// reattached receiver-side via Result). Shared with the job platform.
+func WireRunResultOf(r core.Result) *WireRunResult {
 	return &WireRunResult{Counters: r.Counters,
 		ICache: r.ICache, DCache: r.DCache, IFQ: r.IFQ, RB: r.RB, LSQ: r.LSQ}
 }

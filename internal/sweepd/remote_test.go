@@ -293,7 +293,7 @@ func TestRemoteWorkerDeathResumesFromCheckpoint(t *testing.T) {
 	var resumeLines []string
 	coord.Logf = func(format string, args ...any) {
 		line := fmt.Sprintf(format, args...)
-		if strings.Contains(line, "checkpoint for point") && strings.Contains(line, `worker "victim"`) {
+		if strings.Contains(line, "sweepd.checkpoint_received") && strings.Contains(line, "worker=victim") {
 			ckptOnce.Do(func() { close(ckptSeen) })
 		}
 	}
@@ -311,7 +311,7 @@ func TestRemoteWorkerDeathResumesFromCheckpoint(t *testing.T) {
 		CheckpointEvery: 2048,
 		Logf: func(format string, args ...any) {
 			line := fmt.Sprintf(format, args...)
-			if strings.Contains(line, "resuming point") {
+			if strings.Contains(line, "sweepd.point_resumed") {
 				logMu.Lock()
 				resumeLines = append(resumeLines, line)
 				logMu.Unlock()

@@ -135,10 +135,13 @@ type groupState struct {
 	done map[int]bool
 }
 
-// ckptStore retains the latest shipped resume checkpoint per unfinished
-// point, job-wide, under a total byte budget. All methods run under the
-// scheduler mutex.
-type ckptStore struct {
+// CheckpointStore retains the latest shipped resume checkpoint per
+// unfinished point of one job, under a total byte budget. The scheduler
+// keeps one per Run; the job platform (internal/jobd) keeps one per admitted
+// job, so the store carries its own mutex — concurrent jobs' stores are
+// fully isolated, each enforcing only its own budget.
+type CheckpointStore struct {
+	mu      sync.Mutex
 	budget  int64 // <= 0: unlimited
 	total   int64
 	data    map[int][]byte
@@ -147,21 +150,25 @@ type ckptStore struct {
 	dropped int // checkpoints evicted to stay under budget
 }
 
-func newCkptStore(budget int64) *ckptStore {
-	return &ckptStore{budget: budget, data: make(map[int][]byte), stamp: make(map[int]uint64)}
+// NewCheckpointStore builds a store capping retained checkpoint bytes at
+// budget (<= 0: unlimited).
+func NewCheckpointStore(budget int64) *CheckpointStore {
+	return &CheckpointStore{budget: budget, data: make(map[int][]byte), stamp: make(map[int]uint64)}
 }
 
-// put stores the latest checkpoint for index, evicting the
+// Put stores the latest checkpoint for index, evicting the
 // least-recently-updated other points as needed to stay under budget. A
 // checkpoint that could never fit even alone is rejected up front — the
 // point keeps whatever older (still valid, just earlier) resume state it
 // had, and no other point's state is harmed making room for it.
-func (s *ckptStore) put(index int, b []byte) {
+func (s *CheckpointStore) Put(index int, b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.budget > 0 && int64(len(b)) > s.budget {
 		s.dropped++
 		return
 	}
-	s.drop(index) // a replaced shipment no longer counts toward the budget
+	s.dropLocked(index) // a replaced shipment no longer counts toward the budget
 	if s.budget > 0 {
 		for s.total+int64(len(b)) > s.budget && len(s.data) > 0 {
 			lru, lruStamp := -1, uint64(0)
@@ -170,7 +177,7 @@ func (s *ckptStore) put(index int, b []byte) {
 					lru, lruStamp = i, st
 				}
 			}
-			s.evict(lru)
+			s.evictLocked(lru)
 		}
 	}
 	s.tick++
@@ -179,12 +186,36 @@ func (s *ckptStore) put(index int, b []byte) {
 	s.total += int64(len(b))
 }
 
-// get returns the stored checkpoint for index, or nil.
-func (s *ckptStore) get(index int) []byte { return s.data[index] }
+// Get returns the stored checkpoint for index, or nil.
+func (s *CheckpointStore) Get(index int) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data[index]
+}
 
-// drop releases index's checkpoint (its result landed, or it was evicted
-// by put).
-func (s *ckptStore) drop(index int) {
+// Drop releases index's checkpoint (its result landed, or it was evicted
+// by Put).
+func (s *CheckpointStore) Drop(index int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropLocked(index)
+}
+
+// TotalBytes reports the bytes currently retained.
+func (s *CheckpointStore) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Dropped reports checkpoints evicted or rejected to stay under budget.
+func (s *CheckpointStore) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+func (s *CheckpointStore) dropLocked(index int) {
 	if old, ok := s.data[index]; ok {
 		s.total -= int64(len(old))
 		delete(s.data, index)
@@ -192,9 +223,9 @@ func (s *ckptStore) drop(index int) {
 	}
 }
 
-func (s *ckptStore) evict(index int) {
+func (s *CheckpointStore) evictLocked(index int) {
 	if _, ok := s.data[index]; ok {
-		s.drop(index)
+		s.dropLocked(index)
 		s.dropped++
 	}
 }
@@ -229,7 +260,7 @@ func Run(ctx context.Context, job *Job, workers []Worker, emit func(res PointRes
 	if budget == 0 {
 		budget = DefaultCheckpointBudget
 	}
-	ckpts := newCkptStore(budget)
+	ckpts := NewCheckpointStore(budget)
 
 	// Each group is either in the queue or held by exactly one worker, so
 	// capacity len(groups) makes every requeue send non-blocking.
@@ -286,11 +317,11 @@ func Run(ctx context.Context, job *Job, workers []Worker, emit func(res PointRes
 						// latest shipment is always the furthest along. The
 						// store caps total retained bytes job-wide, evicting
 						// other points' resume state first.
-						ckpts.put(index, data)
+						ckpts.Put(index, data)
 					},
 				}
 				for _, i := range gr.Indices {
-					if data := ckpts.get(i); len(data) > 0 {
+					if data := ckpts.Get(i); len(data) > 0 {
 						gr.Checkpoints[i] = data
 					}
 				}
@@ -306,7 +337,7 @@ func Run(ctx context.Context, job *Job, workers []Worker, emit func(res PointRes
 					}
 					gs.done[pr.Index] = true
 					// The result landed: its resume checkpoint is garbage now.
-					ckpts.drop(pr.Index)
+					ckpts.Drop(pr.Index)
 					results[pr.Index] = pr.Result
 					completed++
 					if emit != nil && runCtx.Err() == nil {

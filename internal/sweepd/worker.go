@@ -64,7 +64,7 @@ func Work(ctx context.Context, addr string, opts WorkerOptions) error {
 	if _, err := handshake(w, roleWorker, opts.Name, roleCoordinator); err != nil {
 		return err
 	}
-	logf("sweepd worker %q: registered with %s", opts.Name, addr)
+	logf("%s", KV("sweepd.worker_connected", "worker", opts.Name, "coordinator", addr))
 
 	// Tear the connection down on cancellation so the blocking recv returns.
 	stop := make(chan struct{})
@@ -159,9 +159,9 @@ func serveAssignment(ctx context.Context, w *wire, asg *Assignment, opts WorkerO
 	if len(asg.Trace) > 0 && opts.Traces.Cacheable(asg.Instructions) {
 		key := tracecache.KeyFor(asg.Profile, pts[0].Config.TraceConfig(), asg.Instructions)
 		if _, err := opts.Traces.Seed(key, bytes.NewReader(asg.Trace)); err != nil {
-			logf("sweepd worker %q: seeding shipped trace %s failed (will regenerate): %v", opts.Name, asg.KeyID, err)
+			logf("%s", KV("sweepd.trace_seed_failed", "worker", opts.Name, "key", asg.KeyID, "err", err))
 		} else {
-			logf("sweepd worker %q: seeded shipped trace %s", opts.Name, asg.KeyID)
+			logf("%s", KV("sweepd.trace_seeded", "worker", opts.Name, "key", asg.KeyID))
 		}
 	}
 
@@ -170,8 +170,8 @@ func serveAssignment(ctx context.Context, w *wire, asg *Assignment, opts WorkerO
 	resume := decodeResume(len(asg.Points),
 		func(i int) []byte { return asg.Checkpoints[asg.Points[i].Index] },
 		func(i int, err error) {
-			logf("sweepd worker %q: checkpoint for point %d undecodable (running from scratch): %v",
-				opts.Name, asg.Points[i].Index, err)
+			logf("%s", KV("sweepd.checkpoint_undecodable", "worker", opts.Name,
+				"point", asg.Points[i].Index, "err", err))
 		})
 	ckptEvery := opts.CheckpointEvery
 	if ckptEvery == 0 {
@@ -188,7 +188,7 @@ func serveAssignment(ctx context.Context, w *wire, asg *Assignment, opts WorkerO
 		// Logged on successful restore only — the line tests and operators
 		// rely on must never claim a resume that degraded to a fresh run.
 		OnResume: func(i int, cycles uint64) {
-			logf("sweepd worker %q: resuming point %d from cycle %d", opts.Name, asg.Points[i].Index, cycles)
+			logf("%s", KV("sweepd.point_resumed", "worker", opts.Name, "point", asg.Points[i].Index, "cycle", cycles))
 		},
 		OnCheckpoint: func(i int, cp *core.Checkpoint) {
 			data, err := cp.Encode()
@@ -209,7 +209,7 @@ func serveAssignment(ctx context.Context, w *wire, asg *Assignment, opts WorkerO
 			if res.Err != nil {
 				wr.Err = res.Err.Error()
 			} else {
-				wr.Res = wireRunResultOf(res.Res)
+				wr.Res = WireRunResultOf(res.Res)
 			}
 			w.send(&Message{Type: msgResult, Result: wr}) //nolint:errcheck
 		},
@@ -224,5 +224,5 @@ func serveAssignment(ctx context.Context, w *wire, asg *Assignment, opts WorkerO
 	}
 	_, err := r.Run(ctx, pts)
 	end(err)
-	logf("sweepd worker %q: group %d done (%d points, err=%v)", opts.Name, asg.Call, len(pts), err)
+	logf("%s", KV("sweepd.group_done", "worker", opts.Name, "call", asg.Call, "points", len(pts), "err", err))
 }

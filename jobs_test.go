@@ -1,0 +1,129 @@
+package resim_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	resim "repro"
+	"repro/internal/jobd"
+	"repro/internal/sweepd"
+)
+
+// startJobService brings up a job platform over a loopback worker pool with
+// its HTTP front door on an httptest server — the public-API analog of the
+// internal jobd tests' clusters.
+func startJobService(t *testing.T, tenants []jobd.Tenant) string {
+	t.Helper()
+	p, err := jobd.New(jobd.Options{
+		Pool: jobd.StaticPool{
+			sweepd.NewLoopbackWorker(sweepd.LoopbackOptions{}),
+			sweepd.NewLoopbackWorker(sweepd.LoopbackOptions{}),
+		},
+		Tenants: tenants,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		p.Close()
+	})
+	return srv.URL
+}
+
+// TestSubmitRemoteMatchesSweep: a sweep routed through the job service —
+// SubmitRemote, then JobHandle.Results — returns results byte-identical to
+// Session.Sweep on the same points, the same contract SweepRemote honors.
+func TestSubmitRemoteMatchesSweep(t *testing.T) {
+	const instrs = 8000
+	ctx := context.Background()
+	server := startJobService(t, []jobd.Tenant{{Name: "alice", Token: "tok-a"}})
+
+	ses, err := resim.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := acceptancePoints(resim.DefaultConfig())
+	want, err := ses.Sweep(ctx, "gzip", instrs, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := ses.SubmitRemote(ctx, server, "gzip", instrs, pts,
+		&resim.SubmitOptions{Token: "tok-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID() == "" {
+		t.Fatal("SubmitRemote returned a handle with no job ID")
+	}
+	st, err := h.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != h.ID() || st.Total != len(pts) {
+		t.Fatalf("status: id=%s total=%d, want id=%s total=%d", st.ID, st.Total, h.ID(), len(pts))
+	}
+	got, err := h.Results(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("job-service results are not byte-identical to Sweep results\nremote: %.400s\nlocal:  %.400s",
+			gotJSON, wantJSON)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("job-service results differ structurally from Sweep results")
+	}
+}
+
+// TestSubmitRemoteAuthAndCancel: a bad token is rejected at submission, and
+// a canceled job's Results reports the cancellation instead of blocking.
+func TestSubmitRemoteAuthAndCancel(t *testing.T) {
+	ctx := context.Background()
+	server := startJobService(t, []jobd.Tenant{{Name: "alice", Token: "tok-a"}})
+
+	ses, err := resim.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := acceptancePoints(resim.DefaultConfig())
+	if _, err := ses.SubmitRemote(ctx, server, "gzip", 1000, pts,
+		&resim.SubmitOptions{Token: "wrong"}); err == nil {
+		t.Fatal("SubmitRemote with a bad token succeeded")
+	}
+
+	// A large job we cancel immediately: Results must come back with the
+	// canceled state as an error, not hang or fabricate results.
+	h, err := ses.SubmitRemote(ctx, server, "gzip", 50_000_000, pts,
+		&resim.SubmitOptions{Token: "tok-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Cancel(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Results(ctx); err == nil {
+		t.Fatal("Results of a canceled job reported success")
+	}
+	st, err := h.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != jobd.StateCanceled {
+		t.Fatalf("state after cancel = %s, want %s", st.State, jobd.StateCanceled)
+	}
+}
