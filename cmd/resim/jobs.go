@@ -4,6 +4,7 @@
 //	resim jobs submit -server http://host:8080 -token T -workload gzip -n 500000 -grid lsq=4,8,16
 //	resim jobs status -server http://host:8080 -token T -id j0123456789abcdef
 //	resim jobs results -server http://host:8080 -token T -id j0123456789abcdef
+//	resim jobs watch  -server http://host:8080 -token T -id j0123456789abcdef
 //	resim jobs cancel -server http://host:8080 -token T -id j0123456789abcdef
 //	resim jobs list   -server http://host:8080 -token T
 //
@@ -11,7 +12,9 @@
 // additionally streams results until the job finishes. Submissions are
 // durable server-side: a coordinator restart recovers them from its
 // journal, so a printed job ID can always be picked up later with
-// `resim jobs results`.
+// `resim jobs results`. watch follows the job's live telemetry stream,
+// printing one table row per interval snapshot as the engines simulate
+// (see docs/TELEMETRY.md).
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"text/tabwriter"
 
 	resim "repro"
 	"repro/internal/configfile"
@@ -32,7 +36,7 @@ import (
 
 func runJobs(args []string) {
 	if len(args) == 0 {
-		fatal(fmt.Errorf("resim jobs: need a subcommand: submit, status, results, cancel, list"))
+		fatal(fmt.Errorf("resim jobs: need a subcommand: submit, status, results, watch, cancel, list"))
 	}
 	sub, args := args[0], args[1:]
 	fs := flag.NewFlagSet("resim jobs "+sub, flag.ExitOnError)
@@ -67,6 +71,10 @@ func runJobs(args []string) {
 		if _, err := streamResults(ctx, c, requireID(*id)); err != nil {
 			fatal(err)
 		}
+	case "watch":
+		if err := watchTelemetry(ctx, c, requireID(*id)); err != nil {
+			fatal(err)
+		}
 	case "cancel":
 		st, err := c.Cancel(ctx, requireID(*id))
 		if err != nil {
@@ -84,7 +92,7 @@ func runJobs(args []string) {
 				st.Workload, st.Instructions, st.Submitted.Format("2006-01-02 15:04:05"))
 		}
 	default:
-		fatal(fmt.Errorf("resim jobs: unknown subcommand %q (want submit, status, results, cancel, list)", sub))
+		fatal(fmt.Errorf("resim jobs: unknown subcommand %q (want submit, status, results, watch, cancel, list)", sub))
 	}
 }
 
@@ -191,6 +199,38 @@ func streamResults(ctx context.Context, c *jobd.Client, id string) (jobd.State, 
 	}
 	fmt.Printf("job %s: %s\n", id, state)
 	return state, nil
+}
+
+// watchTelemetry follows the job's live interval-snapshot stream, printing
+// a table row per window as the engines simulate: which point, the cycle
+// window, its IPC and miss rates, and the mean reorder-buffer occupancy. A
+// watch attached mid-job first replays the service's buffered history, then
+// follows live until the job finishes.
+func watchTelemetry(ctx context.Context, c *jobd.Client, id string) error {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "POINT\tWINDOW\tCYCLES\tIPC\tBR-MISS\tI$-MISS\tD$-MISS\tRB-OCC")
+	tw.Flush()
+	rows := 0
+	state, err := c.Telemetry(ctx, id, func(s resim.IntervalSnapshot) error {
+		mark := ""
+		if s.Final {
+			mark = " *"
+		}
+		fmt.Fprintf(tw, "%d\t[%d,%d)%s\t%d\t%.4f\t%.4f\t%.4f\t%.4f\t%.1f\n",
+			s.Core, s.StartCycle, s.EndCycle, mark, s.Cycles(),
+			s.IPC, s.MispredictRate, s.ICacheMissRate, s.DCacheMissRate, s.RB.Mean())
+		rows++
+		// Flush per line: watch is a live view, not a report.
+		return tw.Flush()
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s: %s (%d intervals)\n", id, state, rows)
+	if state != jobd.StateDone && state != jobd.StateCanceled {
+		return fmt.Errorf("resim jobs: job %s ended %s", id, state)
+	}
+	return nil
 }
 
 func printStatus(st jobd.JobStatus) {

@@ -69,6 +69,8 @@ func main() {
 		maxQueue    = flag.Int("max-queue", 0, "coordinator: max queued jobs before submissions get 429 (0 = 64)")
 		tenantInFl  = flag.Int("tenant-inflight", 0, "coordinator: default per-tenant queued+running job cap (0 = 8)")
 		slotsPerWkr = flag.Int("worker-slots", 0, "coordinator: concurrent groups per worker for the job platform (0 = 1)")
+		telEvery    = flag.Uint64("telemetry-every", 0, "coordinator: cycles between live interval snapshots jobs stream to telemetry watchers (0 = 65536)")
+		telRing     = flag.Int("telemetry-ring", 0, "coordinator: per-job telemetry snapshot ring capacity for late/slow watchers (0 = 256)")
 	)
 	flag.Parse()
 
@@ -94,6 +96,8 @@ func main() {
 			maxQueue:       *maxQueue,
 			tenantInFl:     *tenantInFl,
 			slotsPerWorker: *slotsPerWkr,
+			telemetryEvery: *telEvery,
+			telemetryRing:  *telRing,
 		})
 	case "worker":
 		if *coordinator == "" {
@@ -122,6 +126,8 @@ type jobPlatformConfig struct {
 	maxQueue       int
 	tenantInFl     int
 	slotsPerWorker int
+	telemetryEvery uint64
+	telemetryRing  int
 }
 
 func runCoordinator(ctx context.Context, listen string, traces *tracecache.Cache, ckptBudget int64, jp jobPlatformConfig) {
@@ -155,6 +161,8 @@ func runCoordinator(ctx context.Context, listen string, traces *tracecache.Cache
 			TenantMaxInFlight: jp.tenantInFl,
 			SlotsPerWorker:    jp.slotsPerWorker,
 			CheckpointBudget:  ckptBudget,
+			TelemetryEvery:    jp.telemetryEvery,
+			TelemetryRing:     jp.telemetryRing,
 			Logf:              log.Printf,
 		})
 		if err != nil {

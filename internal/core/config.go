@@ -76,6 +76,27 @@ type Config struct {
 	// embed their Config), so it is explicitly untagged for encoding.
 	CheckpointSink  func(*Checkpoint) error `json:"-"`
 	CheckpointEvery uint64
+	// TelemetrySink, when non-nil, receives an IntervalSnapshot — the
+	// window delta of every counter, cache statistic and occupancy — at
+	// every TelemetryEvery-cycle boundary of RunContext
+	// (0 = DefaultObserverInterval), a Final snapshot covering the last
+	// partial window when the run drains, and one last non-Final snapshot
+	// when the run is cancelled or fails, so the streamed windows always
+	// sum to the returned Result. A sink error aborts the run. Like
+	// CheckpointSink this is a per-run hook, not part of the simulated
+	// machine: it never affects simulated state, cannot cross the
+	// sweep-service wire, and is excluded from the checkpoint ConfigDigest;
+	// the func type is untagged for encoding because results embed their
+	// Config.
+	TelemetrySink  func(IntervalSnapshot) error `json:"-"`
+	TelemetryEvery uint64
+	// TelemetryPipeTail, when positive, attaches the most recent N
+	// pipe-trace event lines to each IntervalSnapshot (local sinks only;
+	// the sweep service strips tails before forwarding). It splices a
+	// recorder into the PipeTracer hook for the run, so it costs
+	// per-instruction formatting — a debugging aid, not a monitoring
+	// default.
+	TelemetryPipeTail int
 }
 
 // PipeTracer observes instruction flow through the simulated pipeline.

@@ -377,8 +377,8 @@ func (e *Engine) stepFast() error {
 
 // stepLimit returns the absolute Cycles count at which stepFast must hand
 // control back to the drive loop: the next context-poll boundary, capped to
-// the next observer/checkpoint boundary (so hook cadence stays on absolute
-// interval multiples as Drive documents) and the MaxCycles budget.
+// the next observer/checkpoint/telemetry boundary (so hook cadence stays on
+// absolute interval multiples as Drive documents) and the MaxCycles budget.
 func (e *Engine) stepLimit() uint64 {
 	limit := nextBoundary(e.c.Cycles, CtxCheckInterval)
 	if e.cfg.Observer != nil {
@@ -392,6 +392,15 @@ func (e *Engine) stepLimit() uint64 {
 	}
 	if e.cfg.CheckpointSink != nil {
 		iv := e.cfg.CheckpointEvery
+		if iv == 0 {
+			iv = DefaultObserverInterval
+		}
+		if b := nextBoundary(e.c.Cycles, iv); b < limit {
+			limit = b
+		}
+	}
+	if e.cfg.TelemetrySink != nil {
+		iv := e.cfg.TelemetryEvery
 		if iv == 0 {
 			iv = DefaultObserverInterval
 		}
@@ -499,7 +508,10 @@ func (e *Engine) Run() (Result, error) {
 // snapshot when the run is cancelled or fails. When cfg.CheckpointSink is
 // set the engine additionally serializes its complete state at every
 // cfg.CheckpointEvery boundary (0 = DefaultObserverInterval) and hands the
-// Checkpoint to the sink.
+// Checkpoint to the sink. When cfg.TelemetrySink is set the engine emits
+// per-interval IntervalSnapshot window deltas at every cfg.TelemetryEvery
+// boundary (0 = DefaultObserverInterval); see IntervalSnapshot for the
+// delivery contract.
 func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 	var ckptEvery uint64
 	var ckpt func() error
@@ -516,13 +528,27 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 			return e.cfg.CheckpointSink(cp)
 		}
 	}
-	err := DriveCheckpointed(ctx, e.cfg.Observer, e.cfg.ObserverInterval, ckptEvery, ckpt,
+	var telEvery uint64
+	var tel func(final bool) error
+	var telRun *telemetryRun
+	if e.cfg.TelemetrySink != nil {
+		telEvery = e.cfg.TelemetryEvery
+		if telEvery == 0 {
+			telEvery = DefaultObserverInterval
+		}
+		telRun = e.startTelemetry()
+		tel = telRun.emit
+	}
+	err := drive(ctx, e.cfg.Observer, e.cfg.ObserverInterval, ckptEvery, ckpt, telEvery, tel,
 		func() uint64 { return e.c.Cycles },
 		func() bool {
 			return e.Done() || (e.cfg.MaxCycles != 0 && e.c.Cycles >= e.cfg.MaxCycles)
 		},
 		e.stepFast,
 		e.progress)
+	if telRun != nil {
+		telRun.stop() // restore the pipe-trace hook before result() copies Config
+	}
 	return e.result(), err
 }
 
@@ -546,7 +572,7 @@ func (e *Engine) RunContext(ctx context.Context) (Result, error) {
 func Drive(ctx context.Context, obs Observer, interval uint64,
 	cycles func() uint64, done func() bool, step func() error,
 	progress func(final bool) Progress) error {
-	return DriveCheckpointed(ctx, obs, interval, 0, nil, cycles, done, step, progress)
+	return drive(ctx, obs, interval, 0, nil, 0, nil, cycles, done, step, progress)
 }
 
 // DriveCheckpointed is Drive with a checkpoint hook: when checkpoint is
@@ -556,6 +582,20 @@ func Drive(ctx context.Context, obs Observer, interval uint64,
 // like a step error.
 func DriveCheckpointed(ctx context.Context, obs Observer, interval, ckptEvery uint64,
 	checkpoint func() error,
+	cycles func() uint64, done func() bool, step func() error,
+	progress func(final bool) Progress) error {
+	return drive(ctx, obs, interval, ckptEvery, checkpoint, 0, nil, cycles, done, step, progress)
+}
+
+// drive is the loop behind Drive, DriveCheckpointed and RunContext's
+// telemetry path. telemetry, when non-nil, is invoked at every
+// telEvery-cycle boundary with final=false, once with final=true on
+// successful completion (covering the last partial window), and once with
+// final=false when cancellation or a step/checkpoint error interrupts the
+// run — so the windows it emits always sum to the run's final statistics.
+// A telemetry error ends the loop like a step error.
+func drive(ctx context.Context, obs Observer, interval, ckptEvery uint64,
+	checkpoint func() error, telEvery uint64, telemetry func(final bool) error,
 	cycles func() uint64, done func() bool, step func() error,
 	progress func(final bool) Progress) error {
 	if ctx == nil {
@@ -573,28 +613,46 @@ func DriveCheckpointed(ctx context.Context, obs Observer, interval, ckptEvery ui
 			obs.Progress(progress(false))
 		}
 	}
+	// interrupted additionally flushes the partial telemetry window, so
+	// streamed deltas sum to the statistics the interrupted run returns.
+	interrupted := func() {
+		if telemetry != nil {
+			telemetry(false) //nolint:errcheck // the run is already ending
+		}
+		snapshot()
+	}
 	nextCheck := cycles() + CtxCheckInterval
 	nextObs := nextBoundary(cycles(), interval)
-	var nextCkpt uint64
+	var nextCkpt, nextTel uint64
 	if checkpoint != nil && ckptEvery > 0 {
 		nextCkpt = nextBoundary(cycles(), ckptEvery)
 	}
+	if telemetry != nil && telEvery > 0 {
+		nextTel = nextBoundary(cycles(), telEvery)
+	}
 	for !done() {
 		if err := step(); err != nil {
-			snapshot()
+			interrupted()
 			return err
 		}
 		c := cycles()
 		if c >= nextCheck {
 			nextCheck = c + CtxCheckInterval
 			if err := ctx.Err(); err != nil {
-				snapshot()
+				interrupted()
 				return err
 			}
 		}
 		if checkpoint != nil && ckptEvery > 0 && c >= nextCkpt {
 			nextCkpt = nextBoundary(c, ckptEvery)
 			if err := checkpoint(); err != nil {
+				interrupted()
+				return err
+			}
+		}
+		if telemetry != nil && telEvery > 0 && c >= nextTel {
+			nextTel = nextBoundary(c, telEvery)
+			if err := telemetry(false); err != nil {
 				snapshot()
 				return err
 			}
@@ -602,6 +660,12 @@ func DriveCheckpointed(ctx context.Context, obs Observer, interval, ckptEvery ui
 		if obs != nil && c >= nextObs {
 			nextObs = nextBoundary(c, interval)
 			obs.Progress(progress(false))
+		}
+	}
+	if telemetry != nil {
+		if err := telemetry(true); err != nil {
+			snapshot()
+			return err
 		}
 	}
 	if obs != nil {

@@ -27,8 +27,13 @@ type Progress struct {
 // Observer receives periodic progress callbacks from long-running
 // simulations — the observation hook that lets sweeps and services report
 // progress while a run is in flight. It generalizes the per-instruction
-// PipeTracer hook to coarse per-interval statistics: callbacks arrive every
-// Config.ObserverInterval major cycles from a single goroutine per run.
+// PipeTracer hook to coarse per-interval statistics: callbacks arrive from
+// a single goroutine per run at absolute multiples of
+// Config.ObserverInterval (cycle N fires the callback for boundary N when
+// N % interval == 0), NOT at intervals re-anchored to wherever the previous
+// callback happened to land — so the callback cycle sequence is
+// deterministic across runs and, for a run resumed from a checkpoint taken
+// at a boundary, identical to the uninterrupted run's tail (see Drive).
 // Implementations must be fast; they execute on the simulation path.
 type Observer interface {
 	Progress(Progress)

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/core"
 	"repro/internal/sweepd"
 )
 
@@ -31,6 +32,7 @@ type StatusError struct {
 	Msg  string
 }
 
+// Error renders the status code and the server's error message.
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("jobd: server returned %d: %s", e.Code, e.Msg)
 }
@@ -171,4 +173,58 @@ func (c *Client) Results(ctx context.Context, id string, fn func(*sweepd.WireRes
 		return "", err
 	}
 	return "", fmt.Errorf("jobd: result stream for %s ended without a terminal line", id)
+}
+
+// Telemetry follows the job's NDJSON telemetry stream, calling fn per live
+// interval snapshot, and returns the job's terminal state. A client
+// attaching mid-job first replays the server's buffered snapshot ring, then
+// follows live until the job finishes (cancel via ctx). Snapshots the
+// server's ring wrapped past while this client was slow are simply absent
+// from the stream; Seq gaps within one point reveal the loss.
+func (c *Client) Telemetry(ctx context.Context, id string, fn func(core.IntervalSnapshot) error) (State, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Server+"/v1/jobs/"+id+"/telemetry", nil)
+	if err != nil {
+		return "", err
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return "", apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		var line struct {
+			Telemetry *core.IntervalSnapshot `json:"telemetry"`
+			Done      bool                   `json:"done"`
+			State     State                  `json:"state"`
+			Err       string                 `json:"err"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return "", fmt.Errorf("jobd: corrupt telemetry line: %w", err)
+		}
+		switch {
+		case line.Telemetry != nil:
+			if fn != nil {
+				if err := fn(*line.Telemetry); err != nil {
+					return "", err
+				}
+			}
+		case line.Done:
+			if line.State == StateFailed && line.Err != "" {
+				return line.State, fmt.Errorf("jobd: job %s failed: %s", id, line.Err)
+			}
+			return line.State, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("jobd: telemetry stream for %s ended without a terminal line", id)
 }

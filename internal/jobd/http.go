@@ -2,13 +2,14 @@
 // bearer-token tenant auth, JSON request/response bodies, NDJSON result
 // streaming, and a Prometheus-style text /metrics. The route set:
 //
-//	POST   /v1/jobs              submit (201; 400/401/429 on rejection)
-//	GET    /v1/jobs              list the tenant's jobs
-//	GET    /v1/jobs/{id}         status + per-point progress
-//	GET    /v1/jobs/{id}/results stream results as NDJSON until terminal
-//	DELETE /v1/jobs/{id}         cancel
-//	GET    /healthz              liveness (no auth)
-//	GET    /metrics              platform counters (no auth)
+//	POST   /v1/jobs                submit (201; 400/401/429 on rejection)
+//	GET    /v1/jobs                list the tenant's jobs
+//	GET    /v1/jobs/{id}           status + per-point progress
+//	GET    /v1/jobs/{id}/results   stream results as NDJSON until terminal
+//	GET    /v1/jobs/{id}/telemetry stream live interval snapshots as NDJSON
+//	DELETE /v1/jobs/{id}           cancel
+//	GET    /healthz                liveness (no auth)
+//	GET    /metrics                platform counters (no auth)
 package jobd
 
 import (
@@ -20,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/sweepd"
 )
 
@@ -32,11 +34,16 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// streamEnd is the final NDJSON line of a results stream.
+// streamEnd is the final NDJSON line of a results or telemetry stream.
 type streamEnd struct {
 	Done  bool   `json:"done"`
 	State State  `json:"state"`
 	Err   string `json:"err,omitempty"`
+}
+
+// telemetryLine is one NDJSON line of a telemetry stream.
+type telemetryLine struct {
+	Telemetry *core.IntervalSnapshot `json:"telemetry"`
 }
 
 // Handler returns the platform's HTTP front door.
@@ -48,6 +55,7 @@ func (p *Platform) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", p.withTenant(p.handleList))
 	mux.HandleFunc("GET /v1/jobs/{id}", p.withTenant(p.handleStatus))
 	mux.HandleFunc("GET /v1/jobs/{id}/results", p.withTenant(p.handleResults))
+	mux.HandleFunc("GET /v1/jobs/{id}/telemetry", p.withTenant(p.handleTelemetry))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", p.withTenant(p.handleCancel))
 	return mux
 }
@@ -171,6 +179,37 @@ func (p *Platform) handleResults(w http.ResponseWriter, r *http.Request, tenant 
 	rc.Flush()
 }
 
+// handleTelemetry streams the job's live interval snapshots as NDJSON —
+// one {"telemetry":{...}} line per snapshot, flushed as they land, then a
+// terminal {"done":true,...} line. A client connecting mid-job first
+// replays the buffered ring, then follows live; a client too slow to keep
+// up loses wrapped-past snapshots (counted in /metrics) rather than ever
+// stalling the simulation.
+func (p *Platform) handleTelemetry(w http.ResponseWriter, r *http.Request, tenant string) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	wrote := false
+	state, errStr, err := p.StreamTelemetry(r.Context(), tenant, r.PathValue("id"),
+		func(snap core.IntervalSnapshot) error {
+			if err := enc.Encode(telemetryLine{Telemetry: &snap}); err != nil {
+				return err
+			}
+			wrote = true
+			return rc.Flush()
+		})
+	if err != nil {
+		if !wrote && errors.Is(err, ErrUnknownJob) {
+			writePlatformError(w, err)
+		}
+		// Mid-stream failure: the stream ends without its terminal line,
+		// telling the client it must reconnect.
+		return
+	}
+	enc.Encode(streamEnd{Done: true, State: state, Err: errStr})
+	rc.Flush()
+}
+
 func (p *Platform) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	p.mu.Lock()
 	closed := p.closed
@@ -208,6 +247,12 @@ func (p *Platform) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE jobd_recovered_checkpoints counter\njobd_recovered_checkpoints %d\n", m.RecoveredCkpts)
 	fmt.Fprintf(w, "# HELP jobd_admission_rejected_total Submissions refused by admission control.\n")
 	fmt.Fprintf(w, "# TYPE jobd_admission_rejected_total counter\njobd_admission_rejected_total %d\n", m.Rejected)
+	fmt.Fprintf(w, "# HELP jobd_telemetry_snapshots_total Interval snapshots appended to job telemetry rings.\n")
+	fmt.Fprintf(w, "# TYPE jobd_telemetry_snapshots_total counter\njobd_telemetry_snapshots_total %d\n", m.TelemetrySnaps)
+	fmt.Fprintf(w, "# HELP jobd_telemetry_dropped_total Snapshots lost to slow telemetry watchers (ring wrap-around).\n")
+	fmt.Fprintf(w, "# TYPE jobd_telemetry_dropped_total counter\njobd_telemetry_dropped_total %d\n", m.TelemetryDropped)
+	fmt.Fprintf(w, "# HELP jobd_telemetry_clients Currently attached telemetry streams.\n")
+	fmt.Fprintf(w, "# TYPE jobd_telemetry_clients gauge\njobd_telemetry_clients %d\n", m.TelemetryClients)
 }
 
 func writeTenantGauge(w http.ResponseWriter, name string, byTenant map[string]int) {

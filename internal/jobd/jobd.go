@@ -40,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/sweep"
 	"repro/internal/sweepd"
 	"repro/internal/workload"
@@ -48,6 +49,8 @@ import (
 // State is a job's lifecycle state.
 type State string
 
+// The job lifecycle: queued → running → done/failed, with canceled
+// reachable from either live state. The last three are terminal.
 const (
 	StateQueued   State = "queued"
 	StateRunning  State = "running"
@@ -135,6 +138,16 @@ type Options struct {
 	// (0 = 1). Remote workers multiplex assignments over one connection,
 	// so >1 trades per-group latency for utilization on wide hosts.
 	SlotsPerWorker int
+	// TelemetryEvery is the cadence (major cycles) at which running jobs'
+	// engines emit live interval snapshots (0 = core.DefaultObserverInterval).
+	// Snapshots are ephemeral — buffered in a per-job ring for watchers
+	// (StreamTelemetry, GET /v1/jobs/{id}/telemetry), never journaled.
+	TelemetryEvery uint64
+	// TelemetryRing is the per-job snapshot ring capacity
+	// (0 = DefaultTelemetryRing). Watchers slower than the emission rate
+	// lose the snapshots the ring wraps past; the loss is counted, never
+	// applied as backpressure to the engines.
+	TelemetryRing int
 	// Logf receives service log lines (key=value structured; see
 	// sweepd.KV). nil discards.
 	Logf func(format string, args ...any)
@@ -188,6 +201,13 @@ type Metrics struct {
 	RecoveredCkpts  int
 	Rejected        uint64
 	JobsByState     map[State]int
+	// TelemetrySnaps counts interval snapshots appended to job rings;
+	// TelemetryDropped counts snapshots watchers lost to ring wrap-around
+	// (slow-client drop policy); TelemetryClients is the number of
+	// currently attached telemetry streams.
+	TelemetrySnaps   uint64
+	TelemetryDropped uint64
+	TelemetryClients int
 }
 
 // tenantState is one tenant's live scheduling state.
@@ -231,6 +251,13 @@ type job struct {
 	completed      int
 	ckpts          *sweepd.CheckpointStore
 
+	// telRing holds the job's most recent interval snapshots, oldest
+	// first, capped at Options.TelemetryRing; telSeq counts every snapshot
+	// ever appended, so telSeq-len(telRing) is the ring's oldest retained
+	// global sequence number. Guarded by the platform mutex.
+	telRing []core.IntervalSnapshot
+	telSeq  uint64
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{} // closed on terminal state
@@ -253,6 +280,12 @@ type Platform struct {
 	kick   chan struct{}
 	wg     sync.WaitGroup
 
+	// auth records whether Options.Tenants configured any tenants at
+	// construction. It cannot be derived from the tenants map later:
+	// tenantLocked creates "default" (and journal-recovered names) on
+	// demand, which must not silently switch authentication on.
+	auth bool
+
 	mu      sync.Mutex
 	jobs    map[string]*job
 	order   []*job
@@ -269,6 +302,10 @@ type Platform struct {
 	recoveredPoints int
 	recoveredCkpts  int
 	rejected        uint64
+
+	telemetrySnaps   uint64
+	telemetryDropped uint64
+	telemetryClients int
 }
 
 // New builds and starts a platform: opens (and replays) the journal, then
@@ -289,6 +326,9 @@ func New(opts Options) (*Platform, error) {
 	if opts.CheckpointBudget == 0 {
 		opts.CheckpointBudget = sweepd.DefaultCheckpointBudget
 	}
+	if opts.TelemetryRing <= 0 {
+		opts.TelemetryRing = DefaultTelemetryRing
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Platform{
 		opts:    opts,
@@ -300,6 +340,7 @@ func New(opts Options) (*Platform, error) {
 		tokens:  make(map[string]string),
 		workers: make(map[sweepd.Worker]*workerState),
 	}
+	p.auth = len(opts.Tenants) > 0
 	for _, t := range opts.Tenants {
 		if t.Name == "" {
 			cancel()
@@ -372,11 +413,11 @@ func (p *Platform) logf(line string) {
 // configured every token (including none) maps to "default"; otherwise an
 // unknown token is rejected.
 func (p *Platform) TenantForToken(token string) (string, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.tenants) == 0 {
+	if !p.auth {
 		return "default", true
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	name, ok := p.tokens[token]
 	return name, ok
 }
@@ -434,6 +475,9 @@ func (p *Platform) materialize(req SubmitRequest) (*sweepd.WireJob, *sweepd.Job,
 		return nil, nil, err
 	}
 	sj.CheckpointBudget = p.opts.CheckpointBudget
+	// The platform, not the submission, owns the telemetry cadence: every
+	// admitted job streams at the same interval into its bounded ring.
+	sj.TelemetryEvery = p.telemetryEvery()
 	return wj, sj, nil
 }
 
@@ -612,15 +656,18 @@ func (p *Platform) Snapshot() Metrics {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	m := Metrics{
-		QueuedByTenant:  make(map[string]int),
-		RunningByTenant: make(map[string]int),
-		JobsByState:     make(map[State]int),
-		Requeues:        p.requeues,
-		ResumePoints:    p.resumePoints,
-		RecoveredJobs:   p.recoveredJobs,
-		RecoveredPoints: p.recoveredPoints,
-		RecoveredCkpts:  p.recoveredCkpts,
-		Rejected:        p.rejected,
+		QueuedByTenant:   make(map[string]int),
+		RunningByTenant:  make(map[string]int),
+		JobsByState:      make(map[State]int),
+		Requeues:         p.requeues,
+		ResumePoints:     p.resumePoints,
+		RecoveredJobs:    p.recoveredJobs,
+		RecoveredPoints:  p.recoveredPoints,
+		RecoveredCkpts:   p.recoveredCkpts,
+		Rejected:         p.rejected,
+		TelemetrySnaps:   p.telemetrySnaps,
+		TelemetryDropped: p.telemetryDropped,
+		TelemetryClients: p.telemetryClients,
 	}
 	for _, j := range p.order {
 		m.JobsByState[j.state]++
@@ -869,6 +916,9 @@ func (p *Platform) startGroupLocked(j *job, gs *groupState, w sweepd.Worker, ws 
 		OnCheckpoint: func(index int, data []byte) {
 			p.onCheckpoint(j, index, data)
 		},
+		OnTelemetry: func(index int, snap core.IntervalSnapshot) {
+			p.onTelemetry(j, index, snap)
+		},
 	}
 	resume := 0
 	for _, i := range rem {
@@ -1024,6 +1074,7 @@ func (p *Platform) recover() error {
 			continue
 		}
 		sj.CheckpointBudget = p.opts.CheckpointBudget
+		sj.TelemetryEvery = p.telemetryEvery()
 		j := p.newJobLocked(rec.spec.ID, rec.spec.Tenant, rec.spec.Priority,
 			rec.spec.Seq, rec.spec.Submitted, rec.spec.Job, sj)
 		for _, wr := range rec.results {

@@ -98,6 +98,33 @@ func (o *Occupancy) EmptyFrac() float64 {
 // Samples returns the number of recorded samples.
 func (o *Occupancy) Samples() uint64 { return o.samples }
 
+// Sub returns the accumulator delta o − prev, keeping o's identity fields
+// (Name, Desc, Cap). With prev a snapshot of the same accumulator taken
+// earlier in the run, the difference describes exactly the cycles sampled
+// in between — the per-interval window form engine telemetry streams.
+func (o Occupancy) Sub(prev Occupancy) Occupancy {
+	o.samples -= prev.samples
+	o.sum -= prev.sum
+	o.full -= prev.full
+	o.empty -= prev.empty
+	return o
+}
+
+// Add returns the accumulator sum o + d; the identity fields are taken from
+// o unless o is the zero Occupancy, in which case d's are adopted. Summing a
+// run's interval windows in order with Add reconstructs the run's final
+// accumulator exactly (the inverse of Sub).
+func (o Occupancy) Add(d Occupancy) Occupancy {
+	if o.Name == "" && o.Desc == "" && o.Cap == 0 {
+		o.Name, o.Desc, o.Cap = d.Name, d.Desc, d.Cap
+	}
+	o.samples += d.samples
+	o.sum += d.sum
+	o.full += d.full
+	o.empty += d.empty
+	return o
+}
+
 // Reset clears the accumulator while keeping the identity fields (Name,
 // Desc, Cap) — the per-run reset engines perform between runs.
 func (o *Occupancy) Reset() {

@@ -94,6 +94,19 @@ type Runner struct {
 	// always cleared, like per-point Observers.
 	CheckpointEvery uint64
 	OnCheckpoint    func(index int, cp *core.Checkpoint)
+	// TelemetryEvery, with OnTelemetry, streams per-interval engine
+	// telemetry: each point's engine emits a core.IntervalSnapshot window
+	// delta at every TelemetryEvery-cycle boundary (absolute multiples) and
+	// hands it to OnTelemetry tagged with the point's index (also stamped
+	// into Snapshot.Core). Same concurrency contract as OnCheckpoint:
+	// callbacks arrive from concurrent point engines, in window order
+	// within a point, and must be safe for concurrent use. Forwarding is
+	// fire-and-forget — OnTelemetry cannot abort a point. Per-point
+	// Config.TelemetrySink fields are always cleared, like per-point
+	// Observers, and pipe-trace tails never cross the sweep (snapshots
+	// leave the engine goroutine).
+	TelemetryEvery uint64
+	OnTelemetry    func(index int, snap core.IntervalSnapshot)
 	// Resume maps point indices to checkpoints to restore instead of
 	// starting from cycle 0 — the sharded sweep service resumes a dead
 	// worker's half-finished points on a survivor through it. The stream
@@ -249,6 +262,9 @@ func (r Runner) runOne(ctx context.Context, idx int, pt Point, sharedTr map[uint
 	cfg.Observer = nil
 	cfg.CheckpointSink = nil
 	cfg.CheckpointEvery = 0
+	cfg.TelemetrySink = nil
+	cfg.TelemetryEvery = 0
+	cfg.TelemetryPipeTail = 0
 	if sharedTr[ptrOf(cfg.PipeTracer)] {
 		cfg.PipeTracer = nil
 	}
@@ -265,6 +281,14 @@ func (r Runner) runOne(ctx context.Context, idx int, pt Point, sharedTr map[uint
 		cfg.CheckpointEvery = r.CheckpointEvery
 		cfg.CheckpointSink = func(cp *core.Checkpoint) error {
 			r.OnCheckpoint(idx, cp)
+			return nil
+		}
+	}
+	if r.TelemetryEvery > 0 && r.OnTelemetry != nil {
+		cfg.TelemetryEvery = r.TelemetryEvery
+		cfg.TelemetrySink = func(snap core.IntervalSnapshot) error {
+			snap.Core = idx
+			r.OnTelemetry(idx, snap)
 			return nil
 		}
 	}
@@ -302,6 +326,8 @@ func (r Runner) runOne(ctx context.Context, idx int, pt Point, sharedTr map[uint
 	// checkpointed and plain runs.
 	out.Res.Config.CheckpointSink = nil
 	out.Res.Config.CheckpointEvery = 0
+	out.Res.Config.TelemetrySink = nil
+	out.Res.Config.TelemetryEvery = 0
 	return out
 }
 

@@ -21,6 +21,11 @@ import (
 // pipe tracers); RunRemote validates before dialing so an unserializable
 // sweep fails fast and locally. Cancelling the context closes the
 // connection, which aborts the job coordinator-side.
+//
+// When job.TelemetryEvery > 0 and job.OnTelemetry is set, live interval
+// snapshots relayed by the coordinator are delivered to job.OnTelemetry on
+// the receive goroutine, interleaved with results; the callback must not
+// block (see Job.OnTelemetry for the ordering contract).
 func RunRemote(ctx context.Context, addr string, job *Job, obs core.Observer) ([]sweep.Result, error) {
 	if len(job.Points) == 0 {
 		return nil, fmt.Errorf("sweepd: no design points")
@@ -113,6 +118,12 @@ func RunRemote(ctx context.Context, addr string, job *Job, obs core.Observer) ([
 					Final:     r.Done == r.Total && r.Total > 0,
 				})
 			}
+		case msgTelemetry:
+			ts := m.Telemetry
+			if ts == nil || job.OnTelemetry == nil || ts.Index < 0 || ts.Index >= len(results) {
+				continue
+			}
+			job.OnTelemetry(ts.Index, ts.Snap)
 		case msgDone:
 			if m.Done != nil && m.Done.Err != "" {
 				return nil, fmt.Errorf("sweepd: remote sweep failed: %s", m.Done.Err)

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/sweep"
 	"repro/internal/tracecache"
 )
@@ -277,6 +278,16 @@ func (c *Coordinator) serveClient(w *wire) {
 		return
 	}
 	job.CheckpointBudget = c.CheckpointBudget
+	if job.TelemetryEvery > 0 {
+		// Relay live snapshots to the client on the same framed connection
+		// the results ride; wire.send serializes concurrent writers. Call is
+		// meaningless client-side and stays zero.
+		job.OnTelemetry = func(index int, snap core.IntervalSnapshot) {
+			w.send(&Message{Type: msgTelemetry, Telemetry: &TelemetryShip{ //nolint:errcheck
+				Index: index, Snap: snap,
+			}})
+		}
+	}
 	workers := c.Workers()
 	if len(workers) == 0 {
 		fail(errors.New("sweepd: no workers registered"))
@@ -303,8 +314,9 @@ func (c *Coordinator) serveClient(w *wire) {
 type groupCall struct {
 	job    *Job
 	emit   func(PointResult)
-	onCkpt func(index int, data []byte) // nil when the scheduler keeps no checkpoints
-	done   chan error                   // buffered; receives exactly one completion
+	onCkpt func(index int, data []byte)                // nil when the scheduler keeps no checkpoints
+	onTel  func(index int, snap core.IntervalSnapshot) // nil when the job streams no telemetry
+	done   chan error                                  // buffered; receives exactly one completion
 	// ckptLogged marks points whose first checkpoint receipt was logged;
 	// later shipments (one per cadence interval) stay quiet. Guarded by the
 	// owning remoteWorker's mutex.
@@ -330,7 +342,7 @@ type remoteWorker struct {
 // checkpoints into gr.OnCheckpoint, and return when the worker reports the
 // group closed (or dies).
 func (rw *remoteWorker) RunGroup(ctx context.Context, job *Job, gr GroupRun, emit func(PointResult)) error {
-	call := &groupCall{job: job, emit: emit, onCkpt: gr.OnCheckpoint,
+	call := &groupCall{job: job, emit: emit, onCkpt: gr.OnCheckpoint, onTel: gr.OnTelemetry,
 		done: make(chan error, 1), ckptLogged: make(map[int]bool)}
 	id := rw.c.callSeq.Add(1)
 
@@ -376,7 +388,8 @@ func (rw *remoteWorker) RunGroup(ctx context.Context, job *Job, gr GroupRun, emi
 func (rw *remoteWorker) assignment(id uint64, job *Job, gr GroupRun) (*Assignment, error) {
 	indices := gr.Indices
 	asg := &Assignment{Call: id, Profile: job.Profile, Instructions: job.Instructions,
-		Points: make([]WirePoint, len(indices)), Checkpoints: gr.Checkpoints}
+		Points: make([]WirePoint, len(indices)), Checkpoints: gr.Checkpoints,
+		TelemetryEvery: job.TelemetryEvery}
 	for i, idx := range indices {
 		spec, err := SpecOf(job.Points[idx].Config)
 		if err != nil {
@@ -444,6 +457,21 @@ func (rw *remoteWorker) readLoop() error {
 				rw.c.logf("%s", KV("sweepd.checkpoint_received", "point", ck.Index, "bytes", len(ck.Data), "worker", rw.name))
 			}
 			call.onCkpt(ck.Index, ck.Data)
+		case msgTelemetry:
+			ts := m.Telemetry
+			if ts == nil {
+				continue
+			}
+			rw.mu.Lock()
+			call := rw.calls[ts.Call]
+			rw.mu.Unlock()
+			if call == nil || call.onTel == nil || ts.Index < 0 || ts.Index >= len(call.job.Points) {
+				continue // late snapshot for a finished/cancelled call
+			}
+			// No per-snapshot logging: at a fine cadence these are the
+			// chattiest messages on the wire. Forwarded outside rw.mu;
+			// consumers must not block (jobd's broker drops instead).
+			call.onTel(ts.Index, ts.Snap)
 		case msgGroupEnd:
 			ge := m.GroupEnd
 			if ge == nil {

@@ -34,7 +34,11 @@ import (
 // Version 2 added checkpoint shipping: assignments carry prior per-point
 // checkpoints to resume from, and workers stream msgCheckpoint messages so
 // a requeued group resumes on a survivor instead of restarting at cycle 0.
-const protoVersion = 2
+// Version 3 added live telemetry streaming: jobs and assignments carry a
+// TelemetryEvery cadence, and workers stream msgTelemetry messages — one
+// core.IntervalSnapshot window delta per in-flight point per boundary —
+// which the coordinator forwards to the submitting client.
+const protoVersion = 3
 
 // maxMessageBytes bounds one framed message; a 4M-instruction shipped
 // trace container is on the order of 10 MB, so 1 GiB is generous headroom
@@ -56,6 +60,7 @@ const (
 	msgCancel     = "cancel"     // coordinator -> worker: abort one assignment
 	msgResult     = "result"     // worker -> coordinator -> client: one point done
 	msgCheckpoint = "checkpoint" // worker -> coordinator: one point's latest engine state
+	msgTelemetry  = "telemetry"  // worker -> coordinator -> client: one point's interval snapshot
 	msgGroupEnd   = "group_end"  // worker -> coordinator: assignment finished
 	msgDone       = "done"       // coordinator -> client: job finished
 )
@@ -70,6 +75,7 @@ type Message struct {
 	Cancel     *Cancel         `json:"cancel,omitempty"`
 	Result     *WireResult     `json:"result,omitempty"`
 	Checkpoint *CheckpointShip `json:"checkpoint,omitempty"`
+	Telemetry  *TelemetryShip  `json:"telemetry,omitempty"`
 	GroupEnd   *GroupEnd       `json:"group_end,omitempty"`
 	Done       *Done           `json:"done,omitempty"`
 }
@@ -100,6 +106,9 @@ func SpecOf(cfg core.Config) (ConfigSpec, error) {
 	}
 	if cfg.CheckpointSink != nil {
 		return ConfigSpec{}, fmt.Errorf("sweepd: a CheckpointSink cannot cross the network; clear it or sweep locally (workers checkpoint on their own cadence)")
+	}
+	if cfg.TelemetrySink != nil {
+		return ConfigSpec{}, fmt.Errorf("sweepd: a TelemetrySink cannot cross the network; clear it or sweep locally (remote telemetry streams via the job's TelemetryEvery instead)")
 	}
 	f := configfile.FromConfig(cfg)
 	if cfg.ICache != nil && f.ICache == nil {
@@ -140,6 +149,10 @@ type WireJob struct {
 	Profile      workload.Profile `json:"profile"`
 	Instructions uint64           `json:"instructions"`
 	Points       []WirePoint      `json:"points"`
+	// TelemetryEvery, when non-zero, asks workers to stream per-interval
+	// engine telemetry for every in-flight point at this cycle cadence
+	// (msgTelemetry messages, forwarded to the client).
+	TelemetryEvery uint64 `json:"telemetry_every,omitempty"`
 }
 
 // WireJobOf converts an in-process job for submission, validating every
@@ -147,7 +160,8 @@ type WireJob struct {
 // the TCP client share this as the canonical job serialization.
 func WireJobOf(job *Job) (*WireJob, error) {
 	wj := &WireJob{Profile: job.Profile, Instructions: job.Instructions,
-		Points: make([]WirePoint, len(job.Points))}
+		TelemetryEvery: job.TelemetryEvery,
+		Points:         make([]WirePoint, len(job.Points))}
 	for i, pt := range job.Points {
 		spec, err := SpecOf(pt.Config)
 		if err != nil {
@@ -163,7 +177,8 @@ func WireJobOf(job *Job) (*WireJob, error) {
 // must equal its position.
 func JobFromWire(wj *WireJob) (*Job, error) {
 	job := &Job{Profile: wj.Profile, Instructions: wj.Instructions,
-		Points: make([]sweep.Point, len(wj.Points))}
+		TelemetryEvery: wj.TelemetryEvery,
+		Points:         make([]sweep.Point, len(wj.Points))}
 	for i, wp := range wj.Points {
 		if wp.Index != i {
 			return nil, fmt.Errorf("sweepd: point %d arrived with index %d", i, wp.Index)
@@ -194,6 +209,10 @@ type Assignment struct {
 	// previous owner of this group; the worker resumes those points from
 	// their checkpointed cycle instead of cycle 0.
 	Checkpoints map[int][]byte `json:"checkpoints,omitempty"`
+	// TelemetryEvery, when non-zero, makes the worker stream msgTelemetry
+	// snapshots for every in-flight point at this cycle cadence (the job's
+	// cadence, copied into each assignment).
+	TelemetryEvery uint64 `json:"telemetry_every,omitempty"`
 }
 
 // Cancel aborts one in-flight assignment on a worker.
@@ -208,6 +227,17 @@ type CheckpointShip struct {
 	Call  uint64 `json:"call"`
 	Index int    `json:"index"`
 	Data  []byte `json:"data"`
+}
+
+// TelemetryShip streams one point's per-interval telemetry snapshot.
+// Worker -> coordinator it carries Call and the group-relative point is
+// already remapped: Index (and Snap.Core) are the job-wide point index.
+// Coordinator -> client the Call is cleared. Pipe-trace tails never cross
+// the wire (they are a local-sink feature).
+type TelemetryShip struct {
+	Call  uint64                `json:"call,omitempty"`
+	Index int                   `json:"index"`
+	Snap  core.IntervalSnapshot `json:"snap"`
 }
 
 // WireRunResult is core.Result without the live Config (reconstructed from

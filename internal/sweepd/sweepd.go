@@ -51,6 +51,20 @@ type Job struct {
 	// the cap. Scheduler policy, never serialized: the coordinator applies
 	// its own budget to jobs received over the wire.
 	CheckpointBudget int64 `json:"-"`
+
+	// TelemetryEvery, when non-zero, makes workers stream per-interval
+	// engine telemetry for every in-flight point: each engine emits a
+	// core.IntervalSnapshot window delta at every TelemetryEvery-cycle
+	// boundary, tagged with the job-wide point index (Snapshot.Core). The
+	// cadence crosses the wire with the job; the snapshots flow back
+	// through OnTelemetry.
+	TelemetryEvery uint64
+	// OnTelemetry, when non-nil, receives every streamed snapshot. Delivery
+	// is fire-and-forget — a slow or failing consumer never blocks or
+	// aborts the sweep — and may be concurrent across points (in window
+	// order within a point). Snapshots for points that already completed
+	// (duplicate delivery after a requeue) are dropped by the scheduler.
+	OnTelemetry func(index int, snap core.IntervalSnapshot) `json:"-"`
 }
 
 // DefaultCheckpointBudget bounds retained resume-checkpoint bytes per job
@@ -112,6 +126,11 @@ type GroupRun struct {
 	// holds a recent resume point if this worker dies. May be called
 	// concurrently from several point engines.
 	OnCheckpoint func(index int, data []byte)
+	// OnTelemetry, when non-nil, receives per-interval telemetry snapshots
+	// as the worker's engines emit them (keyed by job-wide point index,
+	// also stamped into Snapshot.Core). Same concurrency contract as
+	// OnCheckpoint; the worker streams only when Job.TelemetryEvery is set.
+	OnTelemetry func(index int, snap core.IntervalSnapshot)
 }
 
 // Worker runs assigned key-groups. Implementations: LoopbackWorker
@@ -319,6 +338,19 @@ func Run(ctx context.Context, job *Job, workers []Worker, emit func(res PointRes
 						// other points' resume state first.
 						ckpts.Put(index, data)
 					},
+				}
+				if job.OnTelemetry != nil && job.TelemetryEvery > 0 {
+					gr.OnTelemetry = func(index int, snap core.IntervalSnapshot) {
+						mu.Lock()
+						stale := index < 0 || index >= total || gs.done[index]
+						mu.Unlock()
+						if stale {
+							return
+						}
+						// Forward outside the scheduler lock: telemetry fans out
+						// to consumers the scheduler must never block on.
+						job.OnTelemetry(index, snap)
+					}
 				}
 				for _, i := range gr.Indices {
 					if data := ckpts.Get(i); len(data) > 0 {
@@ -573,6 +605,20 @@ func (w *LoopbackWorker) RunGroup(ctx context.Context, job *Job, gr GroupRun, em
 			if data, err := cp.Encode(); err == nil {
 				gr.OnCheckpoint(indices[i], data)
 			}
+		}
+	}
+	if job.TelemetryEvery > 0 && gr.OnTelemetry != nil {
+		r.TelemetryEvery = job.TelemetryEvery
+		r.OnTelemetry = func(i int, snap core.IntervalSnapshot) {
+			select {
+			case <-w.killed:
+				return // dead hosts ship nothing
+			default:
+			}
+			// Remap the group-local slot to the job-wide point index, like
+			// the Observer below.
+			snap.Core = indices[i]
+			gr.OnTelemetry(indices[i], snap)
 		}
 	}
 	if w.opts.Observer != nil {

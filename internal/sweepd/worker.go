@@ -199,6 +199,11 @@ func serveAssignment(ctx context.Context, w *wire, asg *Assignment, opts WorkerO
 				Call: asg.Call, Index: asg.Points[i].Index, Data: data,
 			}})
 		},
+		// Telemetry streams at the job's cadence (carried by the
+		// assignment); snapshots ship with the job-wide point index so the
+		// coordinator and client never see group-relative slots. Pipe-trace
+		// tails are a local-sink feature and the runner never produces them.
+		TelemetryEvery: asg.TelemetryEvery,
 		OnResult: func(i int, res sweep.Result) {
 			if abortedResult(res) {
 				// Cut short by cancellation — withhold so the coordinator
@@ -213,6 +218,15 @@ func serveAssignment(ctx context.Context, w *wire, asg *Assignment, opts WorkerO
 			}
 			w.send(&Message{Type: msgResult, Result: wr}) //nolint:errcheck
 		},
+	}
+	if asg.TelemetryEvery > 0 {
+		r.OnTelemetry = func(i int, snap core.IntervalSnapshot) {
+			idx := asg.Points[i].Index
+			snap.Core = idx
+			w.send(&Message{Type: msgTelemetry, Telemetry: &TelemetryShip{ //nolint:errcheck
+				Call: asg.Call, Index: idx, Snap: snap,
+			}})
+		}
 	}
 	if opts.Observer != nil {
 		r.Observer = core.ObserverFunc(func(p core.Progress) {

@@ -22,6 +22,11 @@ type SubmitOptions struct {
 // JobStatus is a submitted job's externally visible state.
 type JobStatus = jobd.JobStatus
 
+// JobState is a submitted job's lifecycle state ("queued", "running",
+// "done", "failed", "canceled"); see JobStatus.State and
+// JobHandle.Telemetry.
+type JobState = jobd.State
+
 // JobHandle tracks one job submitted to a job service. Unlike SweepRemote,
 // the submission is durable server-side the moment SubmitRemote returns:
 // the handle's owner can exit and a later process (or `resim jobs`) can
@@ -81,6 +86,18 @@ func (h *JobHandle) Status(ctx context.Context) (JobStatus, error) {
 func (h *JobHandle) Cancel(ctx context.Context) error {
 	_, err := h.client.Cancel(ctx, h.id)
 	return err
+}
+
+// Telemetry follows the job's live interval-snapshot stream, calling sink
+// for every snapshot until the job reaches a terminal state (which it
+// returns). Snapshots carry the job-wide point index in Core and arrive in
+// per-point emission order; a handle attaching mid-run first replays the
+// service's buffered ring, then follows live. The service never lets a slow
+// sink stall the simulation — snapshots the server-side ring wraps past
+// while sink is busy are simply absent (Seq gaps within a point reveal the
+// loss). See docs/TELEMETRY.md for the wire format and drop semantics.
+func (h *JobHandle) Telemetry(ctx context.Context, sink func(IntervalSnapshot) error) (JobState, error) {
+	return h.client.Telemetry(ctx, h.id, sink)
 }
 
 // Results blocks until the job finishes and returns its results in point

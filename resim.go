@@ -91,6 +91,11 @@ type (
 	ObserverFunc = core.ObserverFunc
 	// Progress is one periodic snapshot delivered to an Observer.
 	Progress = core.Progress
+	// IntervalSnapshot is one window of per-interval engine telemetry —
+	// counter, cache and occupancy deltas plus window IPC and miss rates —
+	// delivered to a WithTelemetry sink; see WithTelemetry and
+	// docs/TELEMETRY.md.
+	IntervalSnapshot = core.IntervalSnapshot
 	// TraceCache memoizes generated workload traces: every consumer of the
 	// same (workload, trace configuration, instruction budget) — sweep
 	// points, repeated runs, homogeneous multicore clusters, table

@@ -238,6 +238,28 @@ func WithObserver(obs Observer, everyCycles uint64) Option {
 	}
 }
 
+// WithTelemetry streams per-interval engine telemetry: sink receives an
+// IntervalSnapshot — the window delta of every counter, cache statistic and
+// occupancy, plus window IPC and miss rates — at every everyCycles boundary
+// of a run (0 = a default interval; boundaries are absolute cycle
+// multiples, like observer callbacks). Single-engine runs deliver snapshots
+// with Core 0 and a sink error aborts the run. Sweeps through this session
+// (local and remote) stream every in-flight point's snapshots tagged with
+// the point's job-wide index in Snapshot.Core; delivery there is
+// fire-and-forget and may be concurrent across points, so the sink must be
+// safe for concurrent use and its error is ignored. Multicore clusters do
+// not stream telemetry.
+func WithTelemetry(sink func(IntervalSnapshot) error, everyCycles uint64) Option {
+	return func(s *settings) error {
+		if sink == nil {
+			return fmt.Errorf("resim: WithTelemetry needs a sink")
+		}
+		s.cfg.TelemetrySink = sink
+		s.cfg.TelemetryEvery = everyCycles
+		return nil
+	}
+}
+
 // WithTraceCache selects the trace cache the session's runs, sweeps and
 // clusters share. Sessions default to the process-wide shared cache
 // (resim.SharedTraceCache), so every session — and the deprecated free
@@ -600,13 +622,37 @@ func (s *Session) sweepCheckpointEvery() uint64 {
 	return s.ckptEvery
 }
 
-// sweepJob resolves a sweep invocation into a scheduler job.
+// sweepTelemetryEvery returns the per-point telemetry cadence for sweeps:
+// the WithTelemetry cadence (with the same zero-means-default rule single
+// runs use), or 0 — no streaming — when the session never opted in.
+func (s *Session) sweepTelemetryEvery() uint64 {
+	if s.cfg.TelemetrySink == nil {
+		return 0
+	}
+	if s.cfg.TelemetryEvery == 0 {
+		return core.DefaultObserverInterval
+	}
+	return s.cfg.TelemetryEvery
+}
+
+// sweepJob resolves a sweep invocation into a scheduler job. A session that
+// opted into telemetry extends it to sweeps: the job carries the cadence
+// (which crosses the wire for remote sweeps) and adapts the session sink to
+// the scheduler's indexed fire-and-forget delivery.
 func (s *Session) sweepJob(workloadName string, instructions uint64, points []SweepPoint) (*sweepd.Job, error) {
 	p, err := workload.ByName(workloadName)
 	if err != nil {
 		return nil, err
 	}
-	return &sweepd.Job{Profile: p, Instructions: instructions, Points: points}, nil
+	job := &sweepd.Job{Profile: p, Instructions: instructions, Points: points}
+	if sink := s.cfg.TelemetrySink; sink != nil {
+		job.TelemetryEvery = s.sweepTelemetryEvery()
+		job.OnTelemetry = func(index int, snap core.IntervalSnapshot) {
+			snap.Core = index
+			sink(snap) //nolint:errcheck // sweep telemetry is fire-and-forget
+		}
+	}
+	return job, nil
 }
 
 // sweepEmit adapts the session observer to the scheduler's per-point
@@ -660,6 +706,10 @@ func (s *Session) Multicore(ctx context.Context, opts MulticoreOptions) (Multico
 		// per-engine observers stay unset.
 		coreCfg := s.engineConfig()
 		coreCfg.Observer = nil
+		// Clusters step engines per-cycle below RunContext, so per-engine
+		// telemetry has no emission point; keep the hook off the cores.
+		coreCfg.TelemetrySink = nil
+		coreCfg.TelemetryEvery = 0
 		if shared != nil {
 			if err := multicore.AttachSharedDL1(&coreCfg, *opts.L1, shared); err != nil {
 				return MulticoreResult{}, err
