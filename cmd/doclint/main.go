@@ -5,18 +5,22 @@
 //     docs/, design notes) points at a file or directory that exists, so
 //     renames and deletions cannot silently strand the documentation.
 //   - Every exported identifier in the checked Go packages (by default the
-//     root resim package and internal/jobd) carries a doc comment, so the
-//     public surface stays godoc-complete.
+//     root resim package, internal/jobd and internal/obs) carries a doc
+//     comment, so the public surface stays godoc-complete.
+//   - The metric inventory tables in docs/OBSERVABILITY.md match the
+//     families the code actually registers (name, type and labels, both
+//     directions), so the documented scrape surface cannot go stale.
 //
 // Usage:
 //
-//	doclint [-md DIR] [pkgdir ...]
+//	doclint [-md DIR] [-metrics FILE] [pkgdir ...]
 //
-// -md sets the tree walked for markdown files (default "."). Each pkgdir
-// argument names one Go package directory to check for doc comments;
-// with no arguments, "." and "./internal/jobd" are checked. Findings are
-// printed one per line as file:line: message, and the exit status is
-// non-zero if there were any.
+// -md sets the tree walked for markdown files (default "."). -metrics
+// names the inventory document (default "docs/OBSERVABILITY.md"; ""
+// skips the check). Each pkgdir argument names one Go package directory
+// to check for doc comments; with no arguments, ".", "./internal/jobd"
+// and "./internal/obs" are checked. Findings are printed one per line as
+// file:line: message, and the exit status is non-zero if there were any.
 package main
 
 import (
@@ -29,21 +33,31 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
+
+	"repro/internal/jobd"
+	"repro/internal/obs"
+	"repro/internal/sweepd"
+	"repro/internal/tracecache"
 )
 
 func main() {
 	mdRoot := flag.String("md", ".", "directory tree to scan for markdown files")
+	metricsDoc := flag.String("metrics", "docs/OBSERVABILITY.md", "metric inventory document to diff against registered families (\"\" skips)")
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
-		pkgs = []string{".", "./internal/jobd"}
+		pkgs = []string{".", "./internal/jobd", "./internal/obs"}
 	}
 
 	var problems []string
 	problems = append(problems, lintMarkdownTree(*mdRoot)...)
 	for _, dir := range pkgs {
 		problems = append(problems, lintPackageDocs(dir)...)
+	}
+	if *metricsDoc != "" {
+		problems = append(problems, lintMetricsInventory(*metricsDoc)...)
 	}
 
 	for _, p := range problems {
@@ -54,6 +68,88 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("doclint: ok")
+}
+
+// registeredFamilies rebuilds the service's full metric inventory the way
+// resimd wires it: every layer registers on one registry.
+func registeredFamilies() []obs.FamilyInfo {
+	reg := obs.NewRegistry()
+	jobd.RegisterMetrics(reg)
+	sweepd.RegisterCoordinatorMetrics(reg)
+	tracecache.RegisterMetrics(reg, tracecache.New(tracecache.Config{}))
+	return reg.Families()
+}
+
+// inventoryRow matches one metric table row in the inventory document:
+// | `name` | type | labels | description |
+var inventoryRow = regexp.MustCompile("^\\|\\s*`([a-zA-Z_:][a-zA-Z0-9_:]*)`\\s*\\|([^|]*)\\|([^|]*)\\|")
+
+// lintMetricsInventory diffs the inventory document's metric tables
+// against the families the code registers, in both directions: a family
+// missing from the document, a documented metric no code registers, and
+// type or label-set mismatches are all findings.
+func lintMetricsInventory(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	type row struct {
+		line        int
+		typ, labels string
+	}
+	documented := map[string]row{}
+	var problems []string
+	for i, line := range strings.Split(string(data), "\n") {
+		m := inventoryRow.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name, typ := m[1], strings.TrimSpace(m[2])
+		// Only rows whose second cell is a metric type are inventory rows
+		// (other tables also backtick their first cell — span events, API
+		// routes). A typo'd type skips the row here and is then reported
+		// as a registered-but-undocumented family.
+		if typ != "counter" && typ != "gauge" && typ != "histogram" {
+			continue
+		}
+		if _, dup := documented[name]; dup {
+			problems = append(problems, fmt.Sprintf("%s:%d: metric %s documented twice", path, i+1, name))
+			continue
+		}
+		labels := strings.TrimSpace(m[3])
+		if labels == "—" || labels == "-" {
+			labels = ""
+		}
+		documented[name] = row{line: i + 1, typ: typ, labels: labels}
+	}
+
+	fams := registeredFamilies()
+	seen := map[string]bool{}
+	for _, f := range fams {
+		seen[f.Name] = true
+		doc, ok := documented[f.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: registered metric %s (%s) is not in the inventory", path, f.Name, f.Type))
+			continue
+		}
+		if doc.typ != f.Type {
+			problems = append(problems, fmt.Sprintf("%s:%d: metric %s documented as %s, registered as %s", path, doc.line, f.Name, doc.typ, f.Type))
+		}
+		if want := strings.Join(f.Labels, ", "); doc.labels != want {
+			problems = append(problems, fmt.Sprintf("%s:%d: metric %s documented with labels %q, registered with %q", path, doc.line, f.Name, doc.labels, want))
+		}
+	}
+	var stale []string
+	for name := range documented {
+		if !seen[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		problems = append(problems, fmt.Sprintf("%s:%d: documented metric %s is registered by no code", path, documented[name].line, name))
+	}
+	return problems
 }
 
 // lintMarkdownTree checks every *.md file under root for dead relative

@@ -5,6 +5,7 @@
 //	resim jobs status -server http://host:8080 -token T -id j0123456789abcdef
 //	resim jobs results -server http://host:8080 -token T -id j0123456789abcdef
 //	resim jobs watch  -server http://host:8080 -token T -id j0123456789abcdef
+//	resim jobs trace  -server http://host:8080 -token T -id j0123456789abcdef
 //	resim jobs cancel -server http://host:8080 -token T -id j0123456789abcdef
 //	resim jobs list   -server http://host:8080 -token T
 //
@@ -14,7 +15,9 @@
 // journal, so a printed job ID can always be picked up later with
 // `resim jobs results`. watch follows the job's live telemetry stream,
 // printing one table row per interval snapshot as the engines simulate
-// (see docs/TELEMETRY.md).
+// (see docs/TELEMETRY.md). trace follows the job's lifecycle span log —
+// when it was queued, dispatched to which worker, requeued, resumed past
+// a checkpoint — one row per span (see docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -36,7 +39,7 @@ import (
 
 func runJobs(args []string) {
 	if len(args) == 0 {
-		fatal(fmt.Errorf("resim jobs: need a subcommand: submit, status, results, watch, cancel, list"))
+		fatal(fmt.Errorf("resim jobs: need a subcommand: submit, status, results, watch, trace, cancel, list"))
 	}
 	sub, args := args[0], args[1:]
 	fs := flag.NewFlagSet("resim jobs "+sub, flag.ExitOnError)
@@ -75,6 +78,10 @@ func runJobs(args []string) {
 		if err := watchTelemetry(ctx, c, requireID(*id)); err != nil {
 			fatal(err)
 		}
+	case "trace":
+		if err := traceJob(ctx, c, requireID(*id)); err != nil {
+			fatal(err)
+		}
 	case "cancel":
 		st, err := c.Cancel(ctx, requireID(*id))
 		if err != nil {
@@ -92,7 +99,7 @@ func runJobs(args []string) {
 				st.Workload, st.Instructions, st.Submitted.Format("2006-01-02 15:04:05"))
 		}
 	default:
-		fatal(fmt.Errorf("resim jobs: unknown subcommand %q (want submit, status, results, watch, cancel, list)", sub))
+		fatal(fmt.Errorf("resim jobs: unknown subcommand %q (want submit, status, results, watch, trace, cancel, list)", sub))
 	}
 }
 
@@ -227,6 +234,44 @@ func watchTelemetry(ctx context.Context, c *jobd.Client, id string) error {
 		return err
 	}
 	fmt.Printf("job %s: %s (%d intervals)\n", id, state, rows)
+	if state != jobd.StateDone && state != jobd.StateCanceled {
+		return fmt.Errorf("resim jobs: job %s ended %s", id, state)
+	}
+	return nil
+}
+
+// traceJob follows the job's lifecycle span stream, printing a table row
+// per span: when it happened relative to submission, what it was, and its
+// point/group/worker attribution. A trace attached mid-job first replays
+// the service's buffered span log, then follows live until the job
+// finishes.
+func traceJob(ctx context.Context, c *jobd.Client, id string) error {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "SEQ\t+MS\tEVENT\tPOINT\tGROUP\tWORKER\tDETAIL")
+	tw.Flush()
+	rows := 0
+	state, err := c.Trace(ctx, id, func(s jobd.TraceSpan) error {
+		point := ""
+		if s.Point >= 0 {
+			point = strconv.Itoa(s.Point)
+		}
+		detail := s.Detail
+		if s.Cycle > 0 {
+			detail = strings.TrimSpace(fmt.Sprintf("cycle=%d %s", s.Cycle, detail))
+		}
+		if s.Points > 0 {
+			detail = strings.TrimSpace(fmt.Sprintf("points=%d %s", s.Points, detail))
+		}
+		fmt.Fprintf(tw, "%d\t%.1f\t%s\t%s\t%s\t%s\t%s\n",
+			s.Seq, s.ElapsedMS, s.Event, point, s.Group, s.Worker, detail)
+		rows++
+		// Flush per line: trace is a live view, not a report.
+		return tw.Flush()
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s: %s (%d spans)\n", id, state, rows)
 	if state != jobd.StateDone && state != jobd.StateCanceled {
 		return fmt.Errorf("resim jobs: job %s ended %s", id, state)
 	}

@@ -30,6 +30,12 @@
 // earlier local sweeps with the same spill directory) ships them to
 // workers with the assignment, so a warm coordinator saves every worker
 // the generation cost.
+//
+// Observability (docs/OBSERVABILITY.md): service logs go to stderr via
+// log/slog (-log-format text|json), a coordinator's /metrics exposes the
+// coordinator, trace-cache and job-platform families from one shared
+// registry, and -pprof mounts net/http/pprof under /debug/pprof/ on the
+// job API server.
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,6 +52,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/jobd"
+	"repro/internal/obs"
 	"repro/internal/sweepd"
 	"repro/internal/tracecache"
 )
@@ -62,6 +70,8 @@ func main() {
 		ckptEvery   = flag.Uint64("checkpoint-every", 0, "worker: cycles between engine checkpoints shipped to the coordinator (0 = 65536); requeued groups resume from them")
 		ckptBudget  = flag.Int64("checkpoint-budget-mb", 0, "coordinator: cap on retained resume-checkpoint MiB per job (0 = 64 MiB, -1 = unlimited); excess drops least-recently-updated points' resume state")
 		verbose     = flag.Bool("v", false, "log per-point worker progress")
+		logFormat   = flag.String("log-format", "text", "service log format: text or json")
+		pprofOn     = flag.Bool("pprof", false, "coordinator: mount net/http/pprof under /debug/pprof/ on the job API server (requires -http)")
 
 		httpAddr    = flag.String("http", "", "coordinator: also serve the multi-tenant job platform's HTTP API on this address (e.g. :8080)")
 		journalDir  = flag.String("journal", "", "coordinator: job-platform journal directory; submissions, results and checkpoints persist here and are recovered on restart")
@@ -73,6 +83,11 @@ func main() {
 		telRing     = flag.Int("telemetry-ring", 0, "coordinator: per-job telemetry snapshot ring capacity for late/slow watchers (0 = 256)")
 	)
 	flag.Parse()
+
+	lg, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		log.Fatalf("resimd: %v", err)
+	}
 
 	cacheCfg := tracecache.Config{SpillDir: *spill}
 	if *cacheMB > 0 {
@@ -89,7 +104,7 @@ func main() {
 	}
 	switch *role {
 	case "coordinator":
-		runCoordinator(ctx, *listen, traces, budget, jobPlatformConfig{
+		runCoordinator(ctx, *listen, traces, budget, lg, jobPlatformConfig{
 			httpAddr:       *httpAddr,
 			journalDir:     *journalDir,
 			tenantsFile:    *tenantsFile,
@@ -98,6 +113,7 @@ func main() {
 			slotsPerWorker: *slotsPerWkr,
 			telemetryEvery: *telEvery,
 			telemetryRing:  *telRing,
+			pprof:          *pprofOn,
 		})
 	case "worker":
 		if *coordinator == "" {
@@ -107,10 +123,10 @@ func main() {
 			Name:            workerName(*name),
 			Parallelism:     *parallelism,
 			Traces:          traces,
-			Observer:        progressLogger(*verbose),
+			Observer:        progressLogger(*verbose, lg),
 			CheckpointEvery: *ckptEvery,
-			Logf:            log.Printf,
-		}, *retry)
+			Logf:            lg.Component("worker").Logf,
+		}, *retry, lg.Component("resimd"))
 	default:
 		fmt.Fprintln(os.Stderr, "resimd: -role must be coordinator or worker")
 		flag.Usage()
@@ -128,13 +144,47 @@ type jobPlatformConfig struct {
 	slotsPerWorker int
 	telemetryEvery uint64
 	telemetryRing  int
+	pprof          bool
 }
 
-func runCoordinator(ctx context.Context, listen string, traces *tracecache.Cache, ckptBudget int64, jp jobPlatformConfig) {
+// jobAPIHandler assembles the job API server's handler: the platform's
+// routes, plus net/http/pprof under /debug/pprof/ when enabled.
+func jobAPIHandler(platform *jobd.Platform, pprofOn bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", platform.Handler())
+	if pprofOn {
+		obs.RegisterPprof(mux)
+	}
+	return mux
+}
+
+// loopbackAddr reports whether a listen address can only be reached from
+// this host: an explicit loopback IP or "localhost". The common ":8080"
+// and "0.0.0.0:8080" forms bind every interface and return false.
+func loopbackAddr(addr string) bool {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil || host == "" {
+		return false
+	}
+	if host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
+}
+
+func runCoordinator(ctx context.Context, listen string, traces *tracecache.Cache, ckptBudget int64, lg *obs.Logger, jp jobPlatformConfig) {
+	rlg := lg.Component("resimd")
+	// One registry for the whole node: coordinator fabric, trace cache and
+	// job platform all register their families here, and the platform's
+	// /metrics renders them in one scrape.
+	registry := obs.NewRegistry()
 	coord := sweepd.NewCoordinator()
 	coord.Traces = traces
-	coord.Logf = log.Printf
+	coord.Logf = lg.Component("sweepd").Logf
 	coord.CheckpointBudget = ckptBudget
+	coord.Metrics = sweepd.RegisterCoordinatorMetrics(registry)
+	tracecache.RegisterMetrics(registry, traces)
 
 	// The job platform, when enabled, schedules over the coordinator's
 	// registered worker pool; the hook re-dispatches queued groups the
@@ -150,7 +200,8 @@ func runCoordinator(ctx context.Context, listen string, traces *tracecache.Cache
 				log.Fatalf("resimd: %v", err)
 			}
 		} else {
-			log.Printf("resimd: WARNING: job API authentication disabled (no -tenants file); all requests map to tenant %q", "default")
+			rlg.Warn("resimd.auth_disabled", "detail",
+				"no -tenants file; all job API requests map to tenant \"default\"")
 		}
 		var err error
 		platform, err = jobd.New(jobd.Options{
@@ -163,19 +214,26 @@ func runCoordinator(ctx context.Context, listen string, traces *tracecache.Cache
 			CheckpointBudget:  ckptBudget,
 			TelemetryEvery:    jp.telemetryEvery,
 			TelemetryRing:     jp.telemetryRing,
-			Logf:              log.Printf,
+			Logf:              lg.Component("jobd").Logf,
+			Metrics:           registry,
 		})
 		if err != nil {
 			log.Fatalf("resimd: %v", err)
 		}
 		coord.OnWorkersChanged = platform.Kick
-		httpSrv = &http.Server{Addr: jp.httpAddr, Handler: platform.Handler()}
+		if jp.pprof && !loopbackAddr(jp.httpAddr) {
+			rlg.Warn("resimd.pprof_exposed", "addr", jp.httpAddr, "detail",
+				"profiling endpoints reachable beyond loopback; bind -http to 127.0.0.1 or front with auth")
+		}
+		httpSrv = &http.Server{Addr: jp.httpAddr, Handler: jobAPIHandler(platform, jp.pprof)}
 		go func() {
-			log.Printf("resimd: job API listening on %s", jp.httpAddr)
+			rlg.Event("resimd.job_api_listening", "addr", jp.httpAddr, "pprof", jp.pprof)
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Fatalf("resimd: job API: %v", err)
 			}
 		}()
+	} else if jp.pprof {
+		rlg.Warn("resimd.pprof_ignored", "detail", "-pprof requires -http")
 	}
 
 	go func() {
@@ -186,7 +244,7 @@ func runCoordinator(ctx context.Context, listen string, traces *tracecache.Cache
 	if err != nil {
 		log.Fatalf("resimd: %v", err)
 	}
-	log.Printf("resimd: coordinator listening on %s", addr)
+	rlg.Event("resimd.coordinator_listening", "addr", addr)
 	<-ctx.Done()
 	// Shutdown order: stop accepting HTTP work, then the platform (journals
 	// keep in-flight jobs recoverable), then the coordinator fabric.
@@ -199,24 +257,24 @@ func runCoordinator(ctx context.Context, listen string, traces *tracecache.Cache
 		platform.Close()
 	}
 	coord.Close()
-	log.Printf("resimd: coordinator stopped")
+	rlg.Event("resimd.coordinator_stopped")
 }
 
-func runWorker(ctx context.Context, addr string, opts sweepd.WorkerOptions, retry time.Duration) {
+func runWorker(ctx context.Context, addr string, opts sweepd.WorkerOptions, retry time.Duration, rlg *obs.Logger) {
 	for {
 		err := sweepd.Work(ctx, addr, opts)
 		if ctx.Err() != nil {
-			log.Printf("resimd: worker stopped")
+			rlg.Event("resimd.worker_stopped")
 			return
 		}
 		if retry <= 0 {
 			log.Fatalf("resimd: worker: %v", err)
 		}
-		log.Printf("resimd: worker lost coordinator (%v), retrying in %s", err, retry)
+		rlg.Warn("resimd.worker_lost_coordinator", "err", err, "retry_in", retry)
 		select {
 		case <-time.After(retry):
 		case <-ctx.Done():
-			log.Printf("resimd: worker stopped")
+			rlg.Event("resimd.worker_stopped")
 			return
 		}
 	}
@@ -235,12 +293,14 @@ func workerName(flagName string) string {
 
 // progressLogger reports the worker's own per-point progress through the
 // standard Observer hook.
-func progressLogger(verbose bool) core.Observer {
+func progressLogger(verbose bool, lg *obs.Logger) core.Observer {
 	if !verbose {
 		return nil
 	}
+	wlg := lg.Component("worker")
 	return core.ObserverFunc(func(p core.Progress) {
-		log.Printf("resimd: point %d done: %d cycles, %d committed, IPC %.3f (%d/%d in group)",
-			p.Core, p.Cycles, p.Committed, p.IPC, p.Done, p.Total)
+		wlg.Event("resimd.point_done", "core", p.Core, "cycles", p.Cycles,
+			"committed", p.Committed, "ipc", fmt.Sprintf("%.3f", p.IPC),
+			"done", p.Done, "total", p.Total)
 	})
 }

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jobd"
+	"repro/internal/obs"
+	"repro/internal/sweepd"
+	"repro/internal/tracecache"
+)
+
+func testPlatform(t *testing.T) *jobd.Platform {
+	t.Helper()
+	p, err := jobd.New(jobd.Options{Pool: jobd.StaticPool{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// TestJobAPIHandlerPprof: -pprof mounts the profiling endpoints on the job
+// API mux; without it they 404 while the platform routes still serve.
+func TestJobAPIHandlerPprof(t *testing.T) {
+	for _, tc := range []struct {
+		pprof bool
+		want  int
+	}{
+		{pprof: true, want: http.StatusOK},
+		{pprof: false, want: http.StatusNotFound},
+	} {
+		srv := httptest.NewServer(jobAPIHandler(testPlatform(t), tc.pprof))
+		for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1"} {
+			resp, err := srv.Client().Get(srv.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("pprof=%v %s: status %d, want %d", tc.pprof, path, resp.StatusCode, tc.want)
+			}
+		}
+		// The platform's own routes are mounted either way.
+		resp, err := srv.Client().Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("pprof=%v /healthz: status %d", tc.pprof, resp.StatusCode)
+		}
+		srv.Close()
+	}
+}
+
+func TestLoopbackAddr(t *testing.T) {
+	for addr, want := range map[string]bool{
+		"127.0.0.1:8080": true,
+		"[::1]:8080":     true,
+		"localhost:8080": true,
+		":8080":          false,
+		"0.0.0.0:8080":   false,
+		"10.0.0.7:8080":  false,
+		"example.com:80": false,
+		"garbage":        false,
+	} {
+		if got := loopbackAddr(addr); got != want {
+			t.Errorf("loopbackAddr(%q) = %v, want %v", addr, got, want)
+		}
+	}
+}
+
+// TestHTTPShutdownDrainsGoroutines runs the coordinator's full serving
+// stack the way runCoordinator assembles it — coordinator fabric, job
+// platform sharing one obs registry, HTTP server with pprof mounted — and
+// checks the documented shutdown order (HTTP, then platform, then
+// coordinator) leaves no goroutine behind, even with a worker attached and
+// a metrics scrape in flight.
+func TestHTTPShutdownDrainsGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	registry := obs.NewRegistry()
+	coord := sweepd.NewCoordinator()
+	coord.Metrics = sweepd.RegisterCoordinatorMetrics(registry)
+	tracecache.RegisterMetrics(registry, tracecache.New(tracecache.Config{}))
+	platform, err := jobd.New(jobd.Options{Pool: coord, Metrics: registry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.OnWorkersChanged = platform.Kick
+	addr, err := coord.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wctx, stopWorker := context.WithCancel(context.Background())
+	var workers sync.WaitGroup
+	workers.Add(1)
+	go func() {
+		defer workers.Done()
+		sweepd.Work(wctx, addr, sweepd.WorkerOptions{Name: "w1"}) //nolint:errcheck
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.WorkerCount() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: jobAPIHandler(platform, true)}
+	go httpSrv.Serve(ln) //nolint:errcheck
+
+	// Exercise the server before shutdown: a scrape (renders all three
+	// layers' families from the shared registry) and a pprof hit.
+	for _, path := range []string{"/metrics", "/debug/pprof/goroutine?debug=1"} {
+		resp, err := http.Get("http://" + ln.Addr().String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	// The documented order from runCoordinator: HTTP first, platform,
+	// coordinator fabric last.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	platform.Close()
+	stopWorker()
+	coord.Close()
+	workers.Wait()
+
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked across shutdown: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -228,3 +228,56 @@ func (c *Client) Telemetry(ctx context.Context, id string, fn func(core.Interval
 	}
 	return "", fmt.Errorf("jobd: telemetry stream for %s ended without a terminal line", id)
 }
+
+// Trace follows the job's NDJSON lifecycle-trace stream, calling fn per
+// recorded span, and returns the job's terminal state. A client attaching
+// mid-job first replays the server's buffered span log, then follows live
+// until the job finishes (cancel via ctx). Spans the bounded log evicted
+// before this client attached are simply absent; Seq gaps reveal the loss.
+func (c *Client) Trace(ctx context.Context, id string, fn func(TraceSpan) error) (State, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Server+"/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return "", err
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return "", apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		var line struct {
+			Span  *TraceSpan `json:"span"`
+			Done  bool       `json:"done"`
+			State State      `json:"state"`
+			Err   string     `json:"err"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return "", fmt.Errorf("jobd: corrupt trace line: %w", err)
+		}
+		switch {
+		case line.Span != nil:
+			if fn != nil {
+				if err := fn(*line.Span); err != nil {
+					return "", err
+				}
+			}
+		case line.Done:
+			if line.State == StateFailed && line.Err != "" {
+				return line.State, fmt.Errorf("jobd: job %s failed: %s", id, line.Err)
+			}
+			return line.State, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("jobd: trace stream for %s ended without a terminal line", id)
+}

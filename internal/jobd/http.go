@@ -7,9 +7,10 @@
 //	GET    /v1/jobs/{id}           status + per-point progress
 //	GET    /v1/jobs/{id}/results   stream results as NDJSON until terminal
 //	GET    /v1/jobs/{id}/telemetry stream live interval snapshots as NDJSON
+//	GET    /v1/jobs/{id}/trace     stream lifecycle spans as NDJSON
 //	DELETE /v1/jobs/{id}           cancel
 //	GET    /healthz                liveness (no auth)
-//	GET    /metrics                platform counters (no auth)
+//	GET    /metrics                obs registry, Prometheus text (no auth)
 package jobd
 
 import (
@@ -18,7 +19,6 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -46,6 +46,11 @@ type telemetryLine struct {
 	Telemetry *core.IntervalSnapshot `json:"telemetry"`
 }
 
+// traceLine is one NDJSON line of a lifecycle trace stream.
+type traceLine struct {
+	Span *TraceSpan `json:"span"`
+}
+
 // Handler returns the platform's HTTP front door.
 func (p *Platform) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -56,6 +61,7 @@ func (p *Platform) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", p.withTenant(p.handleStatus))
 	mux.HandleFunc("GET /v1/jobs/{id}/results", p.withTenant(p.handleResults))
 	mux.HandleFunc("GET /v1/jobs/{id}/telemetry", p.withTenant(p.handleTelemetry))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", p.withTenant(p.handleTrace))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", p.withTenant(p.handleCancel))
 	return mux
 }
@@ -210,6 +216,37 @@ func (p *Platform) handleTelemetry(w http.ResponseWriter, r *http.Request, tenan
 	rc.Flush()
 }
 
+// handleTrace streams the job's lifecycle spans as NDJSON — one
+// {"span":{...}} line per recorded event, flushed as they land, then a
+// terminal {"done":true,...} line. Same auth and ownership rules as the
+// result stream; same catch-up-then-follow contract as telemetry. Traces
+// are ephemeral: spans evicted from the bounded per-job log (or lost to a
+// restart) are absent, and Seq gaps reveal it.
+func (p *Platform) handleTrace(w http.ResponseWriter, r *http.Request, tenant string) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	wrote := false
+	state, errStr, err := p.StreamTrace(r.Context(), tenant, r.PathValue("id"),
+		func(s TraceSpan) error {
+			if err := enc.Encode(traceLine{Span: &s}); err != nil {
+				return err
+			}
+			wrote = true
+			return rc.Flush()
+		})
+	if err != nil {
+		if !wrote && errors.Is(err, ErrUnknownJob) {
+			writePlatformError(w, err)
+		}
+		// Mid-stream failure: the stream ends without its terminal line,
+		// telling the client it must reconnect.
+		return
+	}
+	enc.Encode(streamEnd{Done: true, State: state, Err: errStr})
+	rc.Flush()
+}
+
 func (p *Platform) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	p.mu.Lock()
 	closed := p.closed
@@ -222,49 +259,16 @@ func (p *Platform) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleMetrics renders the Metrics snapshot in the Prometheus text
-// exposition format (hand-rolled; no client library dependency).
+// handleMetrics renders the platform's obs registry in the Prometheus
+// text exposition format. One consistent Platform.Snapshot is applied to
+// the snapshot-backed families first, so every jobd series a single scrape
+// returns describes the same instant; the event-site histograms and any
+// other layers sharing the registry (sweepd, tracecache via
+// Options.Metrics) render from their own live state.
 func (p *Platform) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := p.Snapshot()
+	p.metrics.apply(p.Snapshot())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprintf(w, "# HELP jobd_queue_depth Jobs waiting for their first dispatch.\n")
-	fmt.Fprintf(w, "# TYPE jobd_queue_depth gauge\njobd_queue_depth %d\n", m.QueueDepth)
-	fmt.Fprintf(w, "# HELP jobd_workers Live workers in the pool.\n")
-	fmt.Fprintf(w, "# TYPE jobd_workers gauge\njobd_workers %d\n", m.Workers)
-	fmt.Fprintf(w, "# TYPE jobd_workers_dead gauge\njobd_workers_dead %d\n", m.DeadWorkers)
-	writeTenantGauge(w, "jobd_tenant_jobs_queued", m.QueuedByTenant)
-	writeTenantGauge(w, "jobd_tenant_jobs_running", m.RunningByTenant)
-	fmt.Fprintf(w, "# HELP jobd_jobs Jobs by lifecycle state.\n# TYPE jobd_jobs gauge\n")
-	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
-		fmt.Fprintf(w, "jobd_jobs{state=%q} %d\n", string(s), m.JobsByState[s])
-	}
-	fmt.Fprintf(w, "# HELP jobd_group_requeues_total Groups requeued after a worker died.\n")
-	fmt.Fprintf(w, "# TYPE jobd_group_requeues_total counter\njobd_group_requeues_total %d\n", m.Requeues)
-	fmt.Fprintf(w, "# HELP jobd_resume_points_total Points dispatched with a resume checkpoint attached.\n")
-	fmt.Fprintf(w, "# TYPE jobd_resume_points_total counter\njobd_resume_points_total %d\n", m.ResumePoints)
-	fmt.Fprintf(w, "# TYPE jobd_recovered_jobs counter\njobd_recovered_jobs %d\n", m.RecoveredJobs)
-	fmt.Fprintf(w, "# TYPE jobd_recovered_points counter\njobd_recovered_points %d\n", m.RecoveredPoints)
-	fmt.Fprintf(w, "# TYPE jobd_recovered_checkpoints counter\njobd_recovered_checkpoints %d\n", m.RecoveredCkpts)
-	fmt.Fprintf(w, "# HELP jobd_admission_rejected_total Submissions refused by admission control.\n")
-	fmt.Fprintf(w, "# TYPE jobd_admission_rejected_total counter\njobd_admission_rejected_total %d\n", m.Rejected)
-	fmt.Fprintf(w, "# HELP jobd_telemetry_snapshots_total Interval snapshots appended to job telemetry rings.\n")
-	fmt.Fprintf(w, "# TYPE jobd_telemetry_snapshots_total counter\njobd_telemetry_snapshots_total %d\n", m.TelemetrySnaps)
-	fmt.Fprintf(w, "# HELP jobd_telemetry_dropped_total Snapshots lost to slow telemetry watchers (ring wrap-around).\n")
-	fmt.Fprintf(w, "# TYPE jobd_telemetry_dropped_total counter\njobd_telemetry_dropped_total %d\n", m.TelemetryDropped)
-	fmt.Fprintf(w, "# HELP jobd_telemetry_clients Currently attached telemetry streams.\n")
-	fmt.Fprintf(w, "# TYPE jobd_telemetry_clients gauge\njobd_telemetry_clients %d\n", m.TelemetryClients)
-}
-
-func writeTenantGauge(w http.ResponseWriter, name string, byTenant map[string]int) {
-	fmt.Fprintf(w, "# TYPE %s gauge\n", name)
-	tenants := make([]string, 0, len(byTenant))
-	for t := range byTenant {
-		tenants = append(tenants, t)
-	}
-	sort.Strings(tenants)
-	for _, t := range tenants {
-		fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, t, byTenant[t])
-	}
+	p.reg.WritePrometheus(w) //nolint:errcheck // client gone mid-scrape
 }
 
 // LoadTenants reads a {"tenants":[...]} JSON file.

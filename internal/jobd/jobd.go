@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/sweepd"
 	"repro/internal/workload"
@@ -148,6 +149,15 @@ type Options struct {
 	// lose the snapshots the ring wraps past; the loss is counted, never
 	// applied as backpressure to the engines.
 	TelemetryRing int
+	// TraceSpans is the per-job lifecycle span log capacity
+	// (0 = DefaultTraceSpans); see trace.go. Traces are ephemeral, never
+	// journaled.
+	TraceSpans int
+	// Metrics, when non-nil, is the obs registry the platform registers its
+	// metric families on — share one registry across layers (sweepd,
+	// tracecache) to serve them all from one /metrics. nil gives the
+	// platform a private registry, so GET /metrics always works.
+	Metrics *obs.Registry
 	// Logf receives service log lines (key=value structured; see
 	// sweepd.KV). nil discards.
 	Logf func(format string, args ...any)
@@ -208,6 +218,10 @@ type Metrics struct {
 	TelemetrySnaps   uint64
 	TelemetryDropped uint64
 	TelemetryClients int
+	// TraceSpans counts lifecycle spans appended to job trace logs;
+	// TraceDropped counts spans evicted from bounded logs (see trace.go).
+	TraceSpans   uint64
+	TraceDropped uint64
 }
 
 // tenantState is one tenant's live scheduling state.
@@ -258,6 +272,16 @@ type job struct {
 	telRing []core.IntervalSnapshot
 	telSeq  uint64
 
+	// spans is the job's bounded lifecycle span log (trace.go), same ring
+	// discipline as telRing. ckptSeen marks points whose first checkpoint
+	// receipt was already recorded, firstDispatch/firstResult gate the
+	// one-shot latency observations. Guarded by the platform mutex.
+	spans         []TraceSpan
+	spanSeq       uint64
+	ckptSeen      map[int]bool
+	firstDispatch time.Time
+	firstResult   bool
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{} // closed on terminal state
@@ -306,6 +330,15 @@ type Platform struct {
 	telemetrySnaps   uint64
 	telemetryDropped uint64
 	telemetryClients int
+
+	traceSpansTotal uint64
+	traceDropped    uint64
+
+	// reg is the obs registry serving GET /metrics; metrics holds the
+	// platform's registered instruments (snapshot-applied per scrape, plus
+	// the event-site latency histograms).
+	reg     *obs.Registry
+	metrics *PlatformMetrics
 }
 
 // New builds and starts a platform: opens (and replays) the journal, then
@@ -329,6 +362,10 @@ func New(opts Options) (*Platform, error) {
 	if opts.TelemetryRing <= 0 {
 		opts.TelemetryRing = DefaultTelemetryRing
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Platform{
 		opts:    opts,
@@ -339,6 +376,8 @@ func New(opts Options) (*Platform, error) {
 		tenants: make(map[string]*tenantState),
 		tokens:  make(map[string]string),
 		workers: make(map[sweepd.Worker]*workerState),
+		reg:     reg,
+		metrics: RegisterMetrics(reg),
 	}
 	p.auth = len(opts.Tenants) > 0
 	for _, t := range opts.Tenants {
@@ -516,6 +555,9 @@ func (p *Platform) Submit(tenant string, req SubmitRequest) (JobStatus, error) {
 	}
 	p.seq++
 	j := p.newJobLocked(id, tenant, req.Priority, p.seq, time.Now(), wj, sj)
+	p.spanLocked(j, TraceSpan{Event: SpanSubmit, State: StateQueued, Point: -1,
+		Points: len(sj.Points),
+		Detail: fmt.Sprintf("%s n=%d groups=%d", sj.Profile.Name, sj.Instructions, len(j.groups))})
 	if p.jn != nil {
 		if err := p.jn.writeSpec(&specRecord{ID: id, Tenant: tenant, Priority: req.Priority,
 			Seq: j.seq, Submitted: j.submitted, Job: wj}); err != nil {
@@ -524,9 +566,11 @@ func (p *Platform) Submit(tenant string, req SubmitRequest) (JobStatus, error) {
 			p.mu.Unlock()
 			return JobStatus{}, fmt.Errorf("jobd: journal submission: %w", err)
 		}
+		p.spanLocked(j, TraceSpan{Event: SpanJournal, Point: -1})
 	}
 	p.registerLocked(j)
 	t.queued++
+	p.spanLocked(j, TraceSpan{Event: SpanAdmit, State: StateQueued, Point: -1})
 	st := p.statusLocked(j, true)
 	p.mu.Unlock()
 
@@ -547,9 +591,10 @@ func (p *Platform) newJobLocked(id, tenant string, priority int, seq uint64, sub
 		results: make([]*sweepd.WireResult, len(sj.Points)),
 		ckpts:   sweepd.NewCheckpointStore(p.opts.CheckpointBudget),
 		ctx:     jctx, cancel: jcancel,
-		done:    make(chan struct{}),
-		change:  make(chan struct{}),
-		groupOf: make(map[int]*groupState, len(sj.Points)),
+		done:     make(chan struct{}),
+		change:   make(chan struct{}),
+		groupOf:  make(map[int]*groupState, len(sj.Points)),
+		ckptSeen: make(map[int]bool),
 	}
 	for _, g := range sj.Groups() {
 		gs := &groupState{g: g, done: make(map[int]bool, len(g.Indices))}
@@ -668,6 +713,8 @@ func (p *Platform) Snapshot() Metrics {
 		TelemetrySnaps:   p.telemetrySnaps,
 		TelemetryDropped: p.telemetryDropped,
 		TelemetryClients: p.telemetryClients,
+		TraceSpans:       p.traceSpansTotal,
+		TraceDropped:     p.traceDropped,
 	}
 	for _, j := range p.order {
 		m.JobsByState[j.state]++
@@ -755,6 +802,9 @@ func (p *Platform) finalizeLocked(j *job, to State, errStr string) {
 	j.err = errStr
 	j.cancel()
 	close(j.done)
+	p.spanLocked(j, TraceSpan{Event: SpanComplete, State: to, Point: -1,
+		Points: j.completed, Detail: errStr})
+	p.metrics.JobDuration.With(j.tenant).Observe(time.Since(j.submitted).Seconds())
 	p.broadcastLocked(j)
 	if p.jn != nil {
 		if err := p.jn.appendLine(j.id, resultLine{Terminal: to, Err: errStr}); err != nil {
@@ -898,6 +948,10 @@ func (p *Platform) startGroupLocked(j *job, gs *groupState, w sweepd.Worker, ws 
 		t.running++
 		p.broadcastLocked(j)
 	}
+	if j.firstDispatch.IsZero() {
+		j.firstDispatch = time.Now()
+		p.metrics.QueueWait.With(j.tenant).Observe(j.firstDispatch.Sub(j.submitted).Seconds())
+	}
 	// Start-time weighted fair queuing: the dispatch is charged 1/weight of
 	// virtual service; a tenant returning from idle starts at the platform
 	// clock instead of its stale past, so it neither replays its idle time
@@ -920,22 +974,27 @@ func (p *Platform) startGroupLocked(j *job, gs *groupState, w sweepd.Worker, ws 
 			p.onTelemetry(j, index, snap)
 		},
 	}
+	wl := workerLabel(w)
+	p.spanLocked(j, TraceSpan{Event: SpanDispatch, State: j.state, Point: -1,
+		Group: gs.g.KeyID, Worker: wl, Points: len(rem)})
 	resume := 0
 	for _, i := range rem {
 		if data := j.ckpts.Get(i); len(data) > 0 {
 			gr.Checkpoints[i] = data
 			resume++
+			p.spanLocked(j, TraceSpan{Event: SpanResume, Point: i,
+				Group: gs.g.KeyID, Worker: wl, Cycle: checkpointCycles(data)})
 		}
 	}
 	p.resumePoints += uint64(resume)
 	p.logf(sweepd.KV("jobd.group_dispatched", "job", j.id, "tenant", j.tenant,
 		"group", gs.g.KeyID, "points", len(rem), "resume_points", resume,
-		"worker", workerLabel(w)))
+		"worker", wl))
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
 		err := w.RunGroup(j.ctx, j.sj, gr, func(pr sweepd.PointResult) {
-			p.onResult(j, gs, pr)
+			p.onResult(j, gs, wl, pr)
 		})
 		p.groupDone(j, gs, w, err)
 	}()
@@ -962,8 +1021,8 @@ func workerLabel(w sweepd.Worker) string {
 // onResult records one completed point: in memory, in the journal, and to
 // every stream waiter. Duplicates (a requeued group rerunning a point whose
 // result was lost in flight) drop — engines are deterministic, first write
-// wins.
-func (p *Platform) onResult(j *job, gs *groupState, pr sweepd.PointResult) {
+// wins. worker attributes the result's origin in the job's trace.
+func (p *Platform) onResult(j *job, gs *groupState, worker string, pr sweepd.PointResult) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	idx := pr.Index
@@ -974,6 +1033,13 @@ func (p *Platform) onResult(j *job, gs *groupState, pr sweepd.PointResult) {
 		return
 	}
 	gs.done[idx] = true
+	if !j.firstResult {
+		j.firstResult = true
+		p.spanLocked(j, TraceSpan{Event: SpanFirstResult, Point: idx, Worker: worker})
+		if !j.firstDispatch.IsZero() {
+			p.metrics.FirstResult.With(j.tenant).Observe(time.Since(j.firstDispatch).Seconds())
+		}
+	}
 	wr := &sweepd.WireResult{Index: idx, Name: pr.Result.Point.Name}
 	if pr.Result.Err != nil {
 		wr.Err = pr.Result.Err.Error()
@@ -984,6 +1050,7 @@ func (p *Platform) onResult(j *job, gs *groupState, pr sweepd.PointResult) {
 	j.completedOrder = append(j.completedOrder, idx)
 	j.completed++
 	j.ckpts.Drop(idx)
+	p.spanLocked(j, TraceSpan{Event: SpanPointDone, Point: idx, Worker: worker, Detail: wr.Err})
 	if p.jn != nil {
 		if err := p.jn.appendLine(j.id, resultLine{Result: wr}); err != nil {
 			// A result that failed to journal is still served from memory;
@@ -1006,6 +1073,14 @@ func (p *Platform) onCheckpoint(j *job, index int, data []byte) {
 		return
 	}
 	j.ckpts.Put(index, data)
+	if !j.ckptSeen[index] {
+		// One span per point, on its first checkpoint: the point now has
+		// resume state. Per-interval shipments stay quiet, like the logs.
+		j.ckptSeen[index] = true
+		p.spanLocked(j, TraceSpan{Event: SpanCheckpoint, Point: index,
+			Cycle:  checkpointCycles(data),
+			Detail: fmt.Sprintf("%d bytes", len(data))})
+	}
 	p.mu.Unlock()
 	if p.jn != nil {
 		if err := p.jn.saveCheckpoint(j.id, index, data); err != nil {
@@ -1036,6 +1111,9 @@ func (p *Platform) groupDone(j *job, gs *groupState, w sweepd.Worker, err error)
 		}
 		if !complete {
 			p.requeues++
+			p.spanLocked(j, TraceSpan{Event: SpanRequeue, Point: -1,
+				Group: gs.g.KeyID, Worker: workerLabel(w),
+				Points: len(gs.g.Indices) - len(gs.done), Detail: err.Error()})
 			p.logf(sweepd.KV("jobd.group_requeued", "job", j.id, "tenant", j.tenant,
 				"group", gs.g.KeyID, "remaining", len(gs.g.Indices)-len(gs.done),
 				"worker", workerLabel(w), "err", err))
@@ -1106,6 +1184,11 @@ func (p *Platform) recover() error {
 			j.ckpts.Put(idx, data)
 			p.recoveredCkpts++
 		}
+		// The trace is ephemeral: a recovered job's span log restarts here,
+		// its pre-crash spans gone with the process that recorded them.
+		p.spanLocked(j, TraceSpan{Event: SpanRecovered, State: StateQueued, Point: -1,
+			Points: j.completed,
+			Detail: fmt.Sprintf("%d/%d points done, %d checkpoints", j.completed, len(j.sj.Points), len(rec.ckpts))})
 		if j.completed == len(j.sj.Points) {
 			// Crashed between the last result and the terminal marker.
 			p.finalizeLocked(j, StateDone, "")

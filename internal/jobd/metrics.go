@@ -1,0 +1,125 @@
+// Metrics bridge between the platform's snapshot counters and the obs
+// registry. The platform's own state (guarded by p.mu) stays the source of
+// truth; each /metrics scrape takes ONE consistent Snapshot and applies it
+// to the registry before rendering, so gauges, per-tenant maps and the
+// scheduler counters always describe the same instant. The latency
+// histograms are the exception: they observe at the event sites
+// (dispatch, first result, finalize) because a histogram cannot be rebuilt
+// from a snapshot.
+package jobd
+
+import (
+	"repro/internal/obs"
+)
+
+// PlatformMetrics holds the platform's registered instrument handles.
+// Exported so cmd/doclint can rebuild the inventory RegisterMetrics
+// creates and diff it against docs/OBSERVABILITY.md.
+type PlatformMetrics struct {
+	// Snapshot-applied gauges and counters (handleMetrics Sets these from
+	// one Platform.Snapshot per scrape).
+	QueueDepth       *obs.Gauge
+	Workers          *obs.Gauge
+	DeadWorkers      *obs.Gauge
+	TenantQueued     *obs.GaugeVec
+	TenantRunning    *obs.GaugeVec
+	Jobs             *obs.GaugeVec
+	Requeues         *obs.Counter
+	ResumePoints     *obs.Counter
+	RecoveredJobs    *obs.Counter
+	RecoveredPoints  *obs.Counter
+	RecoveredCkpts   *obs.Counter
+	Rejected         *obs.Counter
+	TelemetrySnaps   *obs.Counter
+	TelemetryDropped *obs.Counter
+	TelemetryClients *obs.Gauge
+	TraceSpans       *obs.Counter
+	TraceDropped     *obs.Counter
+
+	// Event-site latency histograms, labeled by tenant.
+	QueueWait   *obs.HistogramVec
+	FirstResult *obs.HistogramVec
+	JobDuration *obs.HistogramVec
+}
+
+// RegisterMetrics registers the job platform's metric families on reg and
+// returns the instrument handles. Platform.New calls it once (on
+// Options.Metrics, or a private registry); cmd/doclint calls it on a
+// throwaway registry to learn the inventory.
+func RegisterMetrics(reg *obs.Registry) *PlatformMetrics {
+	return &PlatformMetrics{
+		QueueDepth: reg.Gauge("jobd_queue_depth",
+			"Jobs waiting for their first dispatch."),
+		Workers: reg.Gauge("jobd_workers",
+			"Live workers in the pool."),
+		DeadWorkers: reg.Gauge("jobd_workers_dead",
+			"Workers marked dead with groups still accounted to them."),
+		TenantQueued: reg.GaugeVec("jobd_tenant_jobs_queued",
+			"Queued jobs per tenant.", "tenant"),
+		TenantRunning: reg.GaugeVec("jobd_tenant_jobs_running",
+			"Running jobs per tenant.", "tenant"),
+		Jobs: reg.GaugeVec("jobd_jobs",
+			"Jobs by lifecycle state.", "state"),
+		Requeues: reg.Counter("jobd_group_requeues_total",
+			"Groups requeued after a worker died."),
+		ResumePoints: reg.Counter("jobd_resume_points_total",
+			"Points dispatched with a resume checkpoint attached."),
+		RecoveredJobs: reg.Counter("jobd_recovered_jobs",
+			"Unfinished jobs re-queued from the journal at startup."),
+		RecoveredPoints: reg.Counter("jobd_recovered_points",
+			"Completed points restored from the journal at startup."),
+		RecoveredCkpts: reg.Counter("jobd_recovered_checkpoints",
+			"Resume checkpoints restored from the journal at startup."),
+		Rejected: reg.Counter("jobd_admission_rejected_total",
+			"Submissions refused by admission control."),
+		TelemetrySnaps: reg.Counter("jobd_telemetry_snapshots_total",
+			"Interval snapshots appended to job telemetry rings."),
+		TelemetryDropped: reg.Counter("jobd_telemetry_dropped_total",
+			"Snapshots lost to slow telemetry watchers (ring wrap-around)."),
+		TelemetryClients: reg.Gauge("jobd_telemetry_clients",
+			"Currently attached telemetry streams."),
+		TraceSpans: reg.Counter("jobd_trace_spans_total",
+			"Lifecycle spans appended to job trace logs."),
+		TraceDropped: reg.Counter("jobd_trace_spans_dropped_total",
+			"Trace spans evicted from bounded per-job span logs."),
+		QueueWait: reg.HistogramVec("jobd_queue_wait_seconds",
+			"Submission to first group dispatch, per tenant.", nil, "tenant"),
+		FirstResult: reg.HistogramVec("jobd_first_result_seconds",
+			"First group dispatch to first point result, per tenant.", nil, "tenant"),
+		JobDuration: reg.HistogramVec("jobd_job_duration_seconds",
+			"Submission to terminal state, per tenant.", nil, "tenant"),
+	}
+}
+
+// apply publishes one Metrics snapshot into the registry instruments.
+// Counters use Set: the platform's own monotonic counters are the source,
+// re-applying their absolute values is the race-free publication. Tenant
+// gauge families are zeroed first so a tenant absent from this snapshot
+// (all its jobs left the state) reads 0, not its last value.
+func (pm *PlatformMetrics) apply(m Metrics) {
+	pm.QueueDepth.Set(float64(m.QueueDepth))
+	pm.Workers.Set(float64(m.Workers))
+	pm.DeadWorkers.Set(float64(m.DeadWorkers))
+	pm.TenantQueued.Zero()
+	for t, n := range m.QueuedByTenant {
+		pm.TenantQueued.With(t).Set(float64(n))
+	}
+	pm.TenantRunning.Zero()
+	for t, n := range m.RunningByTenant {
+		pm.TenantRunning.With(t).Set(float64(n))
+	}
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		pm.Jobs.With(string(s)).Set(float64(m.JobsByState[s]))
+	}
+	pm.Requeues.Set(float64(m.Requeues))
+	pm.ResumePoints.Set(float64(m.ResumePoints))
+	pm.RecoveredJobs.Set(float64(m.RecoveredJobs))
+	pm.RecoveredPoints.Set(float64(m.RecoveredPoints))
+	pm.RecoveredCkpts.Set(float64(m.RecoveredCkpts))
+	pm.Rejected.Set(float64(m.Rejected))
+	pm.TelemetrySnaps.Set(float64(m.TelemetrySnaps))
+	pm.TelemetryDropped.Set(float64(m.TelemetryDropped))
+	pm.TelemetryClients.Set(float64(m.TelemetryClients))
+	pm.TraceSpans.Set(float64(m.TraceSpans))
+	pm.TraceDropped.Set(float64(m.TraceDropped))
+}

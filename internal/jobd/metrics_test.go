@@ -1,0 +1,278 @@
+package jobd
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scrape fetches /metrics from a platform's handler.
+func scrape(t *testing.T, srv *httptest.Server) string {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q is not the text exposition format", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// validateExposition checks a /metrics body against the text exposition
+// format: every sample line belongs to a family with a # TYPE declaration,
+// every declared family has exactly one # HELP line (before its TYPE), and
+// label values are correctly escaped (quotes balanced, only \\ \" \n
+// escapes). Returns the set of family names seen.
+func validateExposition(t *testing.T, body string) map[string]string {
+	t.Helper()
+	help := map[string]bool{}
+	types := map[string]string{}
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Errorf("line %d: HELP without text: %q", ln+1, line)
+			}
+			if help[name] {
+				t.Errorf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			help[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || (typ != "counter" && typ != "gauge" && typ != "histogram") {
+				t.Errorf("line %d: bad TYPE line: %q", ln+1, line)
+			}
+			if !help[name] {
+				t.Errorf("line %d: TYPE for %s without a preceding HELP", ln+1, name)
+			}
+			if _, dup := types[name]; dup {
+				t.Errorf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("line %d: unknown comment: %q", ln+1, line)
+			continue
+		}
+		name, labels := sampleName(t, ln+1, line)
+		fam := name
+		if types[fam] == "" {
+			// Histogram samples carry suffixed names.
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if base, ok := strings.CutSuffix(name, suf); ok && types[base] == "histogram" {
+					fam = base
+					break
+				}
+			}
+		}
+		if types[fam] == "" {
+			t.Errorf("line %d: sample %q has no TYPE declaration", ln+1, name)
+		}
+		_ = labels
+	}
+	return types
+}
+
+// sampleName parses one sample line, validating the label-set escaping,
+// and returns the metric name and raw label block.
+func sampleName(t *testing.T, ln int, line string) (string, string) {
+	t.Helper()
+	name, rest, hasLabels := strings.Cut(line, "{")
+	labels := ""
+	if !hasLabels {
+		name, _, _ = strings.Cut(name, " ")
+	}
+	if hasLabels {
+		end := -1
+		inQuote := false
+		for i := 0; i < len(rest); i++ {
+			switch {
+			case inQuote && rest[i] == '\\':
+				if i+1 >= len(rest) || !strings.ContainsRune(`\"n`, rune(rest[i+1])) {
+					t.Errorf("line %d: invalid escape in label value: %q", ln, line)
+				}
+				i++
+			case rest[i] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[i] == '}':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 || inQuote {
+			t.Errorf("line %d: unterminated label block: %q", ln, line)
+			return name, ""
+		}
+		labels = rest[:end]
+		rest = strings.TrimPrefix(rest[end+1:], " ")
+		line = name + " " + rest
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		t.Errorf("line %d: sample is not 'name value': %q", ln, line)
+	}
+	return name, labels
+}
+
+// TestMetricsExposition scrapes a working platform and validates the
+// format end to end: every pre-existing jobd family is still exposed under
+// its original name, the new latency/trace families appear, and a tenant
+// name full of quote/backslash/newline hostility round-trips through the
+// label escaping without corrupting the format.
+func TestMetricsExposition(t *testing.T) {
+	hostile := "al\"ice\\ten\nant"
+	p, err := New(Options{Pool: StaticPool{}, Tenants: []Tenant{
+		{Name: hostile, Token: "tok-h"},
+		{Name: "bob", Token: "tok-b"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	for _, tok := range []string{"tok-h", "tok-b"} {
+		tenant, _ := p.TenantForToken(tok)
+		if _, err := p.Submit(tenant, SubmitRequest{Workload: "gzip", Instructions: 1000,
+			Points: wirePoints(t, "X", []int{8}, []int{4})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	body := scrape(t, srv)
+	types := validateExposition(t, body)
+
+	// Every series name the hand-rolled exporter served must survive the
+	// registry migration: dashboards scrape by name.
+	preExisting := map[string]string{
+		"jobd_queue_depth":               "gauge",
+		"jobd_workers":                   "gauge",
+		"jobd_workers_dead":              "gauge",
+		"jobd_tenant_jobs_queued":        "gauge",
+		"jobd_tenant_jobs_running":       "gauge",
+		"jobd_jobs":                      "gauge",
+		"jobd_group_requeues_total":      "counter",
+		"jobd_resume_points_total":       "counter",
+		"jobd_recovered_jobs":            "counter",
+		"jobd_recovered_points":          "counter",
+		"jobd_recovered_checkpoints":     "counter",
+		"jobd_admission_rejected_total":  "counter",
+		"jobd_telemetry_snapshots_total": "counter",
+		"jobd_telemetry_dropped_total":   "counter",
+		"jobd_telemetry_clients":         "gauge",
+	}
+	for name, typ := range preExisting {
+		if types[name] != typ {
+			t.Errorf("pre-existing family %s: type %q, want %q", name, types[name], typ)
+		}
+	}
+	for _, name := range []string{
+		"jobd_trace_spans_total", "jobd_trace_spans_dropped_total",
+		"jobd_queue_wait_seconds", "jobd_first_result_seconds", "jobd_job_duration_seconds",
+	} {
+		if types[name] == "" {
+			t.Errorf("new family %s missing from exposition", name)
+		}
+	}
+
+	// The hostile tenant renders as one valid escaped label value.
+	want := `jobd_tenant_jobs_queued{tenant="al\"ice\\ten\nant"} 1`
+	if !strings.Contains(body, want) {
+		t.Errorf("hostile tenant label not escaped as %q in:\n%s", want, body)
+	}
+}
+
+// TestSnapshotConsistencyRace hammers /metrics scrapes against concurrent
+// submissions and cancellations. The scrape applies ONE Platform.Snapshot
+// to the registry, so it can never tear (e.g. a job counted in two states
+// at once); the race detector (CI runs this package -race -count=3) checks
+// the registry's internals, and the queued-vs-jobs cross-check below
+// catches stale mixed snapshots.
+func TestSnapshotConsistencyRace(t *testing.T) {
+	p, err := New(Options{Pool: StaticPool{}, MaxQueue: 1 << 20,
+		Tenants: []Tenant{{Name: "alice", Token: "tok-a", MaxInFlight: 1 << 20}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	pts := wirePoints(t, "R", []int{8}, []int{4})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				st, err := p.Submit("alice", SubmitRequest{Workload: "gzip",
+					Instructions: 1000, Points: pts})
+				if err != nil {
+					return
+				}
+				p.Cancel("alice", st.ID) //nolint:errcheck
+			}
+		}()
+	}
+	deadline := time.After(500 * time.Millisecond)
+	for {
+		select {
+		case <-deadline:
+			cancel()
+			wg.Wait()
+			return
+		default:
+		}
+		body := scrape(t, srv)
+		// The tenant series is absent until a snapshot first sees a queued
+		// alice job; from the same snapshot, that is exactly when
+		// jobs{queued} is 0 — so absent reads as 0.
+		queued := gaugeValue(t, body, `jobd_tenant_jobs_queued{tenant="alice"}`)
+		jobsQueued := gaugeValue(t, body, `jobd_jobs{state="queued"}`)
+		// Both families came from one Snapshot: with a single tenant they
+		// must agree exactly. A stale per-family snapshot would let them
+		// diverge under this churn.
+		if queued != jobsQueued {
+			t.Fatalf("torn scrape: tenant queued=%d but jobs{queued}=%d\n%s",
+				queued, jobsQueued, body)
+		}
+	}
+}
+
+// gaugeValue extracts one integral sample value from an exposition body;
+// an absent series reads as 0 (a vec series exists only once observed).
+func gaugeValue(t *testing.T, body, series string) int {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			var v int
+			if _, err := fmt.Sscanf(rest, "%d", &v); err != nil {
+				t.Fatalf("series %s: bad value %q", series, rest)
+			}
+			return v
+		}
+	}
+	return 0
+}

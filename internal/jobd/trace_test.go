@@ -1,0 +1,254 @@
+package jobd
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sweepd"
+)
+
+// collectTrace streams a job's full span log (to terminal state) through
+// the HTTP API and client.
+func collectTrace(t *testing.T, srv *httptest.Server, token, id string) ([]TraceSpan, State) {
+	t.Helper()
+	c := &Client{Server: srv.URL, Token: token, HTTPClient: srv.Client()}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	var spans []TraceSpan
+	state, err := c.Trace(ctx, id, func(s TraceSpan) error {
+		spans = append(spans, s)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("trace stream: %v", err)
+	}
+	return spans, state
+}
+
+// events projects a span log onto its event names.
+func events(spans []TraceSpan) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Event
+	}
+	return out
+}
+
+// assertOrdered checks Seq is 1..n with nondecreasing timestamps and that
+// the given events appear in the given relative order.
+func assertOrdered(t *testing.T, spans []TraceSpan, wantOrder ...string) {
+	t.Helper()
+	for i, s := range spans {
+		if s.Seq != uint64(i+1) {
+			t.Fatalf("span %d has seq %d, want %d (full log: %v)", i, s.Seq, i+1, events(spans))
+		}
+		if i > 0 && s.Time.Before(spans[i-1].Time) {
+			t.Errorf("span %d time regressed", i)
+		}
+		if i > 0 && s.ElapsedMS < spans[i-1].ElapsedMS {
+			t.Errorf("span %d elapsed regressed", i)
+		}
+	}
+	at := 0
+	for _, want := range wantOrder {
+		found := false
+		for ; at < len(spans); at++ {
+			if spans[at].Event == want {
+				found = true
+				at++
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("event order %v not found in trace %v", wantOrder, events(spans))
+		}
+	}
+}
+
+// TestTraceSpansLifecycle drives one job through a deterministic in-process
+// worker and checks the recorded lifecycle reads submit → admit →
+// dispatch → first_result → point_done → complete, with worker and group
+// attribution on the dispatch span.
+func TestTraceSpansLifecycle(t *testing.T) {
+	w := newFakeWorker()
+	p, err := New(Options{Pool: StaticPool{w}, Tenants: []Tenant{{Name: "alice", Token: "tok-a"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	pts := wirePoints(t, "T1", []int{8}, []int{4, 8})
+	st, err := p.Submit("alice", SubmitRequest{Workload: "gzip", Instructions: 1000, Points: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nextRun(t, w).release <- nil
+
+	spans, state := collectTrace(t, srv, "tok-a", st.ID)
+	if state != StateDone {
+		t.Fatalf("job ended %s", state)
+	}
+	assertOrdered(t, spans, SpanSubmit, SpanAdmit, SpanDispatch,
+		SpanFirstResult, SpanPointDone, SpanComplete)
+	for _, s := range spans {
+		switch s.Event {
+		case SpanSubmit:
+			if s.Points != len(pts) || s.State != StateQueued {
+				t.Errorf("submit span: points=%d state=%s", s.Points, s.State)
+			}
+		case SpanDispatch:
+			if s.Group == "" || s.Worker == "" || s.Points != len(pts) {
+				t.Errorf("dispatch span lacks attribution: %+v", s)
+			}
+		case SpanComplete:
+			if s.State != StateDone {
+				t.Errorf("complete span state=%s", s.State)
+			}
+		case SpanJournal:
+			t.Error("journal span on a journal-less platform")
+		}
+	}
+	// Exactly one point_done per point.
+	done := 0
+	for _, s := range spans {
+		if s.Event == SpanPointDone {
+			done++
+		}
+	}
+	if done != len(pts) {
+		t.Errorf("%d point_done spans, want %d", done, len(pts))
+	}
+}
+
+// TestTraceE2EKillRequeueResume is the tracing acceptance drill over real
+// TCP: a job dispatches to a worker that is killed mid-group after
+// checkpointing, the group requeues onto a survivor, and the points resume
+// past cycle 0 — and the job's trace must tell that whole story in order:
+// submit → journal → admit → dispatch(victim) → checkpoint → requeue →
+// dispatch(survivor) → resume(cycle>0) → complete.
+func TestTraceE2EKillRequeueResume(t *testing.T) {
+	coord := sweepd.NewCoordinator()
+	dir := t.TempDir()
+	p, err := New(Options{Pool: coord, JournalDir: dir,
+		Tenants: []Tenant{{Name: "alice", Token: "tok-a"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	coord.OnWorkersChanged = p.Kick
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go coord.Serve(ln)
+	defer coord.Close()
+
+	// Workers get their own contexts so the test can kill the victim alone.
+	var wg sync.WaitGroup
+	startWorker := func(ctx context.Context, name string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sweepd.Work(ctx, ln.Addr().String(), sweepd.WorkerOptions{
+				Name: name, Parallelism: 1, CheckpointEvery: 2000,
+			})
+		}()
+	}
+	defer wg.Wait()
+	victimCtx, killVictim := context.WithCancel(context.Background())
+	defer killVictim()
+	survivorCtx, stopSurvivor := context.WithCancel(context.Background())
+	defer stopSurvivor()
+	startWorker(victimCtx, "victim")
+	waitWorkers := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for coord.WorkerCount() != n {
+			if time.Now().After(deadline) {
+				t.Fatalf("worker count stuck at %d, want %d", coord.WorkerCount(), n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitWorkers(1)
+
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	c := &Client{Server: srv.URL, Token: "tok-a", HTTPClient: srv.Client()}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// One trace-key group of four points; the single-engine victim works
+	// them one at a time, so the group cannot finish before the kill.
+	pts := wirePoints(t, "K1", []int{8}, []int{2, 4, 8, 16})
+	st, err := c.Submit(ctx, SubmitRequest{Workload: "gzip", Instructions: 400_000, Points: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Follow the live trace until the scheduler holds resume state (a
+	// checkpoint span), then bring up the survivor and kill the victim
+	// mid-group.
+	tctx, tcancel := context.WithCancel(ctx)
+	sawCheckpoint := fmt.Errorf("saw checkpoint") //nolint:err113 // stream-abort sentinel
+	_, err = c.Trace(tctx, st.ID, func(s TraceSpan) error {
+		if s.Event == SpanCheckpoint {
+			return sawCheckpoint
+		}
+		return nil
+	})
+	tcancel()
+	if err != sawCheckpoint {
+		t.Fatalf("waiting for a checkpoint span: %v", err)
+	}
+	startWorker(survivorCtx, "survivor")
+	waitWorkers(2)
+	killVictim()
+	waitWorkers(1)
+
+	spans, state := collectTrace(t, srv, "tok-a", st.ID)
+	if state != StateDone {
+		t.Fatalf("job ended %s; trace: %v", state, events(spans))
+	}
+	assertOrdered(t, spans, SpanSubmit, SpanJournal, SpanAdmit, SpanDispatch,
+		SpanCheckpoint, SpanRequeue, SpanDispatch, SpanResume, SpanComplete)
+
+	var dispatches, resumes []TraceSpan
+	var requeue *TraceSpan
+	for i, s := range spans {
+		switch s.Event {
+		case SpanDispatch:
+			dispatches = append(dispatches, s)
+		case SpanResume:
+			resumes = append(resumes, s)
+		case SpanRequeue:
+			requeue = &spans[i]
+		}
+	}
+	if len(dispatches) < 2 {
+		t.Fatalf("%d dispatch spans, want the requeued group re-dispatched", len(dispatches))
+	}
+	if dispatches[0].Worker == "" || dispatches[0].Worker == dispatches[len(dispatches)-1].Worker {
+		t.Errorf("dispatch attribution did not move workers: %q -> %q",
+			dispatches[0].Worker, dispatches[len(dispatches)-1].Worker)
+	}
+	if requeue == nil || requeue.Points == 0 || requeue.Detail == "" {
+		t.Fatalf("requeue span missing or unattributed: %+v", requeue)
+	}
+	resumed := false
+	for _, s := range resumes {
+		if s.Cycle > 0 {
+			resumed = true
+		}
+	}
+	if !resumed {
+		t.Fatalf("no resume span with cycle > 0 — requeued points restarted from scratch; resumes: %+v", resumes)
+	}
+}

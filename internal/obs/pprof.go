@@ -1,0 +1,22 @@
+// pprof mounting for the daemon's HTTP server. net/http/pprof registers on
+// http.DefaultServeMux as an import side effect, which would expose
+// profiling to every importer unconditionally; RegisterPprof instead mounts
+// the same handlers explicitly, so resimd serves them only behind -pprof.
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterPprof mounts the runtime profiling endpoints under /debug/pprof/
+// on mux: the index, cmdline, profile (CPU), symbol and trace handlers,
+// plus every runtime/pprof named profile (heap, goroutine, block, mutex)
+// via the index handler's path dispatch.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sweep"
@@ -39,6 +40,11 @@ type Coordinator struct {
 	// hook the job platform (internal/jobd) uses to re-schedule queued
 	// groups when capacity appears or a worker dies. Set it before Serve.
 	OnWorkersChanged func()
+	// Metrics, when non-nil, receives event counts (worker connects,
+	// group dispatch/requeue, trace shipping) and the group round-trip
+	// distribution. Build it with RegisterCoordinatorMetrics and set it
+	// before Serve; nil costs one pointer check per event.
+	Metrics *CoordinatorMetrics
 
 	mu      sync.Mutex
 	workers map[*remoteWorker]struct{}
@@ -201,6 +207,7 @@ func (c *Coordinator) serveWorker(w *wire, name string) {
 	}
 	c.workers[rw] = struct{}{}
 	c.mu.Unlock()
+	c.Metrics.workerConnected()
 	c.logf("%s", KV("sweepd.worker_registered", "worker", name, "addr", w.conn.RemoteAddr()))
 	c.workersChanged()
 	err := rw.readLoop()
@@ -208,6 +215,7 @@ func (c *Coordinator) serveWorker(w *wire, name string) {
 	delete(c.workers, rw)
 	c.mu.Unlock()
 	rw.fail(err)
+	c.Metrics.workerGone()
 	c.logf("%s", KV("sweepd.worker_gone", "worker", name, "err", err))
 	c.workersChanged()
 }
@@ -337,6 +345,10 @@ type remoteWorker struct {
 	deadErr error
 }
 
+// Name reports the worker's self-declared registration name, attributing
+// dispatches and results to a host in logs and job traces.
+func (rw *remoteWorker) Name() string { return rw.name }
+
 // RunGroup implements Worker: ship the assignment (including any prior
 // checkpoints to resume from), stream results into emit and shipped
 // checkpoints into gr.OnCheckpoint, and return when the worker reports the
@@ -366,17 +378,27 @@ func (rw *remoteWorker) RunGroup(ctx context.Context, job *Job, gr GroupRun, emi
 		// point that cannot cross the wire cannot run remotely at all, so
 		// surface it as this worker's death; if every worker refuses, the
 		// job fails with the cause attached.
+		rw.c.Metrics.groupRequeued()
 		return err
 	}
+	start := time.Now()
 	if err := rw.w.send(&Message{Type: msgAssign, Assign: asg}); err != nil {
 		rw.fail(err)
+		rw.c.Metrics.groupRequeued()
 		return err
 	}
+	rw.c.Metrics.groupDispatched()
 	select {
 	case err := <-call.done:
+		rw.c.Metrics.groupDone(start)
+		if err != nil {
+			rw.c.Metrics.groupRequeued()
+		}
 		return err
 	case <-ctx.Done():
-		// Tell the worker to stop simulating; best effort.
+		// Tell the worker to stop simulating; best effort. A cancelled
+		// round trip observes no RTT — the distribution measures completed
+		// work, not how fast callers give up.
 		rw.w.send(&Message{Type: msgCancel, Cancel: &Cancel{Call: id}}) //nolint:errcheck
 		return ctx.Err()
 	}
@@ -403,6 +425,7 @@ func (rw *remoteWorker) assignment(id uint64, job *Job, gr GroupRun) (*Assignmen
 		var buf bytes.Buffer
 		if ok, err := tc.ExportContainer(key, &buf); ok && err == nil {
 			asg.Trace = buf.Bytes()
+			rw.c.Metrics.traceShipped(buf.Len())
 			rw.c.logf("%s", KV("sweepd.trace_shipped", "key", asg.KeyID, "bytes", buf.Len(), "worker", rw.name))
 		}
 	}

@@ -1,9 +1,6 @@
 package sweepd
 
-import (
-	"fmt"
-	"strings"
-)
+import "repro/internal/obs"
 
 // KV renders a structured service log line: the event name followed by
 // key=value fields, e.g.
@@ -11,29 +8,8 @@ import (
 //	KV("sweepd.worker_registered", "worker", name, "addr", addr)
 //	  -> `sweepd.worker_registered worker=w1 addr=127.0.0.1:42`
 //
-// Values whose rendering contains whitespace (error messages, names with
-// spaces) are quoted so every line stays machine-splittable on spaces —
-// grep-able service logs without changing the Logf(format, args...)
-// signature the coordinator, workers and the job platform already expose:
-// call sites pass the rendered line through as logf("%s", KV(...)).
-// A trailing odd key is rendered as key=? rather than dropped, so a buggy
-// call site still logs its event.
-func KV(event string, kvs ...any) string {
-	var b strings.Builder
-	b.WriteString(event)
-	for i := 0; i < len(kvs); i += 2 {
-		b.WriteByte(' ')
-		fmt.Fprintf(&b, "%v", kvs[i])
-		b.WriteByte('=')
-		if i+1 >= len(kvs) {
-			b.WriteByte('?')
-			continue
-		}
-		v := fmt.Sprintf("%v", kvs[i+1])
-		if strings.ContainsAny(v, " \t\n\"") {
-			v = fmt.Sprintf("%q", v)
-		}
-		b.WriteString(v)
-	}
-	return b.String()
-}
+// The rendering lives in internal/obs so obs.Logger.Logf can parse the
+// same format back into structured attributes (obs.ParseKV); this alias
+// keeps the coordinator's and workers' many call sites short. See obs.KV
+// for the quoting rules.
+func KV(event string, kvs ...any) string { return obs.KV(event, kvs...) }

@@ -1,0 +1,99 @@
+// Coordinator instrumentation. Unlike jobd's snapshot-applied families,
+// the coordinator's metrics observe at the event sites (worker
+// registration, group dispatch, trace shipping) — there is no consistent
+// snapshot to rebuild them from, and the RPC round-trip distribution can
+// only be measured where the round trip happens.
+//
+// All instrument helpers are nil-receiver safe: a coordinator with no
+// Metrics attached (library use, most tests) pays one nil check per event.
+package sweepd
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// CoordinatorMetrics holds the coordinator's registered instrument
+// handles. Exported so cmd/doclint can rebuild the inventory
+// RegisterCoordinatorMetrics creates and diff it against
+// docs/OBSERVABILITY.md.
+type CoordinatorMetrics struct {
+	WorkerConnects  *obs.Counter
+	Workers         *obs.Gauge
+	GroupsDispatch  *obs.Counter
+	GroupsRequeued  *obs.Counter
+	TraceShips      *obs.Counter
+	TraceShipBytes  *obs.Counter
+	GroupRoundTrips *obs.Histogram
+}
+
+// RegisterCoordinatorMetrics registers the coordinator's metric families
+// on reg and returns the instrument handles to assign to
+// Coordinator.Metrics. On a nil registry it returns nil, which every
+// helper below treats as "no metrics" — detached mode costs one nil check.
+func RegisterCoordinatorMetrics(reg *obs.Registry) *CoordinatorMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &CoordinatorMetrics{
+		WorkerConnects: reg.Counter("sweepd_worker_connects_total",
+			"Worker registrations accepted (reconnects count again)."),
+		Workers: reg.Gauge("sweepd_workers",
+			"Workers currently registered with the coordinator."),
+		GroupsDispatch: reg.Counter("sweepd_groups_dispatched_total",
+			"Group assignments shipped to workers."),
+		GroupsRequeued: reg.Counter("sweepd_groups_requeued_total",
+			"Group assignments that failed on their worker (died or refused) and went back for rescheduling."),
+		TraceShips: reg.Counter("sweepd_trace_ships_total",
+			"Trace containers shipped to workers from the coordinator's cache."),
+		TraceShipBytes: reg.Counter("sweepd_trace_ship_bytes_total",
+			"Bytes of delta-compressed trace containers shipped to workers."),
+		GroupRoundTrips: reg.Histogram("sweepd_group_rtt_seconds",
+			"Group assignment send to group-end receipt, per completed round trip.", nil),
+	}
+}
+
+func (m *CoordinatorMetrics) workerConnected() {
+	if m == nil {
+		return
+	}
+	m.WorkerConnects.Inc()
+	m.Workers.Inc()
+}
+
+func (m *CoordinatorMetrics) workerGone() {
+	if m == nil {
+		return
+	}
+	m.Workers.Dec()
+}
+
+func (m *CoordinatorMetrics) groupDispatched() {
+	if m == nil {
+		return
+	}
+	m.GroupsDispatch.Inc()
+}
+
+func (m *CoordinatorMetrics) groupRequeued() {
+	if m == nil {
+		return
+	}
+	m.GroupsRequeued.Inc()
+}
+
+func (m *CoordinatorMetrics) traceShipped(bytes int) {
+	if m == nil {
+		return
+	}
+	m.TraceShips.Inc()
+	m.TraceShipBytes.Add(float64(bytes))
+}
+
+func (m *CoordinatorMetrics) groupDone(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.GroupRoundTrips.Observe(time.Since(start).Seconds())
+}

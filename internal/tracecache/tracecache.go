@@ -168,6 +168,7 @@ type Stats struct {
 	Hits        uint64 // requests served from memory
 	Seeds       uint64 // entries installed from shipped containers (Seed)
 	SpillWrites uint64 // entries written to the spill directory
+	SpillBytes  uint64 // container bytes written to the spill directory
 	SpillLoads  uint64 // requests served by reloading a spilled entry
 	Evictions   uint64 // entries pushed out of memory (spilled or dropped)
 
@@ -191,6 +192,7 @@ type Cache struct {
 	hits        atomic.Uint64
 	seeds       atomic.Uint64
 	spillWrites atomic.Uint64
+	spillBytes  atomic.Uint64
 	spillLoads  atomic.Uint64
 	evictions   atomic.Uint64
 }
@@ -271,6 +273,7 @@ func (c *Cache) Stats() Stats {
 		Hits:        c.hits.Load(),
 		Seeds:       c.seeds.Load(),
 		SpillWrites: c.spillWrites.Load(),
+		SpillBytes:  c.spillBytes.Load(),
 		SpillLoads:  c.spillLoads.Load(),
 		Evictions:   c.evictions.Load(),
 		Entries:     entries,
@@ -617,6 +620,9 @@ func (c *Cache) spill(e *entry) error {
 	}
 	e.spillPath = path
 	c.spillWrites.Add(1)
+	if fi, err := os.Stat(path); err == nil {
+		c.spillBytes.Add(uint64(fi.Size()))
+	}
 	return nil
 }
 

@@ -100,6 +100,22 @@ func (h *JobHandle) Telemetry(ctx context.Context, sink func(IntervalSnapshot) e
 	return h.client.Telemetry(ctx, h.id, sink)
 }
 
+// TraceSpan is one recorded lifecycle event of a submitted job: when it
+// was queued, dispatched (to which worker, in which trace-key group),
+// requeued after a worker died, resumed past a checkpointed cycle, and
+// completed. See JobHandle.Trace and docs/OBSERVABILITY.md.
+type TraceSpan = jobd.TraceSpan
+
+// Trace follows the job's lifecycle span stream, calling sink for every
+// recorded span until the job reaches a terminal state (which it returns).
+// A handle attaching mid-run first replays the service's buffered span
+// log, then follows live. Traces are ephemeral and bounded server-side:
+// spans evicted before this handle attached are absent, and Seq gaps
+// reveal the loss. See docs/OBSERVABILITY.md for the span schema.
+func (h *JobHandle) Trace(ctx context.Context, sink func(TraceSpan) error) (JobState, error) {
+	return h.client.Trace(ctx, h.id, sink)
+}
+
 // Results blocks until the job finishes and returns its results in point
 // order — the same contract as Sweep, so a sweep routed through the job
 // service is byte-for-byte comparable to a local one. A canceled or failed
