@@ -10,16 +10,21 @@
 //   - The metric inventory tables in docs/OBSERVABILITY.md match the
 //     families the code actually registers (name, type and labels, both
 //     directions), so the documented scrape surface cannot go stale.
+//   - The analyzer inventory table in docs/STATIC_ANALYSIS.md matches the
+//     analyzers cmd/resimvet registers (name and one-line invariant, both
+//     directions), so the documented lint surface cannot go stale either.
 //
 // Usage:
 //
-//	doclint [-md DIR] [-metrics FILE] [pkgdir ...]
+//	doclint [-md DIR] [-metrics FILE] [-analyzers FILE] [pkgdir ...]
 //
 // -md sets the tree walked for markdown files (default "."). -metrics
-// names the inventory document (default "docs/OBSERVABILITY.md"; ""
-// skips the check). Each pkgdir argument names one Go package directory
-// to check for doc comments; with no arguments, ".", "./internal/jobd"
-// and "./internal/obs" are checked. Findings are printed one per line as
+// names the metric inventory document (default "docs/OBSERVABILITY.md";
+// "" skips the check) and -analyzers the analyzer inventory document
+// (default "docs/STATIC_ANALYSIS.md"; "" skips). Each pkgdir argument
+// names one Go package directory to check for doc comments; with no
+// arguments, ".", "./internal/jobd", "./internal/obs" and the
+// internal/lint tree are checked. Findings are printed one per line as
 // file:line: message, and the exit status is non-zero if there were any.
 package main
 
@@ -37,6 +42,7 @@ import (
 	"strings"
 
 	"repro/internal/jobd"
+	"repro/internal/lint"
 	"repro/internal/obs"
 	"repro/internal/sweepd"
 	"repro/internal/tracecache"
@@ -45,10 +51,17 @@ import (
 func main() {
 	mdRoot := flag.String("md", ".", "directory tree to scan for markdown files")
 	metricsDoc := flag.String("metrics", "docs/OBSERVABILITY.md", "metric inventory document to diff against registered families (\"\" skips)")
+	analyzersDoc := flag.String("analyzers", "docs/STATIC_ANALYSIS.md", "analyzer inventory document to diff against the resimvet registry (\"\" skips)")
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
-		pkgs = []string{".", "./internal/jobd", "./internal/obs"}
+		pkgs = []string{
+			".", "./internal/jobd", "./internal/obs",
+			"./internal/lint", "./internal/lint/analysis", "./internal/lint/analysistest",
+			"./internal/lint/ckptcomplete", "./internal/lint/determinism",
+			"./internal/lint/lintutil", "./internal/lint/load",
+			"./internal/lint/metriclint", "./internal/lint/wiresafe",
+		}
 	}
 
 	var problems []string
@@ -58,6 +71,9 @@ func main() {
 	}
 	if *metricsDoc != "" {
 		problems = append(problems, lintMetricsInventory(*metricsDoc)...)
+	}
+	if *analyzersDoc != "" {
+		problems = append(problems, lintAnalyzerInventory(*analyzersDoc)...)
 	}
 
 	for _, p := range problems {
@@ -148,6 +164,73 @@ func lintMetricsInventory(path string) []string {
 	sort.Strings(stale)
 	for _, name := range stale {
 		problems = append(problems, fmt.Sprintf("%s:%d: documented metric %s is registered by no code", path, documented[name].line, name))
+	}
+	return problems
+}
+
+// analyzerRow matches one analyzer table row in the static-analysis
+// document: | `name` | invariant |
+var analyzerRow = regexp.MustCompile("^\\|\\s*`([a-z][a-z0-9]*)`\\s*\\|(.*)\\|\\s*$")
+
+// lintAnalyzerInventory diffs the "Analyzer inventory" table in the
+// static-analysis document against the analyzers cmd/resimvet registers
+// through lint.Analyzers(), in both directions: an unregistered
+// documented analyzer, an undocumented registered one, and a stale
+// one-line invariant summary are all findings.
+func lintAnalyzerInventory(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	type row struct {
+		line    int
+		summary string
+	}
+	documented := map[string]row{}
+	var problems []string
+	inSection := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "## ") {
+			inSection = strings.TrimSpace(strings.TrimPrefix(line, "## ")) == "Analyzer inventory"
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		m := analyzerRow.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if _, dup := documented[name]; dup {
+			problems = append(problems, fmt.Sprintf("%s:%d: analyzer %s documented twice", path, i+1, name))
+			continue
+		}
+		documented[name] = row{line: i + 1, summary: strings.TrimSpace(m[2])}
+	}
+
+	seen := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		seen[a.Name] = true
+		summary, _, _ := strings.Cut(a.Doc, "\n")
+		doc, ok := documented[a.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: registered analyzer %s is not in the inventory", path, a.Name))
+			continue
+		}
+		if doc.summary != summary {
+			problems = append(problems, fmt.Sprintf("%s:%d: analyzer %s documented as %q, registered as %q", path, doc.line, a.Name, doc.summary, summary))
+		}
+	}
+	var stale []string
+	for name := range documented {
+		if !seen[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		problems = append(problems, fmt.Sprintf("%s:%d: documented analyzer %s is registered by no code", path, documented[name].line, name))
 	}
 	return problems
 }

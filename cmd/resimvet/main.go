@@ -1,0 +1,292 @@
+// Resimvet is ReSim's static-analysis driver: a multichecker for the
+// custom analyzers under internal/lint that enforce the repository's
+// cross-layer invariants (deterministic result paths, exhaustive
+// checkpoint capture, serializable wire types, literal metric names) at
+// compile time. It is stdlib-only — the module deliberately has no
+// dependencies — and runs two ways:
+//
+// Standalone, over go list patterns:
+//
+//	go run ./cmd/resimvet ./...
+//	go run ./cmd/resimvet -json ./...
+//
+// As a go vet tool, speaking vet's unitchecker protocol (-V=full, -flags,
+// a JSON *.cfg per package, facts file emission):
+//
+//	go build -o /tmp/resimvet ./cmd/resimvet
+//	go vet -vettool=/tmp/resimvet ./...
+//
+// The exit status is 0 when the tree is clean, 2 when any analyzer
+// reported a diagnostic, and 1 on loading or internal errors. Diagnostics
+// print as file:line:col: [analyzer] message; -json emits the
+// package→analyzer→diagnostics map instead (and always exits 0, like go
+// vet -json).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	progname := filepath.Base(os.Args[0])
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (package → analyzer → diagnostics)")
+	vFlag := fs.String("V", "", "print version and exit (-V=full, for the go vet tool protocol)")
+	printFlags := fs.Bool("flags", false, "print the tool's flags as JSON (go vet tool protocol)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-json] package...\n       %s unit.cfg  (go vet tool protocol)\n\nAnalyzers:\n", progname, progname)
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	fs.Parse(os.Args[1:])
+
+	if *vFlag != "" {
+		return printVersion(progname, *vFlag)
+	}
+	if *printFlags {
+		// The only flag go vet may forward is -json.
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		data, _ := json.Marshal([]jsonFlag{{Name: "json", Bool: true, Usage: "emit JSON output"}})
+		fmt.Println(string(data))
+		return 0
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return vetUnit(args[0], *jsonOut)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	return standalone(args, *jsonOut)
+}
+
+// firstLine returns the one-sentence summary of an analyzer doc.
+func firstLine(doc string) string {
+	if i := strings.IndexByte(doc, '\n'); i >= 0 {
+		return doc[:i]
+	}
+	return doc
+}
+
+// printVersion implements the -V=full handshake go vet uses to fingerprint
+// the tool for build caching: name, a version token and a content hash.
+func printVersion(progname, v string) int {
+	if v != "full" {
+		fmt.Fprintf(os.Stderr, "%s: unsupported flag value: -V=%s\n", progname, v)
+		return 1
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+	return 0
+}
+
+// diagRecord is one rendered diagnostic.
+type diagRecord struct {
+	Posn     string `json:"posn"`
+	Analyzer string `json:"-"`
+	Message  string `json:"message"`
+}
+
+// runAnalyzers applies the whole suite to one package and returns its
+// diagnostics sorted by position.
+func runAnalyzers(fset *token.FileSet, pkg *load.Package) ([]diagRecord, error) {
+	var out []diagRecord
+	for _, a := range lint.Analyzers() {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			out = append(out, diagRecord{
+				Posn:     fset.Position(d.Pos).String(),
+				Analyzer: name,
+				Message:  d.Message,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzer %s: %v", pkg.ImportPath, a.Name, err)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Posn < out[j].Posn })
+	return out, nil
+}
+
+// standalone loads packages by pattern and checks them all.
+func standalone(patterns []string, jsonOut bool) int {
+	pkgs, fset, err := load.Packages(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "resimvet: %v\n", err)
+		return 1
+	}
+	found := false
+	jsonTree := map[string]map[string][]diagRecord{}
+	for _, pkg := range pkgs {
+		diags, err := runAnalyzers(fset, pkg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resimvet: %v\n", err)
+			return 1
+		}
+		if len(diags) == 0 {
+			continue
+		}
+		found = true
+		if jsonOut {
+			byAnalyzer := map[string][]diagRecord{}
+			for _, d := range diags {
+				byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d)
+			}
+			jsonTree[pkg.ImportPath] = byAnalyzer
+			continue
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Posn, d.Analyzer, d.Message)
+		}
+	}
+	if jsonOut {
+		data, _ := json.MarshalIndent(jsonTree, "", "\t")
+		fmt.Println(string(data))
+		return 0
+	}
+	if found {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the per-package JSON configuration go vet hands the tool
+// (cmd/go's vetConfig, fields the driver consumes).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package under the go vet tool protocol: type-check
+// the unit from the config's file lists and export-data map, run the
+// suite, and always leave an (empty — the suite uses no facts) vetx
+// output so go vet's caching stays coherent.
+func vetUnit(cfgPath string, jsonOut bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "resimvet: %v\n", err)
+		return 1
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "resimvet: parse %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "resimvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := load.ParseFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "resimvet: %v\n", err)
+		return 1
+	}
+	gc := load.NewGCImporter(fset, func(path string) (string, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return file, nil
+	})
+	res := &load.Resolver{ImportMap: cfg.ImportMap, Fallback: gc}
+	typesPkg, info, err := load.Check(fset, cfg.ImportPath, files, res)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "resimvet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := runAnalyzers(fset, &load.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Files:      files,
+		Types:      typesPkg,
+		TypesInfo:  info,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "resimvet: %v\n", err)
+		return 1
+	}
+	if jsonOut {
+		byAnalyzer := map[string][]diagRecord{}
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d)
+		}
+		data, _ := json.MarshalIndent(map[string]map[string][]diagRecord{cfg.ImportPath: byAnalyzer}, "", "\t")
+		fmt.Println(string(data))
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Posn, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

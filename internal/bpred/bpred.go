@@ -164,7 +164,7 @@ func (c Config) StorageBits() int {
 
 // Predictor is a concrete branch predictor instance.
 type Predictor struct {
-	cfg Config
+	cfg Config //resim:ckpt-exempt immutable configuration; SetState validates restored table geometry against it
 
 	bht  []uint32 // history registers
 	pht  []uint8  // 2-bit saturating counters
@@ -175,8 +175,8 @@ type Predictor struct {
 	btbTgts  []uint32
 	btbValid []bool
 	btbLRU   []uint8 // per-set round-robin pointer for assoc > 1
-	btbSets  int
-	btbAssoc int
+	btbSets  int     //resim:ckpt-exempt geometry derived from cfg by New; the BTB tables restore by length-checked copy
+	btbAssoc int     //resim:ckpt-exempt geometry derived from cfg by New
 
 	ras    []uint32
 	rasTop int // index of next free slot (stack grows up, wraps)

@@ -162,9 +162,11 @@ type Counters struct {
 // Engine is a ReSim instance: a trace-driven timing simulation of one
 // out-of-order processor.
 type Engine struct {
-	cfg     Config
-	src     *trace.Buffered
-	startPC uint32 // fetch PC a fresh run starts at (Reset re-arms to it)
+	cfg Config //resim:ckpt-exempt immutable configuration; guarded by ConfigDigest, rebuilt by New on restore
+	src *trace.Buffered
+	// startPC is the fetch PC a fresh run starts at (Reset re-arms to it).
+	//resim:ckpt-exempt set by New; a restored engine re-arms at the checkpoint's fetch PC
+	startPC uint32
 
 	bp     *bpred.Predictor
 	icache cache.Model
@@ -175,7 +177,7 @@ type Engine struct {
 	lsq   *uarch.Ring[lsqEntry]
 	rt    *uarch.RenameTable
 	fus   *uarch.FUPool
-	ports *uarch.MemPorts
+	ports *uarch.MemPorts //resim:ckpt-exempt per-cycle port usage; NewCycle clears it at every major-cycle boundary, checkpoints land between cycles
 
 	now           int64
 	seq           int64
@@ -213,23 +215,24 @@ type Engine struct {
 	//     walks the producer's list instead of scanning the reorder
 	//     buffer; the list is emptied at broadcast, so a slot is always
 	//     clean when a future entry reuses it.
-	readyQ    []*robEntry
-	wbReady   []*robEntry
-	wbHeap    []wbItem
-	wbNext    []*robEntry // completions due exactly next cycle (the 1-cycle-latency fast lane)
-	cons      [][]consRef
-	consMask  int64
-	lsqLoads  int         // resident LSQ loads; lsqRefresh is a no-op without any
-	lsqStores []*lsqEntry // lsqRefresh scratch: older stores seen so far
+	readyQ    []*robEntry //resim:derived
+	wbReady   []*robEntry //resim:derived
+	wbHeap    []wbItem    //resim:derived
+	wbNext    []*robEntry //resim:derived completions due exactly next cycle (the 1-cycle-latency fast lane)
+	cons      [][]consRef //resim:derived
+	consMask  int64       //resim:ckpt-exempt sized by New to the next power of two >= RBSize; pure config
+	lsqLoads  int         //resim:derived resident LSQ loads; lsqRefresh is a no-op without any
+	lsqStores []*lsqEntry //resim:ckpt-exempt lsqRefresh per-cycle scratch: older stores seen so far
 	// icPerfect/dcPerfect devirtualize the dominant cache model: when the
 	// configured model is cache.Perfect the per-access interface dispatch
 	// becomes an inlinable direct call.
+	//resim:ckpt-exempt devirtualization mirrors installed by New; cache state restores through the Model interface
 	icPerfect *cache.Perfect
-	dcPerfect *cache.Perfect
+	dcPerfect *cache.Perfect //resim:ckpt-exempt devirtualization mirror installed by New
 	// prodPtr mirrors the rename table with the producer's reorder-buffer
 	// entry, letting dispatch register a consumer without a search. Only
 	// meaningful for registers whose rename entry names a producer.
-	prodPtr [isa.NumRegs]*robEntry
+	prodPtr [isa.NumRegs]*robEntry //resim:derived
 }
 
 // wbItem schedules one issued instruction's completion broadcast.

@@ -1,0 +1,77 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check, a Pass
+// hands it one type-checked package, and diagnostics flow back through
+// Pass.Report. The repository's module is deliberately stdlib-only, so the
+// resimvet analyzers are written against this interface instead; the shapes
+// match the upstream API closely enough that an analyzer moves to the real
+// framework by changing one import path.
+//
+// Only the subset resimvet needs exists: there are no facts, no Requires
+// graph and no SSA — every ReSim invariant the suite enforces is package-
+// local and syntax- or types-driven.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check: a name for diagnostics and the inventory
+// table, a Doc string whose first line summarizes the enforced invariant,
+// and a Run function applied to one package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -json output and the
+	// docs/STATIC_ANALYSIS.md inventory. It must be a valid Go identifier.
+	Name string
+
+	// Doc documents the invariant. The first line is the one-sentence
+	// summary the multichecker and the inventory diff use.
+	Doc string
+
+	// Run applies the check to one package. The returned value is unused
+	// (kept for upstream-API symmetry); diagnostics are delivered through
+	// pass.Report.
+	Run func(*Pass) (any, error)
+}
+
+// String returns the analyzer's name.
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a single type-checked package and
+// the sink its diagnostics go to. Unlike the upstream API there are no
+// facts: passes are independent.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+
+	// Fset maps token positions in Files to file/line/column.
+	Fset *token.FileSet
+
+	// Files are the package's parsed source files, comments included.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo carries the type-checker's expression types, object uses
+	// and selections for Files.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills it in before Run.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: a position inside the analyzed package and a
+// message stating the violated invariant (and, by convention, the escape
+// hatch that deliberately waives it).
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

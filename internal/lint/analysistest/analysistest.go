@@ -1,0 +1,270 @@
+// Package analysistest runs a resimvet analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract.
+//
+// Fixture packages live under <testdata>/src/<import-path>, GOPATH-style,
+// and are type-checked under exactly that import path — so an analyzer
+// whose scope is hardcoded to repro/internal/core can be exercised by a
+// fixture package at testdata/src/repro/internal/core. Imports resolve
+// testdata-first (letting fixtures stub module packages such as
+// repro/internal/obs) and fall back to standard-library export data from
+// the build cache.
+//
+// Expectations are trailing comments of the form
+//
+//	expr // want `regexp` `another`
+//
+// Each pattern must match one diagnostic reported on that line; any
+// unmatched diagnostic or unmet expectation fails the test.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// TestData returns the caller's testdata directory, the conventional root
+// for fixture packages.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads each fixture package under dir/src/<path>, applies the
+// analyzer, and reports every mismatch between its diagnostics and the
+// fixtures' // want expectations through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	l := &loader{
+		dir:  dir,
+		fset: fset,
+		memo: map[string]*pkgInfo{},
+		std:  load.NewGCImporter(fset, (&stdExports{files: map[string]string{}}).exportFor),
+	}
+	for _, path := range paths {
+		p, err := l.load(path)
+		if err != nil {
+			t.Errorf("load %s: %v", path, err)
+			continue
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     p.files,
+			Pkg:       p.pkg,
+			TypesInfo: p.info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Errorf("%s: run on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkExpectations(t, fset, p.files, diags)
+	}
+}
+
+// expectation is one compiled // want pattern anchored to a file and line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+var (
+	wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+	// quoted matches one backquoted or double-quoted Go string literal.
+	quoted = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+)
+
+// checkExpectations diffs reported diagnostics against the // want
+// comments in files, in both directions.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var exps []*expectation
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quoted.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					exps = append(exps, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, e := range exps {
+			if !e.met && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(d.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, e := range exps {
+		if !e.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// pkgInfo is one loaded fixture package.
+type pkgInfo struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+	err   error
+}
+
+// loader type-checks fixture packages from dir/src, importing sibling
+// fixtures recursively and everything else from std export data.
+type loader struct {
+	dir  string
+	fset *token.FileSet
+	memo map[string]*pkgInfo
+	std  types.ImporterFrom
+}
+
+// load parses and type-checks the fixture package at the given import
+// path, memoizing the result.
+func (l *loader) load(path string) (*pkgInfo, error) {
+	if p, ok := l.memo[path]; ok {
+		return p, p.err
+	}
+	p := &pkgInfo{}
+	l.memo[path] = p
+
+	srcDir := filepath.Join(l.dir, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		p.err = err
+		return p, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		p.err = fmt.Errorf("no fixture sources in %s", srcDir)
+		return p, p.err
+	}
+	files, err := load.ParseFiles(l.fset, srcDir, names)
+	if err != nil {
+		p.err = err
+		return p, err
+	}
+	pkg, info, err := load.Check(l.fset, path, files, l)
+	if err != nil {
+		p.err = err
+		return p, err
+	}
+	p.files, p.pkg, p.info = files, pkg, info
+	return p, nil
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: fixture packages first, then
+// standard-library export data.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if st, err := os.Stat(filepath.Join(l.dir, "src", filepath.FromSlash(path))); err == nil && st.IsDir() {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// stdExports resolves standard-library import paths to build-cache export
+// files, shelling out to `go list -export` once per unseen path; -deps
+// pre-populates the cache with each package's transitive closure.
+type stdExports struct {
+	mu    sync.Mutex
+	files map[string]string
+}
+
+// exportFor returns the export-data file for one import path.
+func (s *stdExports) exportFor(path string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[path]; ok {
+		return f, nil
+	}
+	var stderr bytes.Buffer
+	cmd := exec.Command("go", "list", "-e", "-export", "-deps", "-json=ImportPath,Export", path)
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp struct{ ImportPath, Export string }
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return "", fmt.Errorf("go list -export %s: decode: %v", path, err)
+		}
+		if lp.Export != "" {
+			s.files[lp.ImportPath] = lp.Export
+		}
+	}
+	f, ok := s.files[path]
+	if !ok {
+		return "", fmt.Errorf("no export data for %q", path)
+	}
+	return f, nil
+}

@@ -1,0 +1,296 @@
+// Package ckptcomplete implements the resimvet analyzer that keeps
+// checkpoint capture exhaustive.
+//
+// ReSim's checkpoint/resume contract is byte-identical results: a run
+// restored from a checkpoint must be indistinguishable from one that never
+// stopped. That only holds while Checkpoint/Restore (and the derived-state
+// rebuild) cover every field of the engine — a new field that is neither
+// serialized nor rebuilt resumes as its zero value and silently skews
+// statistics. This analyzer closes that hole at compile time: for every
+// struct participating in a checkpoint convention, each field must be
+// accounted for in one of three ways:
+//
+//   - captured in the capture method AND reinstalled in the restore
+//     function (ordinary serialized state);
+//   - annotated //resim:derived and rebuilt in rebuildDerived or cleared
+//     in clearDerived (state that is a pure function of serialized state);
+//   - annotated //resim:ckpt-exempt <reason> (immutable configuration,
+//     per-cycle scratch — state a restore legitimately reconstructs
+//     another way).
+//
+// Two conventions are recognized, matching the repository's two shapes:
+//
+//   - a Checkpoint method paired with a package-level Restore function
+//     returning the type (core.Engine);
+//   - a State/SetState method pair (bpred.Predictor).
+package ckptcomplete
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer checks that every field of a checkpoint-captured struct is
+// serialized, rebuilt as derived state, or explicitly exempted.
+var Analyzer = &analysis.Analyzer{
+	Name: "ckptcomplete",
+	Doc: "every field of a checkpointed struct must be captured+restored, //resim:derived, or //resim:ckpt-exempt\n" +
+		"\nA field outside all three buckets resumes as its zero value and\nbreaks byte-identical resume; see docs/STATIC_ANALYSIS.md#ckptcomplete.",
+	Run: run,
+}
+
+// Directive names for the two annotations the analyzer honors.
+const (
+	DirectiveDerived = "derived"
+	DirectiveExempt  = "ckpt-exempt"
+)
+
+// convention ties one struct type to the functions that capture, restore
+// and rebuild it.
+type convention struct {
+	typ     *types.Named
+	capture *ast.FuncDecl // Checkpoint or State method body
+	restore *ast.FuncDecl // Restore function or SetState method body
+	derived []*ast.FuncDecl
+	// names used in diagnostics
+	captureName, restoreName, derivedName string
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	decls := funcDecls(pass)
+
+	var convs []*convention
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			continue
+		}
+		if c := checkpointConvention(pass, decls, named); c != nil {
+			convs = append(convs, c)
+		}
+		if c := stateConvention(decls, named); c != nil {
+			convs = append(convs, c)
+		}
+	}
+
+	for _, c := range convs {
+		checkConvention(pass, c)
+	}
+	return nil, nil
+}
+
+// funcDecls maps each declared function object to its syntax.
+func funcDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	m := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				m[fn] = fd
+			}
+		}
+	}
+	return m
+}
+
+// method returns the declared method of named with the given name, if any.
+func method(named *types.Named, name string) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// checkpointConvention matches the core.Engine shape: a Checkpoint method
+// plus a package-level Restore function whose results include the type.
+// rebuildDerived and clearDerived methods, when present, define the
+// derived bucket.
+func checkpointConvention(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, named *types.Named) *convention {
+	ckpt := method(named, "Checkpoint")
+	if ckpt == nil {
+		return nil
+	}
+	restoreObj, ok := pass.Pkg.Scope().Lookup("Restore").(*types.Func)
+	if !ok || !resultsInclude(restoreObj, named) {
+		return nil
+	}
+	c := &convention{
+		typ: named, capture: decls[ckpt], restore: decls[restoreObj],
+		captureName: "Checkpoint", restoreName: "Restore", derivedName: "rebuildDerived/clearDerived",
+	}
+	for _, name := range []string{"rebuildDerived", "clearDerived"} {
+		if m := method(named, name); m != nil {
+			if fd := decls[m]; fd != nil {
+				c.derived = append(c.derived, fd)
+			}
+		}
+	}
+	if c.capture == nil || c.restore == nil {
+		return nil
+	}
+	return c
+}
+
+// stateConvention matches the bpred.Predictor shape: a State/SetState
+// method pair on one receiver.
+func stateConvention(decls map[*types.Func]*ast.FuncDecl, named *types.Named) *convention {
+	st, set := method(named, "State"), method(named, "SetState")
+	if st == nil || set == nil {
+		return nil
+	}
+	c := &convention{
+		typ: named, capture: decls[st], restore: decls[set],
+		captureName: "State", restoreName: "SetState", derivedName: "",
+	}
+	if c.capture == nil || c.restore == nil {
+		return nil
+	}
+	return c
+}
+
+// resultsInclude reports whether fn returns named or *named.
+func resultsInclude(fn *types.Func, named *types.Named) bool {
+	results := fn.Type().(*types.Signature).Results()
+	for i := 0; i < results.Len(); i++ {
+		t := results.At(i).Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if t == named.Obj().Type() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkConvention applies the three-bucket rule to every field of c.typ.
+func checkConvention(pass *analysis.Pass, c *convention) {
+	st := c.typ.Underlying().(*types.Struct)
+	fields := make(map[*types.Var]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i)] = true
+	}
+
+	captured := referencedFields(pass, c.capture, fields)
+	restored := referencedFields(pass, c.restore, fields)
+	rebuilt := map[*types.Var]bool{}
+	for _, fd := range c.derived {
+		for v := range referencedFields(pass, fd, fields) {
+			rebuilt[v] = true
+		}
+	}
+
+	typeName := c.typ.Obj().Name()
+	for _, af := range structFieldSyntax(pass, c.typ) {
+		for _, nameIdent := range af.names {
+			fv, ok := pass.TypesInfo.Defs[nameIdent].(*types.Var)
+			if !ok || nameIdent.Name == "_" {
+				continue
+			}
+			derivedAnn := lintutil.HasDirective(af.field.Doc, DirectiveDerived) || lintutil.HasDirective(af.field.Comment, DirectiveDerived)
+			exemptAnn := lintutil.HasDirective(af.field.Doc, DirectiveExempt) || lintutil.HasDirective(af.field.Comment, DirectiveExempt)
+			switch {
+			case exemptAnn:
+				// Deliberately waived, reason on the annotation.
+			case derivedAnn:
+				if c.derivedName == "" {
+					pass.Reportf(nameIdent.Pos(), "%s.%s is annotated //resim:%s but %s has no rebuildDerived/clearDerived method to rebuild it",
+						typeName, nameIdent.Name, DirectiveDerived, typeName)
+				} else if !rebuilt[fv] {
+					pass.Reportf(nameIdent.Pos(), "%s.%s is annotated //resim:%s but %s never touches it; a restore would leave it stale",
+						typeName, nameIdent.Name, DirectiveDerived, c.derivedName)
+				}
+			case captured[fv] && restored[fv]:
+				// Serialized state, both directions present.
+			default:
+				missing := "neither captured in " + c.captureName + " nor restored in " + c.restoreName
+				if captured[fv] && !restored[fv] {
+					missing = "captured in " + c.captureName + " but never restored in " + c.restoreName
+				} else if restored[fv] && !captured[fv] {
+					missing = "restored in " + c.restoreName + " but never captured in " + c.captureName
+				}
+				pass.Reportf(nameIdent.Pos(), "%s.%s is %s; a resumed run would zero it — serialize it, or annotate //resim:%s (and rebuild it) or //resim:%s <reason>",
+					typeName, nameIdent.Name, missing, DirectiveDerived, DirectiveExempt)
+			}
+		}
+	}
+}
+
+// astField pairs one struct-field syntax node with its name identifiers.
+type astField struct {
+	field *ast.Field
+	names []*ast.Ident
+}
+
+// structFieldSyntax finds the declaration of named's struct type and
+// returns its fields with their comment groups attached. Embedded fields
+// are skipped: they are types, not state this struct owns.
+func structFieldSyntax(pass *analysis.Pass, named *types.Named) []*astField {
+	var out []*astField
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || pass.TypesInfo.Defs[ts.Name] != named.Obj() {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, f := range st.Fields.List {
+					if len(f.Names) == 0 {
+						continue // embedded
+					}
+					out = append(out, &astField{field: f, names: f.Names})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// referencedFields walks one function body and returns which of the given
+// struct fields it selects, through any expression of the struct's type
+// (receiver, local, or a value returned by a constructor).
+func referencedFields(pass *analysis.Pass, fd *ast.FuncDecl, fields map[*types.Var]bool) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	if fd == nil || fd.Body == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		se, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		sel := pass.TypesInfo.Selections[se]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return true
+		}
+		if v, ok := sel.Obj().(*types.Var); ok && fields[v] {
+			out[v] = true
+		}
+		return true
+	})
+	return out
+}

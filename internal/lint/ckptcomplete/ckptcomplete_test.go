@@ -1,0 +1,16 @@
+package ckptcomplete_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/ckptcomplete"
+)
+
+// TestCkptComplete checks the three-bucket field rule under both
+// conventions, annotation handling, and silence for convention-free types.
+func TestCkptComplete(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ckptcomplete.Analyzer,
+		"repro/internal/ckpt",
+	)
+}

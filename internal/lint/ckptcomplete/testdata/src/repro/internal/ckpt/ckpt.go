@@ -1,0 +1,74 @@
+// Package ckpt is ckptcomplete fixture data exercising both recognized
+// conventions: Checkpoint/Restore and State/SetState.
+package ckpt
+
+// Snapshot is the serialized checkpoint form.
+type Snapshot struct {
+	Now      uint64
+	CapOnly  int
+	RestOnly int
+}
+
+// Engine matches the Checkpoint method + package-level Restore convention.
+type Engine struct {
+	now      uint64 // captured and restored: fine
+	capOnly  int    // want `captured in Checkpoint but never restored in Restore`
+	restOnly int    // want `restored in Restore but never captured in Checkpoint`
+	orphan   int    // want `neither captured in Checkpoint nor restored in Restore`
+
+	//resim:derived
+	readyQ []int
+
+	//resim:derived
+	staleQ []int // want `rebuildDerived/clearDerived never touches it`
+
+	cfg int //resim:ckpt-exempt immutable configuration, fixture waiver
+}
+
+// Checkpoint captures the serialized fields.
+func (e *Engine) Checkpoint() Snapshot {
+	return Snapshot{Now: e.now, CapOnly: e.capOnly}
+}
+
+// Restore rebuilds an engine from a snapshot.
+func Restore(cp Snapshot) *Engine {
+	e := new(Engine)
+	e.now = cp.Now
+	e.restOnly = cp.RestOnly
+	e.rebuildDerived()
+	return e
+}
+
+// rebuildDerived reconstructs derived state after a restore.
+func (e *Engine) rebuildDerived() {
+	e.readyQ = e.readyQ[:0]
+}
+
+// Pred matches the State/SetState convention.
+type Pred struct {
+	hist uint32
+	lru  uint8 // want `neither captured in State nor restored in SetState`
+
+	//resim:derived
+	cache int // want `has no rebuildDerived/clearDerived method`
+}
+
+// State captures the predictor tables.
+func (p *Pred) State() uint32 { return p.hist }
+
+// SetState restores them.
+func (p *Pred) SetState(v uint32) { p.hist = v }
+
+// Loose has no checkpoint convention; nothing is required of it.
+type Loose struct {
+	anything func()
+	counter  int
+}
+
+// bump references Loose so the fields are exercised without a convention.
+func bump(l *Loose) {
+	l.counter++
+	if l.anything != nil {
+		l.anything()
+	}
+}

@@ -1,0 +1,251 @@
+// Package determinism implements the resimvet analyzer that keeps
+// nondeterminism out of ReSim's result-producing code.
+//
+// The repository's headline guarantee is byte-identical simulation results
+// across resume, requeue, local/remote and telemetry-on/off paths; every
+// equivalence test since the checkpoint PR pins it. That property dies the
+// moment a result path consults a wall clock, the process-seeded global
+// random source, or Go's randomized map iteration order. This analyzer
+// rejects those constructs at compile time in the packages that produce
+// results — internal/core, internal/uarch, internal/stats, internal/sweep —
+// and in the sweepd/jobd wire files (protocol.go, journal.go), whose
+// encodings must be stable enough to diff across runs.
+//
+// The escape hatch is a //resim:nondeterministic-ok <reason> comment on the
+// flagged line or the line above it, for code whose output provably cannot
+// depend on the nondeterminism (an order-insensitive set build, a slice of
+// map keys that is sorted immediately after).
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer flags wall-clock reads, global random sources and
+// order-dependent map iteration in result-producing packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now, the global math/rand source and order-dependent map ranges in result-producing packages\n" +
+		"\nResult-producing code must be a pure function of configuration and\ninput trace; see docs/STATIC_ANALYSIS.md#determinism.",
+	Run: run,
+}
+
+// Directive is the analyzer's escape-hatch annotation name.
+const Directive = "nondeterministic-ok"
+
+// fullPackages are analyzed file by file in their entirety.
+var fullPackages = map[string]bool{
+	"repro/internal/core":  true,
+	"repro/internal/uarch": true,
+	"repro/internal/stats": true,
+	"repro/internal/sweep": true,
+}
+
+// wireFiles lists, per package, the files carrying wire or journal
+// encodings; only those files are in scope for these packages (a
+// coordinator may time a dispatch; a wire encoder may not).
+var wireFiles = map[string]map[string]bool{
+	"repro/internal/sweepd": {"protocol.go": true, "journal.go": true},
+	"repro/internal/jobd":   {"protocol.go": true, "journal.go": true},
+}
+
+// bannedFuncs maps fully qualified function names to the reason they are
+// banned in scope.
+var bannedFuncs = map[string]string{
+	"time.Now":   "reads the wall clock",
+	"time.Since": "reads the wall clock",
+	"time.Until": "reads the wall clock",
+}
+
+// randConstructors are the math/rand functions that build explicitly
+// seeded sources; everything else package-level in math/rand, math/rand/v2
+// and crypto/rand draws on process-global or hardware entropy.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	inFull := fullPackages[pass.Pkg.Path()]
+	wires := wireFiles[pass.Pkg.Path()]
+	if !inFull && wires == nil {
+		return nil, nil
+	}
+	dirs := lintutil.ParseDirectives(pass.Fset, pass.Files)
+
+	for _, file := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(file.Package).Filename)
+		if lintutil.IsTestFile(pass.Fset, file.Package) {
+			continue
+		}
+		if !inFull && !wires[name] {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, dirs, n)
+			case *ast.RangeStmt:
+				checkRange(pass, dirs, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCall flags calls to wall-clock and global-entropy functions.
+func checkCall(pass *analysis.Pass, dirs *lintutil.Directives, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Only package-level functions: methods on an explicitly seeded
+	// *rand.Rand are the approved pattern.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	var reason string
+	switch pkg := fn.Pkg().Path(); pkg {
+	case "time":
+		reason = bannedFuncs["time."+fn.Name()]
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			reason = "draws on the process-global random source"
+		}
+	case "crypto/rand":
+		reason = "draws on hardware entropy"
+	}
+	if reason == "" {
+		return
+	}
+	if dirs.Allows(pass.Fset, call.Pos(), Directive) {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to %s.%s %s; results must be a pure function of config and trace (or annotate //resim:%s <reason>)",
+		fn.Pkg().Path(), fn.Name(), reason, Directive)
+}
+
+// checkRange flags ranges over maps whose body is order-dependent.
+func checkRange(pass *analysis.Pass, dirs *lintutil.Directives, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if orderInsensitiveBody(pass, rng.Body.List) {
+		return
+	}
+	if dirs.Allows(pass.Fset, rng.For, Directive) {
+		return
+	}
+	pass.Reportf(rng.For, "range over map %s (%s) has an order-dependent body and map iteration order is randomized; iterate sorted keys or annotate //resim:%s <reason>",
+		types.ExprString(rng.X), tv.Type, Directive)
+}
+
+// orderInsensitiveBody reports whether every statement is one whose effect
+// cannot depend on iteration order: writes keyed into maps, map deletions,
+// and if statements (with call-free conditions) guarding only such writes.
+// Anything else — appends, sends, plain assignments, calls — is assumed
+// order-dependent.
+func orderInsensitiveBody(pass *analysis.Pass, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if s.Tok != token.ASSIGN {
+				return false
+			}
+			for _, lhs := range s.Lhs {
+				if !isMapIndexOrBlank(pass, lhs) {
+					return false
+				}
+			}
+			for _, rhs := range s.Rhs {
+				if containsCall(rhs) {
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if !isMapIndexOrBlank(pass, s.X) {
+				return false
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "delete" || pass.TypesInfo.Uses[id] != types.Universe.Lookup("delete") {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil || containsCall(s.Cond) {
+				return false
+			}
+			if !orderInsensitiveBody(pass, s.Body.List) {
+				return false
+			}
+			switch e := s.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !orderInsensitiveBody(pass, e.List) {
+					return false
+				}
+			default:
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isMapIndexOrBlank reports whether expr is the blank identifier or an
+// index into a map.
+func isMapIndexOrBlank(pass *analysis.Pass, expr ast.Expr) bool {
+	if id, ok := expr.(*ast.Ident); ok && id.Name == "_" {
+		return true
+	}
+	ix, ok := expr.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[ix.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// containsCall reports whether the expression contains any function call
+// (whose evaluation per iteration could be order-sensitive).
+func containsCall(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

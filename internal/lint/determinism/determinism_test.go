@@ -1,0 +1,18 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/determinism"
+)
+
+// TestDeterminism checks positive hits in the scoped package and wire
+// file, waiver suppression, and silence outside the scope.
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer,
+		"repro/internal/core",
+		"repro/internal/sweepd",
+		"repro/internal/other",
+	)
+}

@@ -1,0 +1,63 @@
+// Package core is determinism-analyzer fixture data; the import path
+// repro/internal/core puts the whole package in scope.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock exercises the banned wall-clock reads.
+func Clock() (int64, time.Duration) {
+	start := time.Now()                        // want `call to time\.Now reads the wall clock`
+	return start.UnixNano(), time.Since(start) // want `call to time\.Since reads the wall clock`
+}
+
+// GlobalRand draws on the process-global random source.
+func GlobalRand() int {
+	return rand.Intn(6) // want `draws on the process-global random source`
+}
+
+// SeededRand is the approved pattern: methods on an explicitly seeded
+// *rand.Rand are not flagged, and neither are the constructors.
+func SeededRand() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6)
+}
+
+// CollectKeys ranges over a map with an order-dependent body (append).
+func CollectKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m \(map\[string\]int\) has an order-dependent body`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectKeysOK is the same loop with the waiver spelled out.
+func CollectKeysOK(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//resim:nondeterministic-ok the collected keys are sorted on the next line
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Invert only writes keyed into a map: order-insensitive, not flagged.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// WaivedClock shows the escape hatch on a banned call.
+func WaivedClock() time.Time {
+	//resim:nondeterministic-ok fixture exercising the waiver
+	return time.Now()
+}

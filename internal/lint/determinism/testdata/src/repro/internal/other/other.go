@@ -1,0 +1,8 @@
+// Package other is outside the determinism scope entirely; nothing here
+// is flagged.
+package other
+
+import "time"
+
+// Now is fine in a non-result-producing package.
+func Now() time.Time { return time.Now() }

@@ -1,0 +1,10 @@
+// Package sweepd is determinism fixture data: only the wire files
+// protocol.go and journal.go are in scope for this package.
+package sweepd
+
+import "time"
+
+// Stamp shows wire files are checked.
+func Stamp() time.Time {
+	return time.Now() // want `call to time\.Now reads the wall clock`
+}

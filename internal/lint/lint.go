@@ -1,0 +1,28 @@
+// Package lint is the registry of ReSim's custom static analyzers — the
+// single list cmd/resimvet drives and cmd/doclint diffs against the
+// analyzer inventory in docs/STATIC_ANALYSIS.md.
+//
+// Each analyzer encodes one cross-layer invariant the repository otherwise
+// enforces only by convention or at runtime; see the package docs under
+// internal/lint/... and docs/STATIC_ANALYSIS.md for the contracts and
+// their escape hatches.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/ckptcomplete"
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/metriclint"
+	"repro/internal/lint/wiresafe"
+)
+
+// Analyzers returns the full resimvet suite, in stable (alphabetical)
+// order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ckptcomplete.Analyzer,
+		determinism.Analyzer,
+		metriclint.Analyzer,
+		wiresafe.Analyzer,
+	}
+}

@@ -1,0 +1,106 @@
+// Package lintutil holds the small pieces the resimvet analyzers share:
+// the //resim: escape-hatch directive conventions and test-file detection.
+//
+// Escape hatches are deliberate, reviewable waivers. Each analyzer
+// documents exactly one directive (see docs/STATIC_ANALYSIS.md): a line
+// comment of the form
+//
+//	//resim:<name> <reason>
+//
+// suppresses that analyzer's diagnostics for the code on the same source
+// line or the line directly below the comment. The reason text is free
+// form but expected — a waiver that cannot say why it exists should be a
+// fix instead.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces every resimvet annotation.
+const directivePrefix = "//resim:"
+
+// Directives indexes a package's //resim: comments by file and line for
+// position-based suppression lookups.
+type Directives struct {
+	// byLine maps filename -> line -> directive names present there.
+	byLine map[string]map[int][]string
+}
+
+// ParseDirectives collects every //resim: comment in files.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{byLine: map[string]map[int][]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := directiveName(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := d.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					d.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], name)
+			}
+		}
+	}
+	return d
+}
+
+// Allows reports whether directive name covers pos: the comment sits on the
+// same line (trailing) or on the line directly above (preceding).
+func (d *Directives) Allows(fset *token.FileSet, pos token.Pos, name string) bool {
+	p := fset.Position(pos)
+	for _, got := range d.byLine[p.Filename][p.Line] {
+		if got == name {
+			return true
+		}
+	}
+	for _, got := range d.byLine[p.Filename][p.Line-1] {
+		if got == name {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveName extracts the directive name from one comment's text:
+// "//resim:derived", "//resim:ckpt-exempt rebuilt by New" yield "derived"
+// and "ckpt-exempt". Non-directive comments report false.
+func directiveName(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return "", false
+	}
+	name, _, _ := strings.Cut(rest, " ")
+	name = strings.TrimSpace(name)
+	return name, name != ""
+}
+
+// HasDirective reports whether any comment in the group carries the named
+// directive. Use it for declaration-attached groups (a struct field's Doc
+// or trailing Comment), where position arithmetic would be fragile.
+func HasDirective(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if got, ok := directiveName(c.Text); ok && got == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. The analyzers
+// skip reporting in tests: tests may freely use wall clocks and map order —
+// determinism of simulation results is their assertion, not their
+// obligation.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

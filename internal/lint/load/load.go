@@ -1,0 +1,289 @@
+// Package load turns `go list` package patterns into type-checked packages
+// for the resimvet analyzers, using nothing beyond the standard library and
+// the go toolchain the module already requires.
+//
+// The strategy mirrors what golang.org/x/tools/go/packages does in
+// LoadTypes mode: one `go list -e -export -deps -json` invocation yields
+// every target package and its transitive dependencies in dependency order,
+// each dependency carrying the build cache's up-to-date export-data file.
+// Every non-standard package is parsed and type-checked from source (the
+// analyzers need syntax, and module packages must never be loaded twice —
+// an export-data copy would carry distinct named types); standard-library
+// dependencies, which cannot reference module types, are imported from
+// export data through go/importer's gc machinery. All packages share one
+// token.FileSet and one importer instance, which keeps named-type identity
+// consistent across source- and export-loaded packages.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// A Package is one type-checked target package: parsed syntax plus the
+// type-checker's results, ready to hand to an analysis.Pass.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *listError
+	DepsErrors []*listError
+}
+
+// listError is go list's package error record.
+type listError struct {
+	Pos string
+	Err string
+}
+
+func (e *listError) String() string {
+	if e.Pos != "" {
+		return e.Pos + ": " + e.Err
+	}
+	return e.Err
+}
+
+// Packages loads every package matched by patterns (for example "./...")
+// and returns them type-checked, in dependency order, with the shared file
+// set. Dependencies outside the patterns are consumed as export data only
+// and are not returned.
+func Packages(patterns ...string) ([]*Package, *token.FileSet, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,Imports,ImportMap,Export,Standard,DepOnly,Incomplete,Error,DepsErrors",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var listed []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list: decode output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	var loadErrs []string
+	exports := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Error != nil {
+			loadErrs = append(loadErrs, fmt.Sprintf("%s: %s", lp.ImportPath, lp.Error))
+		}
+		for _, de := range lp.DepsErrors {
+			loadErrs = append(loadErrs, de.String())
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	if loadErrs != nil {
+		return nil, nil, fmt.Errorf("go list reported errors:\n  %s", strings.Join(dedup(loadErrs), "\n  "))
+	}
+
+	fset := token.NewFileSet()
+	gc := NewGCImporter(fset, func(path string) (string, error) {
+		file, ok := exports[path]
+		if !ok {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return file, nil
+	})
+
+	var (
+		pkgs   []*Package
+		byPath = make(map[string]*types.Package)
+	)
+	for _, lp := range listed {
+		// go list -deps emits dependencies before dependents. Every
+		// non-standard package is type-checked from source — module
+		// dependencies included, even when only some packages were
+		// requested — because a module package imported from export data
+		// would carry its own copies of named types and break identity
+		// with the source-checked ones. Standard-library packages never
+		// reference module types, so they alone come from export data.
+		if lp.Standard {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+		}
+		files, err := ParseFiles(fset, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, nil, err
+		}
+		res := &Resolver{ImportMap: lp.ImportMap, Local: byPath, Fallback: gc}
+		pkg, info, err := Check(fset, lp.ImportPath, files, res)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		byPath[lp.ImportPath] = pkg
+		if lp.DepOnly {
+			continue // checked for identity only; not a requested target
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: lp.ImportPath,
+			Name:       lp.Name,
+			Dir:        lp.Dir,
+			Files:      files,
+			Types:      pkg,
+			TypesInfo:  info,
+		})
+	}
+	return pkgs, fset, nil
+}
+
+// ParseFiles parses the named files (relative to dir unless absolute) with
+// comments, which the analyzers need for the //resim: escape-hatch
+// annotations. The vet-mode driver shares it for unit config file lists.
+func ParseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Check type-checks one package's parsed files, resolving imports through
+// imp, and returns the package with a fully populated types.Info. Soft
+// errors are fatal: analyzers must only ever see well-typed packages.
+func Check(fset *token.FileSet, path string, files []*ast.File, imp types.ImporterFrom) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// A Resolver is the importer handed to the type-checker for one package:
+// vendor-style remappings first, then already source-checked packages, then
+// the shared export-data importer.
+type Resolver struct {
+	// ImportMap rewrites source-level import paths to canonical ones (go
+	// list's ImportMap; nil when the package has no remappings).
+	ImportMap map[string]string
+
+	// Local holds packages already type-checked from source this run,
+	// keyed by canonical path. Hits keep named-type identity aligned
+	// between source-checked dependents and dependencies.
+	Local map[string]*types.Package
+
+	// Fallback imports everything else, normally from export data.
+	Fallback types.ImporterFrom
+}
+
+// Import implements types.Importer.
+func (r *Resolver) Import(path string) (*types.Package, error) {
+	return r.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (r *Resolver) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := r.ImportMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := r.Local[path]; ok {
+		return pkg, nil
+	}
+	return r.Fallback.ImportFrom(path, dir, mode)
+}
+
+// NewGCImporter returns an importer that reads gc export data, locating
+// each package's export file through exportFor (a build-cache path from `go
+// list -export`, or a vet PackageFile entry). One instance must be shared
+// by every import in a load so packages unify.
+func NewGCImporter(fset *token.FileSet, exportFor func(path string) (string, error)) types.ImporterFrom {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, err := exportFor(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+}
+
+// dedup removes duplicate strings preserving first-seen order (go list
+// repeats dependency errors once per importer).
+func dedup(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package metriclint implements the resimvet analyzer that validates
+// metric registrations against internal/obs at compile time.
+//
+// The observability layer exposes every family through Prometheus text
+// exposition, and cmd/doclint diffs the documented inventory against what
+// the code registers — but both only see names that are actually
+// registered at runtime. This analyzer checks the call sites themselves:
+// family names and label names passed to the obs.Registry constructors
+// (Counter, CounterVec, Gauge, GaugeVec, Histogram, HistogramVec,
+// CounterFunc, GaugeFunc) must be compile-time string constants, valid
+// Prometheus identifiers, and unique across a package's registration
+// sites — a duplicated name would silently alias two series into one
+// family.
+//
+// The escape hatch is //resim:metric-ok <reason> on the registration
+// line, for the rare dynamic-but-validated name.
+package metriclint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer checks obs metric registrations: literal, valid, unique names.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriclint",
+	Doc: "metric family and label names passed to internal/obs must be literal, valid Prometheus identifiers, unique per package\n" +
+		"\nKeeps the /metrics contract auditable from source; see\ndocs/STATIC_ANALYSIS.md#metriclint.",
+	Run: run,
+}
+
+// Directive is the analyzer's escape-hatch annotation name.
+const Directive = "metric-ok"
+
+// obsPath is the metrics registry package whose constructors are checked.
+const obsPath = "repro/internal/obs"
+
+// constructors maps obs.Registry method names to the index where label
+// names start (-1 when the method takes no labels). The family name is
+// always the first argument.
+var constructors = map[string]int{
+	"Counter":      -1,
+	"Gauge":        -1,
+	"Histogram":    -1,
+	"CounterFunc":  -1,
+	"GaugeFunc":    -1,
+	"CounterVec":   2,
+	"GaugeVec":     2,
+	"HistogramVec": 3,
+}
+
+// metricName and labelName are the Prometheus identifier grammars.
+var (
+	metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() == obsPath {
+		// The registry's own implementation necessarily handles names as
+		// runtime values.
+		return nil, nil
+	}
+	dirs := lintutil.ParseDirectives(pass.Fset, pass.Files)
+	firstSite := map[string]token.Pos{}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			labelStart, ok := registryCall(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if lintutil.IsTestFile(pass.Fset, call.Pos()) || dirs.Allows(pass.Fset, call.Pos(), Directive) {
+				return true
+			}
+			checkName(pass, dirs, call, firstSite)
+			if labelStart >= 0 {
+				checkLabels(pass, call, labelStart)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// registryCall reports whether the call is an obs.Registry constructor,
+// and at which argument index its label names start (-1 for none).
+func registryCall(pass *analysis.Pass, call *ast.CallExpr) (labelStart int, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return 0, false
+	}
+	fn, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+		return 0, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return 0, false
+	}
+	rt := recv.Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed || named.Obj().Name() != "Registry" {
+		return 0, false
+	}
+	labelStart, ok = constructors[fn.Name()]
+	return labelStart, ok
+}
+
+// checkName validates the family-name argument and records the site for
+// the per-package uniqueness check.
+func checkName(pass *analysis.Pass, dirs *lintutil.Directives, call *ast.CallExpr, firstSite map[string]token.Pos) {
+	arg := call.Args[0]
+	name, ok := constString(pass, arg)
+	if !ok {
+		pass.Reportf(arg.Pos(), "metric family name must be a compile-time string constant so the exposition surface is auditable from source (or annotate //resim:%s <reason>)", Directive)
+		return
+	}
+	if !metricName.MatchString(name) {
+		pass.Reportf(arg.Pos(), "metric family name %q is not a valid Prometheus identifier (%s)", name, metricName)
+		return
+	}
+	if prev, dup := firstSite[name]; dup {
+		pass.Reportf(arg.Pos(), "metric family %q already registered at %s; duplicate registrations alias two series into one family", name, pass.Fset.Position(prev))
+		return
+	}
+	firstSite[name] = arg.Pos()
+}
+
+// checkLabels validates the variadic label-name arguments.
+func checkLabels(pass *analysis.Pass, call *ast.CallExpr, start int) {
+	if call.Ellipsis.IsValid() {
+		pass.Reportf(call.Ellipsis, "label names passed as a slice cannot be validated; spell them out as literals")
+		return
+	}
+	for _, arg := range call.Args[start:] {
+		label, ok := constString(pass, arg)
+		if !ok {
+			pass.Reportf(arg.Pos(), "metric label name must be a compile-time string constant")
+			continue
+		}
+		if !labelName.MatchString(label) {
+			pass.Reportf(arg.Pos(), "metric label name %q is not a valid Prometheus label (%s)", label, labelName)
+		}
+	}
+}
+
+// constString resolves an expression to its compile-time string value.
+func constString(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

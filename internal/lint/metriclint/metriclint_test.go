@@ -1,0 +1,17 @@
+package metriclint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/metriclint"
+)
+
+// TestMetricLint checks name/label literalness and validity, per-package
+// uniqueness, the //resim:metric-ok waiver, and that non-Registry methods
+// with the same names stay out of scope.
+func TestMetricLint(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), metriclint.Analyzer,
+		"repro/internal/jobd",
+	)
+}

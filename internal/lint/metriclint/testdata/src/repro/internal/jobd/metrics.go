@@ -1,0 +1,29 @@
+// Package jobd is metriclint fixture data registering metric families
+// against the stub obs registry.
+package jobd
+
+import "repro/internal/obs"
+
+// register exercises every diagnostic the analyzer produces.
+func register(r *obs.Registry, dyn string) {
+	r.Counter("jobs_total", "completed jobs")
+	r.Counter(dyn, "dynamic name")                                      // want `must be a compile-time string constant`
+	r.Counter("bad-name", "dashes are invalid")                         // want `not a valid Prometheus identifier`
+	r.Counter("jobs_total", "duplicate family")                         // want `already registered`
+	r.CounterVec("runs_total", "runs by outcome", "outcome", "bad-lbl") // want `not a valid Prometheus label`
+	r.HistogramVec("latency_seconds", "latency", nil, "phase", "0bad")  // want `not a valid Prometheus label`
+	labels := []string{"a"}
+	r.GaugeVec("depth", "queue depth", labels...) // want `cannot be validated`
+	//resim:metric-ok fixture: name validated by the caller
+	r.Counter(dyn, "waived dynamic name")
+	r.GaugeFunc("uptime_seconds", "time since start", func() float64 { return 0 })
+}
+
+// impostor has a Counter method that is not the obs registry.
+type impostor struct{}
+
+// Counter is out of scope for the analyzer.
+func (impostor) Counter(name, help string) {}
+
+// unchecked calls the impostor with an invalid name and stays clean.
+func unchecked(i impostor) { i.Counter("not-a-metric", "ok") }

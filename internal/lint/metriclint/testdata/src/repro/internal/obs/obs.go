@@ -1,0 +1,57 @@
+// Package obs mirrors the real registry's constructor surface so
+// metriclint call sites can be exercised against fixture code; the
+// analyzer matches on the import path and the Registry receiver only.
+package obs
+
+// Registry matches the real obs.Registry constructor set.
+type Registry struct{}
+
+// Counter is a single-series counter family.
+type Counter struct{}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{}
+
+// Gauge is a single-series gauge family.
+type Gauge struct{}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{}
+
+// Histogram is a single-series histogram family.
+type Histogram struct{}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{}
+
+// Counter mirrors the real signature.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// CounterVec mirrors the real signature.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{}
+}
+
+// Gauge mirrors the real signature.
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+// GaugeVec mirrors the real signature.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{}
+}
+
+// Histogram mirrors the real signature.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return &Histogram{}
+}
+
+// HistogramVec mirrors the real signature; labels start at argument 3.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{}
+}
+
+// CounterFunc mirrors the real signature.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {}
+
+// GaugeFunc mirrors the real signature.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {}

@@ -1,0 +1,12 @@
+// Package plain is outside wiresafe's scope; json use here is unchecked.
+package plain
+
+import "encoding/json"
+
+// Untracked has no tags and still passes: plain is not a wire package.
+type Untracked struct {
+	Field func()
+}
+
+// encode ships it anyway.
+func encode(u Untracked) ([]byte, error) { return json.Marshal(u) }

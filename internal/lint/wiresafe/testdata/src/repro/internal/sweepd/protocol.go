@@ -1,0 +1,71 @@
+// Package sweepd is wiresafe fixture data: the import path puts it in
+// scope, and the structs below flow into encoding/json directly or
+// through the writeJSON helper.
+package sweepd
+
+import "encoding/json"
+
+// Message is a direct json.Marshal root.
+type Message struct {
+	Kind     string           `json:"kind"`
+	Untagged int              // want `exported field Untagged has no json tag`
+	Callback func()           `json:"callback"` // want `field Callback is not JSON-serializable`
+	Done     chan int         `json:"-"`
+	hidden   int              `json:"hidden"`   // want `unexported field hidden carries a json tag`
+	Nested   Inner            `json:"nested"`   // want `field Nested is not JSON-serializable \(Inner\.C: channel\)`
+	ByPoint  map[Point]string `json:"by_point"` // want `map key type`
+
+	//resim:wire-ok the sink is resolved to a declarative spec before shipping
+	Sink func() `json:"sink"`
+}
+
+// Inner rides inside Message and is checked transitively.
+type Inner struct {
+	C chan int `json:"c"` // want `field C is not JSON-serializable`
+}
+
+// Point is a struct map key: invalid as a JSON object key.
+type Point struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+}
+
+// send is the direct encoder: Message becomes a wire root here.
+func send(m Message) ([]byte, error) {
+	return json.Marshal(m)
+}
+
+// writeJSON is a thin helper: its any parameter is a JSON sink.
+func writeJSON(v any) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+// Status reaches the encoder only through writeJSON.
+type Status struct {
+	Code int // want `exported field Code has no json tag`
+}
+
+// report ships a Status through the helper.
+func report(s Status) ([]byte, error) {
+	return writeJSON(s)
+}
+
+// Blob owns its encoding: MarshalJSON exempts it wholesale.
+type Blob struct {
+	Raw func() string
+}
+
+// MarshalJSON renders the blob.
+func (Blob) MarshalJSON() ([]byte, error) { return []byte(`{}`), nil }
+
+// shipBlob encodes a Blob.
+func shipBlob(b Blob) ([]byte, error) { return json.Marshal(b) }
+
+// Local never touches the wire; no tags are required of it.
+type Local struct {
+	Fn       func()
+	Untagged int
+}
+
+// keep references Local without serializing it.
+func keep(l Local) int { return l.Untagged }

@@ -1,0 +1,18 @@
+package wiresafe_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/wiresafe"
+)
+
+// TestWiresafe checks root discovery (direct and through helpers),
+// transitive struct reachability, the json:"-" and //resim:wire-ok escape
+// hatches, Marshaler exemption, and silence outside the wire packages.
+func TestWiresafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wiresafe.Analyzer,
+		"repro/internal/sweepd",
+		"repro/internal/plain",
+	)
+}

@@ -287,6 +287,7 @@ func Ratio(x, y uint64) float64 {
 // SortedKeys returns the keys of m in sorted order (test helper).
 func SortedKeys(m map[string]uint64) []string {
 	keys := make([]string, 0, len(m))
+	//resim:nondeterministic-ok the collected keys are sorted on the next line
 	for k := range m {
 		keys = append(keys, k)
 	}

@@ -398,6 +398,7 @@ func sharedTracers(points []Point, par int) map[uintptr]bool {
 		}
 	}
 	var shared map[uintptr]bool
+	//resim:nondeterministic-ok builds an order-insensitive membership set
 	for p, n := range counts {
 		if n > 1 {
 			if shared == nil {
