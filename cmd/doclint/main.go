@@ -23,8 +23,8 @@
 // "" skips the check) and -analyzers the analyzer inventory document
 // (default "docs/STATIC_ANALYSIS.md"; "" skips). Each pkgdir argument
 // names one Go package directory to check for doc comments; with no
-// arguments, ".", "./internal/jobd", "./internal/obs" and the
-// internal/lint tree are checked. Findings are printed one per line as
+// arguments, ".", "./internal/faults", "./internal/jobd",
+// "./internal/obs" and the internal/lint tree are checked. Findings are printed one per line as
 // file:line: message, and the exit status is non-zero if there were any.
 package main
 
@@ -56,7 +56,7 @@ func main() {
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
 		pkgs = []string{
-			".", "./internal/jobd", "./internal/obs",
+			".", "./internal/faults", "./internal/jobd", "./internal/obs",
 			"./internal/lint", "./internal/lint/analysis", "./internal/lint/analysistest",
 			"./internal/lint/ckptcomplete", "./internal/lint/determinism",
 			"./internal/lint/lintutil", "./internal/lint/load",

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/jobd"
 	"repro/internal/obs"
 	"repro/internal/sweepd"
@@ -75,6 +76,7 @@ func main() {
 
 		httpAddr    = flag.String("http", "", "coordinator: also serve the multi-tenant job platform's HTTP API on this address (e.g. :8080)")
 		journalDir  = flag.String("journal", "", "coordinator: job-platform journal directory; submissions, results and checkpoints persist here and are recovered on restart")
+		journalSync = flag.Bool("journal-sync", false, "coordinator: fsync every journal write (specs, results, checkpoints) so acknowledged state survives power loss, not just process crashes; costs one fsync per result")
 		tenantsFile = flag.String("tenants", "", "coordinator: JSON tenants file ({\"tenants\":[{\"name\":...,\"token\":...,\"weight\":...,\"max_in_flight\":...}]}); empty disables authentication")
 		maxQueue    = flag.Int("max-queue", 0, "coordinator: max queued jobs before submissions get 429 (0 = 64)")
 		tenantInFl  = flag.Int("tenant-inflight", 0, "coordinator: default per-tenant queued+running job cap (0 = 8)")
@@ -107,6 +109,7 @@ func main() {
 		runCoordinator(ctx, *listen, traces, budget, lg, jobPlatformConfig{
 			httpAddr:       *httpAddr,
 			journalDir:     *journalDir,
+			journalSync:    *journalSync,
 			tenantsFile:    *tenantsFile,
 			maxQueue:       *maxQueue,
 			tenantInFl:     *tenantInFl,
@@ -138,6 +141,7 @@ func main() {
 type jobPlatformConfig struct {
 	httpAddr       string
 	journalDir     string
+	journalSync    bool
 	tenantsFile    string
 	maxQueue       int
 	tenantInFl     int
@@ -207,6 +211,7 @@ func runCoordinator(ctx context.Context, listen string, traces *tracecache.Cache
 		platform, err = jobd.New(jobd.Options{
 			Pool:              coord,
 			JournalDir:        jp.journalDir,
+			JournalSync:       jp.journalSync,
 			Tenants:           tenants,
 			MaxQueue:          jp.maxQueue,
 			TenantMaxInFlight: jp.tenantInFl,
@@ -261,7 +266,14 @@ func runCoordinator(ctx context.Context, listen string, traces *tracecache.Cache
 }
 
 func runWorker(ctx context.Context, addr string, opts sweepd.WorkerOptions, retry time.Duration, rlg *obs.Logger) {
+	// -retry sets the backoff floor; reconnect attempts then double with
+	// ±25% jitter up to 16× so a fleet of workers orphaned by the same
+	// coordinator crash doesn't hammer it in lockstep when it returns. A
+	// connection that lived long enough to finish the handshake resets the
+	// backoff — the outage is over, the next loss starts fresh.
+	bo := faults.NewBackoff(retry, 16*retry, int64(os.Getpid()))
 	for {
+		start := time.Now()
 		err := sweepd.Work(ctx, addr, opts)
 		if ctx.Err() != nil {
 			rlg.Event("resimd.worker_stopped")
@@ -270,9 +282,14 @@ func runWorker(ctx context.Context, addr string, opts sweepd.WorkerOptions, retr
 		if retry <= 0 {
 			log.Fatalf("resimd: worker: %v", err)
 		}
-		rlg.Warn("resimd.worker_lost_coordinator", "err", err, "retry_in", retry)
+		if time.Since(start) > 16*retry {
+			bo.Reset()
+		}
+		delay := bo.Next()
+		rlg.Warn("resimd.worker_lost_coordinator", "err", err,
+			"attempt", bo.Attempt(), "retry_in", delay)
 		select {
-		case <-time.After(retry):
+		case <-time.After(delay):
 		case <-ctx.Done():
 			rlg.Event("resimd.worker_stopped")
 			return

@@ -1,0 +1,59 @@
+package faults
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes jittered exponential retry delays: each Next doubles
+// the previous delay up to a cap and perturbs it by ±25%, breaking the
+// synchronized-retry stampede a fleet of workers would otherwise mount
+// against a recovering coordinator. The jitter source is explicitly
+// seeded, so a given (seed, attempt) pair always yields the same delay
+// and retry schedules are reproducible in tests.
+type Backoff struct {
+	base, max time.Duration
+	rng       *rand.Rand
+	attempt   int
+}
+
+// NewBackoff builds a backoff schedule doubling from base up to max,
+// jittered from seed. A non-positive base defaults to 100ms; max is
+// raised to base when smaller.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the delay to wait before the next attempt and advances
+// the schedule.
+func (b *Backoff) Next() time.Duration {
+	d := b.base
+	for i := 0; i < b.attempt && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	if b.attempt < 62 {
+		b.attempt++
+	}
+	jitter := int64(d / 4)
+	if jitter > 0 {
+		d += time.Duration(b.rng.Int63n(2*jitter+1) - jitter)
+	}
+	return d
+}
+
+// Reset rewinds the schedule to its base delay; callers invoke it after
+// a successful attempt so the next failure starts cheap again.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempt reports how many delays Next has produced since the last
+// Reset.
+func (b *Backoff) Attempt() int { return b.attempt }

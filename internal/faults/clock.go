@@ -1,0 +1,27 @@
+package faults
+
+import "time"
+
+// Clock abstracts the wall clock for timeout and heartbeat paths, so
+// code in the determinism analyzer's scope never reads time.Now
+// directly and tests can drive liveness machinery virtually.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers one value after d elapses.
+	After(d time.Duration) <-chan time.Time
+}
+
+// System is the process wall clock, the one place the fabric is allowed
+// to read real time; everything downstream takes a Clock.
+var System Clock = systemClock{}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time {
+	return time.Now() //resim:nondeterministic-ok the one sanctioned wall-clock read; all fabric code routes through Clock
+}
+
+func (systemClock) After(d time.Duration) <-chan time.Time {
+	return time.After(d)
+}

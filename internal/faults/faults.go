@@ -1,0 +1,218 @@
+// Package faults is ReSim's deterministic fault-injection substrate.
+//
+// Distributed-fabric hardening is only trustworthy if the failures it
+// defends against can be reproduced exactly, so everything here is
+// seeded and explicit: an Injector holds a schedule of Rules keyed by
+// stable site strings ("sweepd.worker.send", "jobd.journal.append"),
+// each rule arming at a deterministic call ordinal; SeededRules derives
+// a whole schedule from one int64 seed; Clock abstracts the wall clock
+// so timeout paths stay testable; Backoff computes jittered exponential
+// retry delays from an explicit seed. The package is in scope for the
+// resimvet determinism analyzer — the System clock carries the one
+// sanctioned wall-clock read.
+//
+// Production code threads an optional *Injector through its failure
+// sites and calls At(site) before the guarded operation; a nil injector
+// is free (one pointer test) and injects nothing, so the hooks cost
+// nothing outside the chaos suite. See docs/ROBUSTNESS.md.
+package faults
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error a triggered Fail or Hang rule returns when
+// the rule does not carry its own.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Action selects what a triggered rule does to the call at its site.
+type Action int
+
+const (
+	// Fail makes the call return the rule's error immediately.
+	Fail Action = iota
+	// Hang blocks the call until the injector is closed, then returns
+	// the rule's error — modeling a hung (not dead) process whose
+	// connection stays open while nothing flows.
+	Hang
+	// Slow sleeps the rule's Sleep duration (or until the injector is
+	// closed) and then lets the call proceed normally.
+	Slow
+)
+
+// All, used as a Rule.Count, makes the rule fire on every call from On
+// onward instead of a bounded window.
+const All = ^uint64(0)
+
+// Rule arms one injection site: calls numbered [On, On+Count) at Site
+// (1-based ordinals, per-site counting) are subjected to the action.
+type Rule struct {
+	// Site is the injection-point key; a trailing '*' matches any site
+	// with the preceding prefix.
+	Site string
+	// On is the 1-based ordinal of the first affected call (0 means 1).
+	On uint64
+	// Count is how many consecutive calls are affected (0 means 1; All
+	// means every call from On onward).
+	Count uint64
+	// Do is the action applied to affected calls.
+	Do Action
+	// Err is returned by Fail and Hang actions (nil means ErrInjected).
+	Err error
+	// Sleep is the Slow action's delay.
+	Sleep time.Duration
+}
+
+// Injector evaluates a fault schedule at named injection sites. The
+// zero of its pointer type is valid: a nil *Injector injects nothing,
+// so production call sites need no conditionals.
+type Injector struct {
+	clock Clock
+
+	mu      sync.Mutex
+	rules   []Rule
+	calls   map[string]uint64
+	fired   map[string]uint64
+	release chan struct{}
+	closed  bool
+}
+
+// NewInjector builds an injector from a schedule; the first matching
+// rule at a site wins for any given call.
+func NewInjector(rules ...Rule) *Injector {
+	return &Injector{
+		clock:   System,
+		rules:   append([]Rule(nil), rules...),
+		calls:   make(map[string]uint64),
+		fired:   make(map[string]uint64),
+		release: make(chan struct{}),
+	}
+}
+
+// Add arms another rule; chaos tests use it to trigger faults off
+// observed events (for example "hang the worker after its first
+// shipped checkpoint") rather than call ordinals alone.
+func (in *Injector) Add(r Rule) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.rules = append(in.rules, r)
+	in.mu.Unlock()
+}
+
+// At records one call at site and applies the schedule: it returns nil
+// when no rule triggers, the rule's error for Fail and Hang (after
+// blocking, for Hang), and nil after the delay for Slow. A nil
+// injector always returns nil.
+func (in *Injector) At(site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return nil
+	}
+	n := in.calls[site] + 1
+	in.calls[site] = n
+	var hit *Rule
+	for i := range in.rules {
+		r := &in.rules[i]
+		if !siteMatch(r.Site, site) {
+			continue
+		}
+		on := r.On
+		if on == 0 {
+			on = 1
+		}
+		count := r.Count
+		if count == 0 {
+			count = 1
+		}
+		if n < on || (count != All && n-on >= count) {
+			continue
+		}
+		hit = r
+		break
+	}
+	if hit == nil {
+		in.mu.Unlock()
+		return nil
+	}
+	in.fired[site]++
+	rule := *hit
+	release := in.release
+	clock := in.clock
+	in.mu.Unlock()
+
+	err := rule.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	switch rule.Do {
+	case Hang:
+		<-release
+		return err
+	case Slow:
+		select {
+		case <-clock.After(rule.Sleep):
+		case <-release:
+		}
+		return nil
+	default:
+		return err
+	}
+}
+
+// Fired reports how many calls at site the schedule has affected so
+// far; chaos tests assert the intended fault actually happened.
+func (in *Injector) Fired(site string) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[site]
+}
+
+// Close deactivates the injector and releases every hung or sleeping
+// call; subsequent At calls inject nothing. It is idempotent, and safe
+// on a nil injector.
+func (in *Injector) Close() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	if !in.closed {
+		in.closed = true
+		close(in.release)
+	}
+	in.mu.Unlock()
+}
+
+// SeededRules derives a deterministic fault schedule from seed: one
+// Fail rule per listed site, arming at a call ordinal drawn from
+// [1, maxOn]. Same seed, same schedule — the chaos suite's byte-identity
+// assertions rely on it.
+func SeededRules(seed int64, maxOn uint64, sites ...string) []Rule {
+	rng := rand.New(rand.NewSource(seed))
+	rules := make([]Rule, 0, len(sites))
+	for _, site := range sites {
+		rules = append(rules, Rule{Site: site, On: 1 + uint64(rng.Int63n(int64(maxOn)))})
+	}
+	return rules
+}
+
+// siteMatch reports whether the rule pattern covers site: exact match,
+// or prefix match when the pattern ends in '*'.
+func siteMatch(pattern, site string) bool {
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(site, pattern[:len(pattern)-1])
+	}
+	return pattern == site
+}

@@ -1,0 +1,152 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestInjectorOrdinals: rules trigger exactly on their [On, On+Count)
+// call window, per site.
+func TestInjectorOrdinals(t *testing.T) {
+	boom := errors.New("boom")
+	in := NewInjector(Rule{Site: "a", On: 2, Count: 2, Err: boom})
+	defer in.Close()
+
+	want := []error{nil, boom, boom, nil, nil}
+	for i, w := range want {
+		if got := in.At("a"); !errors.Is(got, w) && got != w {
+			t.Fatalf("call %d: got %v, want %v", i+1, got, w)
+		}
+	}
+	// A different site never triggers.
+	for i := 0; i < 5; i++ {
+		if err := in.At("b"); err != nil {
+			t.Fatalf("site b call %d: unexpected %v", i+1, err)
+		}
+	}
+	if n := in.Fired("a"); n != 2 {
+		t.Fatalf("Fired(a) = %d, want 2", n)
+	}
+}
+
+// TestInjectorDefaultsAndPrefix: zero On/Count means "first call only",
+// a trailing '*' matches site prefixes, and nil Err yields ErrInjected.
+func TestInjectorDefaultsAndPrefix(t *testing.T) {
+	in := NewInjector(Rule{Site: "sweepd.worker.*"})
+	defer in.Close()
+	if err := in.At("sweepd.worker.send"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first call: got %v, want ErrInjected", err)
+	}
+	if err := in.At("sweepd.worker.send"); err != nil {
+		t.Fatalf("second call: got %v, want nil", err)
+	}
+	// Per-site counting: the sibling site gets its own first call.
+	if err := in.At("sweepd.worker.recv"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sibling site first call: got %v, want ErrInjected", err)
+	}
+	if err := in.At("jobd.journal.append"); err != nil {
+		t.Fatalf("non-matching site: got %v, want nil", err)
+	}
+}
+
+// TestInjectorHangReleasesOnClose: a Hang rule blocks the call until
+// Close, which also deactivates the schedule.
+func TestInjectorHangReleasesOnClose(t *testing.T) {
+	in := NewInjector(Rule{Site: "s", Do: Hang, Count: All})
+	done := make(chan error, 1)
+	go func() { done <- in.At("s") }()
+	select {
+	case err := <-done:
+		t.Fatalf("hang returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	in.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("released hang: got %v, want ErrInjected", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hang not released by Close")
+	}
+	// Closed injectors are inert even with Count: All.
+	if err := in.At("s"); err != nil {
+		t.Fatalf("post-Close call: got %v, want nil", err)
+	}
+}
+
+// TestNilInjectorIsFree: every method is safe and inert on nil.
+func TestNilInjectorIsFree(t *testing.T) {
+	var in *Injector
+	if err := in.At("anything"); err != nil {
+		t.Fatal(err)
+	}
+	in.Add(Rule{Site: "x"})
+	if in.Fired("x") != 0 {
+		t.Fatal("nil injector fired")
+	}
+	in.Close()
+}
+
+// TestSeededRulesDeterministic: same seed, same schedule; different
+// seeds diverge (for at least one of a handful of probes).
+func TestSeededRulesDeterministic(t *testing.T) {
+	a := SeededRules(42, 1000, "x", "y", "z")
+	b := SeededRules(42, 1000, "x", "y", "z")
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("rule counts: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rule %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].On < 1 || a[i].On > 1000 {
+			t.Fatalf("rule %d ordinal out of range: %d", i, a[i].On)
+		}
+	}
+	diverged := false
+	for seed := int64(43); seed < 53; seed++ {
+		c := SeededRules(seed, 1000, "x", "y", "z")
+		for i := range a {
+			if c[i].On != a[i].On {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("10 different seeds all produced seed-42's schedule")
+	}
+}
+
+// TestBackoff: deterministic per seed, grows roughly exponentially, and
+// respects the cap (within the ±25% jitter envelope).
+func TestBackoff(t *testing.T) {
+	a := NewBackoff(100*time.Millisecond, 2*time.Second, 7)
+	b := NewBackoff(100*time.Millisecond, 2*time.Second, 7)
+	prevMid := time.Duration(0)
+	for i := 0; i < 8; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		mid := 100 * time.Millisecond << i
+		if mid > 2*time.Second {
+			mid = 2 * time.Second
+		}
+		if da < mid-mid/4 || da > mid+mid/4 {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, da, mid-mid/4, mid+mid/4)
+		}
+		if mid < prevMid {
+			t.Fatalf("midpoint shrank: %v after %v", mid, prevMid)
+		}
+		prevMid = mid
+	}
+	if a.Attempt() != 8 {
+		t.Fatalf("Attempt() = %d, want 8", a.Attempt())
+	}
+	a.Reset()
+	if d := a.Next(); d > 125*time.Millisecond || d < 75*time.Millisecond {
+		t.Fatalf("post-Reset delay %v not near base", d)
+	}
+}

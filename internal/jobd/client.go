@@ -7,11 +7,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strconv"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/sweepd"
 )
 
@@ -24,12 +30,39 @@ type Client struct {
 	// HTTPClient overrides http.DefaultClient (tests inject the
 	// httptest server's client).
 	HTTPClient *http.Client
+	// Retry, when configured, makes the unary API calls (Submit, Status,
+	// List, Cancel) retry 429s and transient network errors with jittered
+	// exponential backoff, honoring the server's Retry-After advice. The
+	// zero value keeps the historical single-shot behavior. Streaming
+	// calls never retry — reconnecting a half-consumed stream is the
+	// caller's decision.
+	Retry RetryPolicy
+}
+
+// RetryPolicy configures the client's retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call; 0 or 1 disables
+	// retries.
+	MaxAttempts int
+	// Base and Max bound the jittered exponential backoff between tries
+	// (defaults 250ms and 5s). A 429 carrying Retry-After overrides the
+	// computed delay with the server's advice.
+	Base time.Duration
+	Max  time.Duration
+	// Seed seeds the backoff jitter (see faults.NewBackoff); retry
+	// schedules are deterministic per (Seed, attempt).
+	Seed int64
+	// OnRetry, when non-nil, observes every scheduled retry.
+	OnRetry func(attempt int, err error, delay time.Duration)
 }
 
 // StatusError is a non-2xx API response.
 type StatusError struct {
 	Code int
 	Msg  string
+	// RetryAfter is the server's Retry-After advice in seconds (0 when
+	// the response carried none).
+	RetryAfter int
 }
 
 // Error renders the status code and the server's error message.
@@ -48,21 +81,62 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues one API request and decodes a JSON response into out.
+// do issues one API request and decodes a JSON response into out,
+// retrying per c.Retry. Request bodies are marshaled once and replayed
+// from memory on each attempt, so retrying a POST is safe at this layer;
+// whether it is safe end-to-end is the policy's call (Submit retries only
+// 429s and connection-refused, where the server provably did no work).
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
+		var err error
+		data, err = json.Marshal(body)
 		if err != nil {
 			return err
 		}
+	}
+	attempts := c.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	bo := faults.NewBackoff(c.Retry.Base, c.Retry.Max, c.Retry.Seed)
+	if c.Retry.Base <= 0 {
+		bo = faults.NewBackoff(250*time.Millisecond, 5*time.Second, c.Retry.Seed)
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		lastErr = c.doOnce(ctx, method, path, data, body != nil, out)
+		if lastErr == nil || attempt >= attempts {
+			return lastErr
+		}
+		delay, ok := retryDelay(lastErr, method, bo)
+		if !ok {
+			return lastErr
+		}
+		if f := c.Retry.OnRetry; f != nil {
+			f(attempt, lastErr, delay)
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// doOnce issues a single attempt.
+func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, hasBody bool, out any) error {
+	var rd io.Reader
+	if hasBody {
 		rd = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.Server+path, rd)
 	if err != nil {
 		return err
 	}
-	if body != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	if c.Token != "" {
@@ -83,13 +157,50 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// retryDelay classifies err and, when retryable for this method, returns
+// the delay before the next attempt. 429s are always retryable — the
+// server refused the work whole — and the server's Retry-After advice
+// overrides the backoff. Connection-refused is always retryable (nothing
+// reached the server). Other transport errors — resets, unexpected EOFs,
+// timeouts — may have landed on the server, so they retry only for
+// idempotent methods.
+func retryDelay(err error, method string, bo *faults.Backoff) (time.Duration, bool) {
+	var se *StatusError
+	if errors.As(err, &se) {
+		if !se.IsRetryable() {
+			return 0, false
+		}
+		if se.RetryAfter > 0 {
+			return time.Duration(se.RetryAfter) * time.Second, true
+		}
+		return bo.Next(), true
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) {
+		return bo.Next(), true
+	}
+	idempotent := method == http.MethodGet || method == http.MethodDelete || method == http.MethodHead
+	if !idempotent {
+		return 0, false
+	}
+	var ne net.Error
+	switch {
+	case errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, io.EOF),
+		errors.As(err, &ne) && ne.Timeout():
+		return bo.Next(), true
+	}
+	return 0, false
+}
+
 func apiError(resp *http.Response) error {
 	var eb errorBody
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	if json.Unmarshal(data, &eb) != nil || eb.Error == "" {
 		eb.Error = string(bytes.TrimSpace(data))
 	}
-	return &StatusError{Code: resp.StatusCode, Msg: eb.Error}
+	ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+	return &StatusError{Code: resp.StatusCode, Msg: eb.Error, RetryAfter: ra}
 }
 
 // Submit submits a job, returning its acknowledged (durable) status.

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -102,8 +103,15 @@ func writePlatformError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantBusy):
 		// Admission control: the work was refused whole, not dropped —
-		// back off and resubmit.
-		w.Header().Set("Retry-After", "1")
+		// back off and resubmit. The platform derives the advice from
+		// live queue/tenant state (RetryAfterError); 1s is only the
+		// fallback for rejections that carry none.
+		secs := 1
+		var ra *RetryAfterError
+		if errors.As(err, &ra) && ra.Seconds > 0 {
+			secs = ra.Seconds
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrUnknownJob):
 		writeError(w, http.StatusNotFound, err.Error())
@@ -115,6 +123,14 @@ func writePlatformError(w http.ResponseWriter, err error) {
 }
 
 func (p *Platform) handleSubmit(w http.ResponseWriter, r *http.Request, tenant string) {
+	// Injection point for the chaos suite's 429 storm: a deterministic
+	// schedule refuses the first N submissions the way a saturated
+	// platform would, exercising the client's Retry-After handling.
+	if err := p.opts.Faults.At(faultHTTPSubmit); err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "jobd: injected overload: "+err.Error())
+		return
+	}
 	var req SubmitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
 	if err := dec.Decode(&req); err != nil {

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/sweepd"
@@ -74,6 +75,33 @@ var (
 	ErrUnknownJob = errors.New("jobd: unknown job")
 	ErrClosed     = errors.New("jobd: platform closed")
 )
+
+// RetryAfterError decorates an admission rejection with backoff advice:
+// the HTTP door serves Seconds as the 429's Retry-After header, derived
+// from live queue and tenant-cap state rather than a constant, so client
+// backoff tracks actual congestion. Unwrap keeps errors.Is working
+// against ErrQueueFull / ErrTenantBusy.
+type RetryAfterError struct {
+	Err     error
+	Seconds int
+}
+
+// Error reports the wrapped rejection's message.
+func (e *RetryAfterError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the wrapped rejection to errors.Is/As.
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// retryAfterSeconds clamps derived backoff advice to [1, 30] seconds.
+func retryAfterSeconds(s int) int {
+	if s < 1 {
+		return 1
+	}
+	if s > 30 {
+		return 30
+	}
+	return s
+}
 
 // Tenant is one configured tenant: its bearer token, fairness weight and
 // admission cap. Tenants load from the -tenants JSON file
@@ -161,6 +189,15 @@ type Options struct {
 	// Logf receives service log lines (key=value structured; see
 	// sweepd.KV). nil discards.
 	Logf func(format string, args ...any)
+	// JournalSync makes every journal append and atomic rename fsync
+	// before reporting success (resimd -journal-sync): power-loss
+	// durability at a per-write latency cost. Off, the journal still
+	// survives process death — the failure mode recovery targets.
+	JournalSync bool
+	// Faults, when non-nil, arms the platform's fault-injection sites
+	// (jobd.journal.*, jobd.http.submit) with a deterministic schedule;
+	// nil injects nothing. See internal/faults and docs/ROBUSTNESS.md.
+	Faults *faults.Injector
 }
 
 // SubmitRequest is one job submission: the workload (by registry name, or
@@ -222,6 +259,14 @@ type Metrics struct {
 	// TraceDropped counts spans evicted from bounded logs (see trace.go).
 	TraceSpans   uint64
 	TraceDropped uint64
+	// JournalTornTails counts results.ndjson tails truncated during
+	// recovery (torn or corrupt trailing records); JournalCRCErrors
+	// counts records that failed their integrity checksum;
+	// JournalDegraded counts other tolerated recovery blemishes (empty
+	// checkpoint files, temp-file leftovers from crashed renames).
+	JournalTornTails int
+	JournalCRCErrors int
+	JournalDegraded  int
 }
 
 // tenantState is one tenant's live scheduling state.
@@ -404,6 +449,9 @@ func New(opts Options) (*Platform, error) {
 			cancel()
 			return nil, err
 		}
+		jn.sync = opts.JournalSync
+		jn.inj = opts.Faults
+		jn.log = func(line string) { p.logf(line) }
 		p.jn = jn
 		if err := p.recover(); err != nil {
 			cancel()
@@ -541,8 +589,13 @@ func (p *Platform) Submit(tenant string, req SubmitRequest) (JobStatus, error) {
 	t := p.tenantLocked(tenant)
 	if depth := p.queueDepthLocked(); depth >= p.opts.MaxQueue {
 		p.rejected++
+		// Advice scales with how deep the backlog is relative to the
+		// queue bound: a just-full queue suggests a short pause, a
+		// several-times-over backlog a long one.
+		secs := retryAfterSeconds(1 + 4*depth/p.opts.MaxQueue)
 		p.mu.Unlock()
-		return JobStatus{}, fmt.Errorf("%w (%d queued)", ErrQueueFull, depth)
+		return JobStatus{}, &RetryAfterError{
+			Err: fmt.Errorf("%w (%d queued)", ErrQueueFull, depth), Seconds: secs}
 	}
 	cap := t.cfg.MaxInFlight
 	if cap <= 0 {
@@ -550,8 +603,12 @@ func (p *Platform) Submit(tenant string, req SubmitRequest) (JobStatus, error) {
 	}
 	if t.queued+t.running >= cap {
 		p.rejected++
+		// The tenant's own jobs gate admission here: advice grows with
+		// the number that must finish before a slot frees.
+		secs := retryAfterSeconds(1 + t.queued + t.running)
 		p.mu.Unlock()
-		return JobStatus{}, fmt.Errorf("%w (%d in flight, cap %d)", ErrTenantBusy, t.queued+t.running, cap)
+		return JobStatus{}, &RetryAfterError{
+			Err: fmt.Errorf("%w (%d in flight, cap %d)", ErrTenantBusy, t.queued+t.running, cap), Seconds: secs}
 	}
 	p.seq++
 	j := p.newJobLocked(id, tenant, req.Priority, p.seq, time.Now(), wj, sj)
@@ -715,6 +772,11 @@ func (p *Platform) Snapshot() Metrics {
 		TelemetryClients: p.telemetryClients,
 		TraceSpans:       p.traceSpansTotal,
 		TraceDropped:     p.traceDropped,
+	}
+	if p.jn != nil {
+		m.JournalTornTails = p.jn.tornTails
+		m.JournalCRCErrors = p.jn.crcErrors
+		m.JournalDegraded = p.jn.degraded
 	}
 	for _, j := range p.order {
 		m.JobsByState[j.state]++

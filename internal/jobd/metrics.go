@@ -35,6 +35,9 @@ type PlatformMetrics struct {
 	TelemetryClients *obs.Gauge
 	TraceSpans       *obs.Counter
 	TraceDropped     *obs.Counter
+	JournalTornTails *obs.Counter
+	JournalCRCErrors *obs.Counter
+	JournalDegraded  *obs.Counter
 
 	// Event-site latency histograms, labeled by tenant.
 	QueueWait   *obs.HistogramVec
@@ -82,6 +85,12 @@ func RegisterMetrics(reg *obs.Registry) *PlatformMetrics {
 			"Lifecycle spans appended to job trace logs."),
 		TraceDropped: reg.Counter("jobd_trace_spans_dropped_total",
 			"Trace spans evicted from bounded per-job span logs."),
+		JournalTornTails: reg.Counter("jobd_journal_torn_tails_total",
+			"Results-log tails truncated during recovery (torn or corrupt trailing records; the dropped points rerun)."),
+		JournalCRCErrors: reg.Counter("jobd_journal_crc_errors_total",
+			"Journal records that failed their crc32c integrity checksum during recovery."),
+		JournalDegraded: reg.Counter("jobd_journal_degraded_total",
+			"Other tolerated recovery blemishes: empty checkpoint files, temp-file leftovers from crashed renames."),
 		QueueWait: reg.HistogramVec("jobd_queue_wait_seconds",
 			"Submission to first group dispatch, per tenant.", nil, "tenant"),
 		FirstResult: reg.HistogramVec("jobd_first_result_seconds",
@@ -122,4 +131,7 @@ func (pm *PlatformMetrics) apply(m Metrics) {
 	pm.TelemetryClients.Set(float64(m.TelemetryClients))
 	pm.TraceSpans.Set(float64(m.TraceSpans))
 	pm.TraceDropped.Set(float64(m.TraceDropped))
+	pm.JournalTornTails.Set(float64(m.JournalTornTails))
+	pm.JournalCRCErrors.Set(float64(m.JournalCRCErrors))
+	pm.JournalDegraded.Set(float64(m.JournalDegraded))
 }

@@ -41,10 +41,11 @@ const Directive = "nondeterministic-ok"
 
 // fullPackages are analyzed file by file in their entirety.
 var fullPackages = map[string]bool{
-	"repro/internal/core":  true,
-	"repro/internal/uarch": true,
-	"repro/internal/stats": true,
-	"repro/internal/sweep": true,
+	"repro/internal/core":   true,
+	"repro/internal/uarch":  true,
+	"repro/internal/stats":  true,
+	"repro/internal/sweep":  true,
+	"repro/internal/faults": true,
 }
 
 // wireFiles lists, per package, the files carrying wire or journal

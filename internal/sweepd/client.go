@@ -55,8 +55,23 @@ func RunRemote(ctx context.Context, addr string, job *Job, obs core.Observer) ([
 		}
 	}()
 
-	if _, err := handshake(w, roleClient, "", roleCoordinator); err != nil {
+	hello, err := handshake(w, Hello{Role: roleClient}, roleCoordinator)
+	if err != nil {
 		return nil, wrapCtx(ctx, err)
+	}
+	// Protocol v4 liveness: the coordinator arms a read deadline on every
+	// accepted connection, so the client must keep frames flowing through
+	// quiet stretches; symmetrically, coordinator pings feed the deadline
+	// armed here, surfacing a hung coordinator as a failed run instead of
+	// a job that never finishes. The cadence is the coordinator's own,
+	// adopted from its hello.
+	hbInterval, hbTimeout := livenessParams(0, 0, hello)
+	if hbTimeout > 0 {
+		w.readTimeout = hbTimeout
+		w.writeTimeout = hbTimeout
+	}
+	if hbInterval > 0 {
+		go w.heartbeat(hbInterval, stop)
 	}
 	if err := w.send(&Message{Type: msgJob, Job: wj}); err != nil {
 		return nil, wrapCtx(ctx, err)

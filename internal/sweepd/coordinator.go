@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/sweep"
 	"repro/internal/tracecache"
 )
@@ -45,6 +47,24 @@ type Coordinator struct {
 	// distribution. Build it with RegisterCoordinatorMetrics and set it
 	// before Serve; nil costs one pointer check per event.
 	Metrics *CoordinatorMetrics
+	// HeartbeatInterval is the msgPing cadence on every accepted
+	// connection and HeartbeatTimeout the silence after which a peer is
+	// declared hung and torn down (its groups requeue from their latest
+	// checkpoints). Zero applies DefaultHeartbeatInterval /
+	// DefaultHeartbeatTimeout; negative disables that side of liveness.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// HandshakeTimeout bounds the hello exchange on accepted connections
+	// (zero: a 10s default), so a silent peer cannot pin a handler
+	// goroutine until Close.
+	HandshakeTimeout time.Duration
+	// Clock, when non-nil, replaces the wall clock for deadlines and
+	// heartbeat pacing (chaos tests drive liveness virtually).
+	Clock faults.Clock
+	// Faults, when non-nil, arms the coordinator side of the wire with a
+	// fault-injection schedule (sites sweepd.coordinator.send/recv); nil
+	// injects nothing. See internal/faults.
+	Faults *faults.Injector
 
 	mu      sync.Mutex
 	workers map[*remoteWorker]struct{}
@@ -180,13 +200,62 @@ func (c *Coordinator) Close() error {
 	return nil
 }
 
+// hbInterval, hbTimeout and hsTimeout resolve the coordinator's liveness
+// knobs: zero means the protocol default, negative disables.
+func (c *Coordinator) hbInterval() time.Duration {
+	if c.HeartbeatInterval == 0 {
+		return DefaultHeartbeatInterval
+	}
+	return c.HeartbeatInterval
+}
+
+func (c *Coordinator) hbTimeout() time.Duration {
+	if c.HeartbeatTimeout == 0 {
+		return DefaultHeartbeatTimeout
+	}
+	if c.HeartbeatTimeout < 0 {
+		return 0
+	}
+	return c.HeartbeatTimeout
+}
+
+func (c *Coordinator) hsTimeout() time.Duration {
+	if c.HandshakeTimeout <= 0 {
+		return defaultHandshakeTimeout
+	}
+	return c.HandshakeTimeout
+}
+
 // handleConn performs the hello handshake and dispatches on the peer role.
 func (c *Coordinator) handleConn(conn net.Conn) {
 	w := newWire(conn)
-	hello, err := handshake(w, roleCoordinator, "", roleWorker, roleClient)
+	w.clock = c.Clock
+	w.inj = c.Faults
+	w.sendSite, w.recvSite = FaultCoordSend, FaultCoordRecv
+	// Bound the hello exchange: a peer that connects and never speaks
+	// (or dies mid-handshake) must not pin this goroutine until Close.
+	_ = conn.SetDeadline(w.now().Add(c.hsTimeout()))
+	hello, err := handshake(w, Hello{
+		Role:       roleCoordinator,
+		PingMillis: c.hbInterval().Milliseconds(),
+		DeadMillis: c.hbTimeout().Milliseconds(),
+	}, roleWorker, roleClient)
 	if err != nil {
-		c.logf("%s", KV("sweepd.handshake_failed", "addr", conn.RemoteAddr(), "err", err))
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			c.Metrics.handshakeTimeout()
+			c.logf("%s", KV("sweepd.handshake_timeout", "addr", conn.RemoteAddr(), "timeout", c.hsTimeout()))
+		} else {
+			c.logf("%s", KV("sweepd.handshake_failed", "addr", conn.RemoteAddr(), "err", err))
+		}
 		return
+	}
+	_ = conn.SetDeadline(time.Time{})
+	w.readTimeout = c.hbTimeout()
+	w.writeTimeout = c.hbTimeout()
+	if iv := c.hbInterval(); iv > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go w.heartbeat(iv, stop)
 	}
 	switch hello.Role {
 	case roleWorker:
@@ -214,6 +283,15 @@ func (c *Coordinator) serveWorker(w *wire, name string) {
 	c.mu.Lock()
 	delete(c.workers, rw)
 	c.mu.Unlock()
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		// The TCP connection is still up but nothing — not even pings —
+		// arrived within the heartbeat timeout: the worker is hung, not
+		// merely disconnected. Same recovery either way (fail every
+		// pending call, so the scheduler requeues the groups from their
+		// latest checkpoints), but counted and logged distinctly.
+		c.Metrics.heartbeatTimeout()
+		c.logf("%s", KV("sweepd.worker_heartbeat_timeout", "worker", name, "timeout", c.hbTimeout()))
+	}
 	rw.fail(err)
 	c.Metrics.workerGone()
 	c.logf("%s", KV("sweepd.worker_gone", "worker", name, "err", err))
@@ -514,6 +592,9 @@ func (rw *remoteWorker) readLoop() error {
 			case call.done <- err:
 			default:
 			}
+		case msgPing:
+			// Liveness only: receiving any frame already fed the read
+			// deadline, so there is nothing further to do.
 		}
 	}
 }

@@ -26,6 +26,9 @@ type CoordinatorMetrics struct {
 	TraceShips      *obs.Counter
 	TraceShipBytes  *obs.Counter
 	GroupRoundTrips *obs.Histogram
+
+	HeartbeatTimeouts *obs.Counter
+	HandshakeTimeouts *obs.Counter
 }
 
 // RegisterCoordinatorMetrics registers the coordinator's metric families
@@ -51,6 +54,10 @@ func RegisterCoordinatorMetrics(reg *obs.Registry) *CoordinatorMetrics {
 			"Bytes of delta-compressed trace containers shipped to workers."),
 		GroupRoundTrips: reg.Histogram("sweepd_group_rtt_seconds",
 			"Group assignment send to group-end receipt, per completed round trip.", nil),
+		HeartbeatTimeouts: reg.Counter("sweepd_heartbeat_timeouts_total",
+			"Connections torn down after heartbeat silence: the peer was hung (TCP open, nothing flowing), its groups requeued."),
+		HandshakeTimeouts: reg.Counter("sweepd_handshake_timeouts_total",
+			"Accepted connections dropped for not completing the hello exchange within the handshake deadline."),
 	}
 }
 
@@ -96,4 +103,18 @@ func (m *CoordinatorMetrics) groupDone(start time.Time) {
 		return
 	}
 	m.GroupRoundTrips.Observe(time.Since(start).Seconds())
+}
+
+func (m *CoordinatorMetrics) heartbeatTimeout() {
+	if m == nil {
+		return
+	}
+	m.HeartbeatTimeouts.Inc()
+}
+
+func (m *CoordinatorMetrics) handshakeTimeout() {
+	if m == nil {
+		return
+	}
+	m.HandshakeTimeouts.Inc()
 }

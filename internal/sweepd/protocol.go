@@ -16,14 +16,17 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/configfile"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/uarch"
@@ -38,7 +41,28 @@ import (
 // TelemetryEvery cadence, and workers stream msgTelemetry messages — one
 // core.IntervalSnapshot window delta per in-flight point per boundary —
 // which the coordinator forwards to the submitting client.
-const protoVersion = 3
+// Version 4 added liveness: both ends of every connection stream msgPing
+// heartbeat frames and arm read/write deadlines, so a hung peer — TCP
+// established, nothing flowing — is detected within the heartbeat timeout
+// and treated as dead instead of stalling a job forever.
+const protoVersion = 4
+
+// Liveness defaults for protocol v4 connections. Any received frame
+// (pings included) feeds the read deadline, so the timeout only fires
+// after that much genuine silence — at the default ratio, four missed
+// heartbeats.
+const (
+	// DefaultHeartbeatInterval is the cadence at which each end of a
+	// connection emits msgPing frames when the owner does not override it.
+	DefaultHeartbeatInterval = 5 * time.Second
+	// DefaultHeartbeatTimeout is the silence after which a peer is
+	// declared hung: reads and writes past it fail with
+	// os.ErrDeadlineExceeded and the connection is torn down.
+	DefaultHeartbeatTimeout = 20 * time.Second
+	// defaultHandshakeTimeout bounds the hello exchange, so a peer that
+	// connects and never speaks cannot pin a handler goroutine.
+	defaultHandshakeTimeout = 10 * time.Second
+)
 
 // maxMessageBytes bounds one framed message; a 4M-instruction shipped
 // trace container is on the order of 10 MB, so 1 GiB is generous headroom
@@ -63,7 +87,30 @@ const (
 	msgTelemetry  = "telemetry"  // worker -> coordinator -> client: one point's interval snapshot
 	msgGroupEnd   = "group_end"  // worker -> coordinator: assignment finished
 	msgDone       = "done"       // coordinator -> client: job finished
+	msgPing       = "ping"       // both directions: liveness heartbeat, no payload
 )
+
+// Fault-injection site keys for the wire layer (see internal/faults and
+// docs/ROBUSTNESS.md). Each names one guarded operation; the chaos suite
+// arms seeded schedules against them. Exported so chaos tests and
+// operators' fault configs can name them.
+const (
+	// FaultWorkerSend guards every frame a worker writes to the
+	// coordinator (results, checkpoints, heartbeats).
+	FaultWorkerSend = "sweepd.worker.send"
+	// FaultWorkerRecv guards every frame a worker reads.
+	FaultWorkerRecv = "sweepd.worker.recv"
+	// FaultCoordSend guards every frame the coordinator writes to one
+	// peer (assignments, forwarded results, heartbeats).
+	FaultCoordSend = "sweepd.coordinator.send"
+	// FaultCoordRecv guards every frame the coordinator reads.
+	FaultCoordRecv = "sweepd.coordinator.recv"
+)
+
+// ErrKillMidFrame, injected at a send site, makes the wire write a torn
+// frame (prefix plus half the payload) and drop the connection — the
+// observable signature of a process dying inside a write.
+var ErrKillMidFrame = errors.New("sweepd: injected mid-frame kill")
 
 // Message is the single wire envelope; Type selects which payload field is
 // populated.
@@ -85,6 +132,13 @@ type Hello struct {
 	Proto int    `json:"proto"`
 	Role  string `json:"role"`
 	Name  string `json:"name,omitempty"`
+	// PingMillis and DeadMillis, set in the coordinator's hello, advertise
+	// the fabric's heartbeat cadence and silence tolerance. Workers and
+	// clients without explicit overrides adopt them, so one coordinator
+	// setting tunes the whole cluster's liveness — and a peer never pings
+	// slower than the coordinator's patience.
+	PingMillis int64 `json:"ping_ms,omitempty"`
+	DeadMillis int64 `json:"dead_ms,omitempty"`
 }
 
 // ConfigSpec is the wire form of core.Config: the configfile schema plus
@@ -296,15 +350,45 @@ type Done struct {
 // prefix followed by the JSON envelope. Reads are single-consumer; writes
 // are mutex-serialized so result streams from concurrent assignments
 // interleave whole messages.
+//
+// Liveness (protocol v4): when readTimeout/writeTimeout are set, every
+// framed operation arms a connection deadline from the injectable clock,
+// and a heartbeat goroutine keeps frames flowing in quiet periods — so a
+// hung peer surfaces as os.ErrDeadlineExceeded on this end. sendSite and
+// recvSite name the wire's fault-injection points (nil inj injects
+// nothing and costs one pointer test).
 type wire struct {
 	conn net.Conn
 	br   *bufio.Reader
 	wmu  sync.Mutex
 	bw   *bufio.Writer
+
+	clock        faults.Clock // nil means faults.System
+	inj          *faults.Injector
+	sendSite     string
+	recvSite     string
+	readTimeout  time.Duration // max silence tolerated per framed read (0 = none)
+	writeTimeout time.Duration // max block per framed write (0 = none)
 }
 
 func newWire(conn net.Conn) *wire {
 	return &wire{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+// now reads the wire's clock; the fabric never consults time.Now directly.
+func (w *wire) now() time.Time {
+	if w.clock != nil {
+		return w.clock.Now()
+	}
+	return faults.System.Now()
+}
+
+// after defers to the wire's clock for heartbeat pacing.
+func (w *wire) after(d time.Duration) <-chan time.Time {
+	if w.clock != nil {
+		return w.clock.After(d)
+	}
+	return faults.System.After(d)
 }
 
 func (w *wire) send(m *Message) error {
@@ -319,6 +403,21 @@ func (w *wire) send(m *Message) error {
 	binary.BigEndian.PutUint32(prefix[:], uint32(len(payload)))
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
+	// The injection point sits inside the write lock: a Hang rule here
+	// wedges the whole write path — heartbeats included — which is
+	// exactly how a truly hung process looks from the other end.
+	if err := w.inj.At(w.sendSite); err != nil {
+		if errors.Is(err, ErrKillMidFrame) {
+			w.bw.Write(prefix[:])
+			w.bw.Write(payload[:len(payload)/2])
+			w.bw.Flush()
+			w.conn.Close()
+		}
+		return err
+	}
+	if w.writeTimeout > 0 {
+		_ = w.conn.SetWriteDeadline(w.now().Add(w.writeTimeout))
+	}
 	if _, err := w.bw.Write(prefix[:]); err != nil {
 		return err
 	}
@@ -329,7 +428,14 @@ func (w *wire) send(m *Message) error {
 }
 
 func (w *wire) recv() (*Message, error) {
+	if err := w.inj.At(w.recvSite); err != nil {
+		w.conn.Close()
+		return nil, err
+	}
 	var prefix [4]byte
+	if w.readTimeout > 0 {
+		_ = w.conn.SetReadDeadline(w.now().Add(w.readTimeout))
+	}
 	if _, err := io.ReadFull(w.br, prefix[:]); err != nil {
 		return nil, err
 	}
@@ -338,6 +444,9 @@ func (w *wire) recv() (*Message, error) {
 		return nil, fmt.Errorf("sweepd: frame of %d bytes exceeds the %d-byte limit", n, maxMessageBytes)
 	}
 	payload := make([]byte, n)
+	if w.readTimeout > 0 {
+		_ = w.conn.SetReadDeadline(w.now().Add(w.readTimeout))
+	}
 	if _, err := io.ReadFull(w.br, payload); err != nil {
 		return nil, err
 	}
@@ -348,11 +457,29 @@ func (w *wire) recv() (*Message, error) {
 	return &m, nil
 }
 
+// heartbeat streams msgPing frames every interval until stop closes or a
+// send fails. Any frame feeds the peer's read deadline, so pings only
+// matter when no data is flowing — which is precisely when a hung peer
+// would otherwise be indistinguishable from a quiet one.
+func (w *wire) heartbeat(interval time.Duration, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-w.after(interval):
+			if w.send(&Message{Type: msgPing}) != nil {
+				return
+			}
+		}
+	}
+}
+
 func (w *wire) Close() error { return w.conn.Close() }
 
-// handshake sends our hello and validates the peer's.
-func handshake(w *wire, role, name string, wantRoles ...string) (*Hello, error) {
-	if err := w.send(&Message{Type: msgHello, Hello: &Hello{Proto: protoVersion, Role: role, Name: name}}); err != nil {
+// handshake sends our hello (Proto filled in) and validates the peer's.
+func handshake(w *wire, hello Hello, wantRoles ...string) (*Hello, error) {
+	hello.Proto = protoVersion
+	if err := w.send(&Message{Type: msgHello, Hello: &hello}); err != nil {
 		return nil, err
 	}
 	m, err := w.recv()
@@ -377,6 +504,29 @@ func handshake(w *wire, role, name string, wantRoles ...string) (*Hello, error) 
 		}
 	}
 	return m.Hello, nil
+}
+
+// livenessParams resolves a peer's heartbeat interval and timeout: an
+// explicit local override wins, then the coordinator's advertised values,
+// then the protocol defaults. Negative overrides disable.
+func livenessParams(interval, timeout time.Duration, hello *Hello) (time.Duration, time.Duration) {
+	switch {
+	case interval < 0:
+		interval = 0
+	case interval == 0 && hello != nil && hello.PingMillis > 0:
+		interval = time.Duration(hello.PingMillis) * time.Millisecond
+	case interval == 0:
+		interval = DefaultHeartbeatInterval
+	}
+	switch {
+	case timeout < 0:
+		timeout = 0
+	case timeout == 0 && hello != nil && hello.DeadMillis > 0:
+		timeout = time.Duration(hello.DeadMillis) * time.Millisecond
+	case timeout == 0:
+		timeout = DefaultHeartbeatTimeout
+	}
+	return interval, timeout
 }
 
 // errString flattens an error for the wire.

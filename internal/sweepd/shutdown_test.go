@@ -2,6 +2,7 @@ package sweepd_test
 
 import (
 	"context"
+	"net"
 	"runtime"
 	"strings"
 	"sync"
@@ -23,17 +24,38 @@ func TestCoordinatorCloseDrainsGoroutines(t *testing.T) {
 	before := runtime.NumGoroutine()
 
 	started := make(chan struct{})
-	var once sync.Once
+	hsTimedOut := make(chan struct{})
+	var once, hsOnce sync.Once
 	coord := sweepd.NewCoordinator()
+	coord.HandshakeTimeout = 150 * time.Millisecond
 	coord.Logf = func(format string, args ...any) {
 		if strings.Contains(format, "sweepd.job_start") ||
 			(len(args) > 0 && containsAny(args, "sweepd.job_start")) {
 			once.Do(func() { close(started) })
 		}
+		if strings.Contains(format, "sweepd.handshake_timeout") ||
+			(len(args) > 0 && containsAny(args, "sweepd.handshake_timeout")) {
+			hsOnce.Do(func() { close(hsTimedOut) })
+		}
 	}
 	addr, err := coord.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	// A peer that connects and never speaks: without the handshake
+	// deadline, its handler goroutine would sit in the hello read until
+	// Close and trip the goroutine-count assertion below. It must instead
+	// be reaped on its own, while the coordinator is still running.
+	silent, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	select {
+	case <-hsTimedOut:
+	case <-time.After(10 * time.Second):
+		t.Fatal("silent connection was never reaped by the handshake deadline")
 	}
 
 	wctx, stop := context.WithCancel(context.Background())

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/sweep"
 	"repro/internal/tracecache"
 )
@@ -35,6 +37,20 @@ type WorkerOptions struct {
 	CheckpointEvery uint64
 	// Logf, when non-nil, receives worker log lines.
 	Logf func(format string, args ...any)
+	// HeartbeatInterval is the msgPing cadence toward the coordinator and
+	// HeartbeatTimeout the silence after which the coordinator is declared
+	// hung and the connection dropped (Work returns, and the resimd loop
+	// reconnects with backoff). Zero applies DefaultHeartbeatInterval /
+	// DefaultHeartbeatTimeout; negative disables that side of liveness.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// Clock, when non-nil, replaces the wall clock for deadlines and
+	// heartbeat pacing (chaos tests drive liveness virtually).
+	Clock faults.Clock
+	// Faults, when non-nil, arms the worker side of the wire with a
+	// fault-injection schedule (sites sweepd.worker.send/recv); nil
+	// injects nothing. See internal/faults.
+	Faults *faults.Injector
 }
 
 // Work dials the coordinator at addr, registers as a worker and serves
@@ -61,8 +77,22 @@ func Work(ctx context.Context, addr string, opts WorkerOptions) error {
 	}
 	w := newWire(conn)
 	defer w.Close()
-	if _, err := handshake(w, roleWorker, opts.Name, roleCoordinator); err != nil {
+	w.clock = opts.Clock
+	w.inj = opts.Faults
+	w.sendSite, w.recvSite = FaultWorkerSend, FaultWorkerRecv
+	// Bound the handshake too: a hung coordinator must not wedge the
+	// reconnect loop before liveness is even armed.
+	_ = conn.SetDeadline(w.now().Add(defaultHandshakeTimeout))
+	hello, err := handshake(w, Hello{Role: roleWorker, Name: opts.Name}, roleCoordinator)
+	if err != nil {
 		return err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	hbInterval, hbTimeout := livenessParams(
+		opts.HeartbeatInterval, opts.HeartbeatTimeout, hello)
+	if hbTimeout > 0 {
+		w.readTimeout = hbTimeout
+		w.writeTimeout = hbTimeout
 	}
 	logf("%s", KV("sweepd.worker_connected", "worker", opts.Name, "coordinator", addr))
 
@@ -76,6 +106,9 @@ func Work(ctx context.Context, addr string, opts WorkerOptions) error {
 		case <-stop:
 		}
 	}()
+	if hbInterval > 0 {
+		go w.heartbeat(hbInterval, stop)
+	}
 
 	var (
 		mu      sync.Mutex
@@ -121,6 +154,8 @@ func Work(ctx context.Context, addr string, opts WorkerOptions) error {
 				cancel()
 			}
 			mu.Unlock()
+		case msgPing:
+			// Liveness only; receiving it already fed the read deadline.
 		}
 	}
 }
